@@ -1,0 +1,354 @@
+// Package mobilestorage's benchmark harness regenerates every table and
+// figure of the paper under `go test -bench`. One benchmark per artifact;
+// headline quantities are attached as custom metrics so `-benchmem` runs
+// double as a quick reproduction report:
+//
+//	go test -bench=. -benchmem
+//	go test -bench=BenchmarkTable4 -benchtime=1x
+//
+// Each benchmark runs the corresponding experiment end to end (workload
+// generation + simulation), so ns/op measures the cost of a full
+// reproduction of that artifact.
+package mobilestorage
+
+import (
+	"testing"
+
+	"mobilestorage/internal/experiments"
+)
+
+const seed = experiments.DefaultSeed
+
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range rows {
+				if r.Device == "intel" && r.Operation == "write" {
+					b.ReportMetric(r.Compressed4K, "intel-wr-4K-KB/s")
+					b.ReportMetric(r.Compressed1M, "intel-wr-1M-KB/s")
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if len(experiments.Table2()) == 0 {
+			b.Fatal("empty catalog")
+		}
+	}
+}
+
+func BenchmarkTable3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table3(seed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range rows {
+				if r.Name == "mac" {
+					b.ReportMetric(r.DistinctKBytes, "mac-distinct-KB")
+				}
+			}
+		}
+	}
+}
+
+func benchTable4(b *testing.B, traceName string) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table4(traceName, seed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range rows {
+				switch {
+				case r.Device.Name == "cu140" && r.Device.Source == "datasheet":
+					b.ReportMetric(r.EnergyJ, "disk-J")
+				case r.Device.Name == "intel" && r.Device.Source == "datasheet":
+					b.ReportMetric(r.EnergyJ, "flashcard-J")
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkTable4Mac(b *testing.B) { benchTable4(b, "mac") }
+func BenchmarkTable4Dos(b *testing.B) { benchTable4(b, "dos") }
+func BenchmarkTable4HP(b *testing.B)  { benchTable4(b, "hp") }
+
+func BenchmarkFig1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		series, err := experiments.Fig1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, s := range series {
+				if s.Label == "intel compressed" {
+					b.ReportMetric(s.Points[len(s.Points)-1].LatencyMs, "intel-final-lat-ms")
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkFig2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		points, err := experiments.Fig2(seed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			var lo, hi float64
+			for _, p := range points {
+				if p.Trace == "mac" && p.Utilization == 0.40 {
+					lo = p.EnergyJ
+				}
+				if p.Trace == "mac" && p.Utilization == 0.95 {
+					hi = p.EnergyJ
+				}
+			}
+			if lo > 0 {
+				b.ReportMetric(hi/lo, "mac-energy-95/40")
+			}
+		}
+	}
+}
+
+func BenchmarkFig3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		series, err := experiments.Fig3(seed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 && len(series) == 3 {
+			last := series[2].Points
+			b.ReportMetric(last[len(last)-1].ThroughputKBs, "9.5MB-live-KB/s")
+		}
+	}
+}
+
+func BenchmarkFig4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		points, err := experiments.Fig4(seed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			var e34, e35 float64
+			for _, p := range points {
+				if p.Device == "intel" && p.DRAMKB == 0 {
+					switch p.FlashMB {
+					case 34:
+						e34 = p.EnergyJ
+					case 35:
+						e35 = p.EnergyJ
+					}
+				}
+			}
+			if e34 > 0 {
+				b.ReportMetric((1-e35/e34)*100, "energy-drop-34to35-%")
+			}
+		}
+	}
+}
+
+func BenchmarkFig5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		points, err := experiments.Fig5(seed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, p := range points {
+				if p.Trace == "mac" && p.SRAMKB == 32 && p.NormalizedWrite > 0 {
+					b.ReportMetric(1/p.NormalizedWrite, "mac-32KB-write-speedup")
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkAsyncCleaning(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.AsyncCleaning(seed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range rows {
+				if r.Trace == "mac" {
+					b.ReportMetric(r.Improvement*100, "mac-write-improvement-%")
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkValidation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Validate(seed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range rows {
+				if r.Device == "sdp10" {
+					b.ReportMetric(r.WriteRatio, "sdp10-sim/testbed")
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkWear(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Wear(seed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range rows {
+				if r.Trace == "mac" && r.Utilization == 0.95 {
+					b.ReportMetric(float64(r.MaxErase), "mac-95%-max-erase")
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkBatteryLife(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.BatteryLife(seed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range rows {
+				if r.Trace == "mac" && r.Alternative == "intel/datasheet" && r.StorageFraction == 0.20 {
+					b.ReportMetric(r.LifeExtension*100, "headline-extension-%")
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkAblateCleaner(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.CleanerPolicies(seed); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblateFlashSRAM(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.FlashSRAM(seed); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblateSeries2Plus(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Series2Plus(seed); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblateWriteBack(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.WriteBack(seed); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblateSpinDown(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.SpinDownPolicies(seed); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblateWearLevel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.WearLeveling(seed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range rows {
+				if r.Trace == "mac" && r.Leveling != "off" {
+					b.ReportMetric(r.Spread, "mac-leveled-max/mean")
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkHybrid(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.HybridComparison(seed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			var disk, hyb float64
+			for _, r := range rows {
+				if r.Trace == "mac" {
+					switch {
+					case r.SpinUps > 0 && disk == 0:
+						disk = r.EnergyJ
+					default:
+						hyb = r.EnergyJ
+					}
+				}
+			}
+			if disk > 0 && hyb > 0 {
+				b.ReportMetric((1-hyb/disk)*100, "mac-hybrid-saving-%")
+			}
+		}
+	}
+}
+
+func BenchmarkEnvy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Envy(seed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range rows {
+				if r.Utilization == 0.80 {
+					b.ReportMetric(r.CleaningFraction*100, "cleaning-at-80%-%")
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkSeedSensitivity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.SeedSensitivity("mac", []int64{1, 2, 3})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range rows {
+				if r.Device == "intel datasheet" {
+					b.ReportMetric(r.DiskRatio.Mean(), "disk/intel-ratio")
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,71 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+//	experiments -list          # show available experiment IDs
+//	experiments -run table4a   # run one experiment
+//	experiments -all           # run the full suite in paper order
+//	experiments -csv out/      # write the figures as CSVs for plotting
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mobilestorage/internal/experiments"
+)
+
+func main() {
+	var (
+		list = flag.Bool("list", false, "list experiment IDs")
+		run  = flag.String("run", "", "experiment ID to run")
+		all  = flag.Bool("all", false, "run every experiment")
+		csv  = flag.String("csv", "", "write figure CSVs into this directory")
+		seed = flag.Int64("seed", experiments.DefaultSeed, "workload generation seed")
+	)
+	flag.Parse()
+
+	reg := experiments.Registry()
+	switch {
+	case *csv != "":
+		files, err := experiments.WriteCSVs(*csv, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		for _, f := range files {
+			fmt.Println("wrote", f)
+		}
+	case *list:
+		for _, id := range experiments.IDs() {
+			fmt.Printf("%-20s %s\n", id, reg[id].Description)
+		}
+	case *all:
+		for _, id := range experiments.IDs() {
+			if err := runOne(reg, id, *seed); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				os.Exit(1)
+			}
+		}
+	case *run != "":
+		if err := runOne(reg, *run, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func runOne(reg map[string]experiments.Experiment, id string, seed int64) error {
+	e, ok := reg[id]
+	if !ok {
+		return fmt.Errorf("unknown experiment %q (use -list)", id)
+	}
+	out, err := e.Run(seed)
+	if err != nil {
+		return fmt.Errorf("%s: %w", id, err)
+	}
+	fmt.Println(out)
+	return nil
+}

@@ -1,0 +1,28 @@
+package main
+
+import (
+	"testing"
+
+	"mobilestorage/internal/experiments"
+)
+
+func TestRunOne(t *testing.T) {
+	reg := experiments.Registry()
+	// A fast experiment (catalog dump) succeeds.
+	if err := runOne(reg, "table2", 1); err != nil {
+		t.Errorf("table2: %v", err)
+	}
+	// Unknown IDs error.
+	if err := runOne(reg, "table9000", 1); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestIDsAllRegistered(t *testing.T) {
+	reg := experiments.Registry()
+	for _, id := range experiments.IDs() {
+		if _, ok := reg[id]; !ok {
+			t.Errorf("IDs() lists unregistered %q", id)
+		}
+	}
+}

@@ -1,0 +1,54 @@
+// Command microbench runs the §3 hardware micro-benchmarks on the emulated
+// OmniBook: Table 1 throughput, the Figure 1 write-latency curves, and the
+// Figure 3 overwrite-throughput curves.
+//
+//	microbench -bench table1
+//	microbench -bench fig1
+//	microbench -bench fig3 -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mobilestorage/internal/experiments"
+)
+
+func main() {
+	var (
+		bench = flag.String("bench", "table1", "benchmark: table1, fig1, fig3")
+		seed  = flag.Int64("seed", experiments.DefaultSeed, "seed for randomized access patterns")
+	)
+	flag.Parse()
+	if err := run(*bench, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "microbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(bench string, seed int64) error {
+	switch bench {
+	case "table1":
+		rows, err := experiments.Table1()
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderTable1(rows))
+	case "fig1":
+		series, err := experiments.Fig1()
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderFig1(series))
+	case "fig3":
+		series, err := experiments.Fig3(seed)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderFig3(series))
+	default:
+		return fmt.Errorf("unknown benchmark %q (want table1, fig1, fig3)", bench)
+	}
+	return nil
+}

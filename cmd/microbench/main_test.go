@@ -1,0 +1,13 @@
+package main
+
+import "testing"
+
+func TestRunDispatch(t *testing.T) {
+	// table1 is the cheapest real benchmark; unknown names error.
+	if err := run("table1", 1); err != nil {
+		t.Errorf("table1: %v", err)
+	}
+	if err := run("fig9", 1); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}

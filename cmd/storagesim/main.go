@@ -1,0 +1,261 @@
+// Command storagesim runs one trace-driven storage simulation and prints
+// the paper-style result: energy in joules plus read/write response-time
+// statistics.
+//
+// Examples:
+//
+//	storagesim -trace mac -device cu140
+//	storagesim -trace dos -device intel -utilization 0.95
+//	storagesim -trace hp -device sdp5 -async -dram 0
+//	storagesim -tracefile mytrace.txt -device kh -sram 32768
+package main
+
+import (
+	"bytes"
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+
+	"mobilestorage/internal/core"
+	"mobilestorage/internal/device"
+	"mobilestorage/internal/trace"
+	"mobilestorage/internal/units"
+	"mobilestorage/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "storagesim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		traceName = flag.String("trace", "mac", "built-in workload: mac, dos, hp, synth")
+		traceFile = flag.String("tracefile", "", "trace file to replay (overrides -trace)")
+		seed      = flag.Int64("seed", 1, "workload generation seed")
+		devName   = flag.String("device", "cu140", "device: cu140, kh, sdp10, sdp5, intel, intel2+")
+		source    = flag.String("source", "", "parameter source: measured or datasheet (default: best available)")
+		dramKB    = flag.Int64("dram", -1, "DRAM cache size in KB (default: 2048, 0 for hp)")
+		sramKB    = flag.Int64("sram", -1, "SRAM write buffer in KB (default: 32 for disks, 0 for flash)")
+		spinDown  = flag.Float64("spindown", 5, "disk spin-down threshold in seconds (0 = never)")
+		util      = flag.Float64("utilization", 0.8, "flash storage utilization")
+		capMB     = flag.Int64("capacity", 0, "explicit flash capacity in MB (overrides utilization)")
+		storedMB  = flag.Int64("stored", 0, "live data preallocated in flash, MB (default: trace footprint)")
+		async     = flag.Bool("async", false, "asynchronous flash-disk erasure (SDP5A)")
+		policy    = flag.String("cleaning", "greedy", "flash-card cleaning policy: greedy, cost-benefit, fifo")
+		onDemand  = flag.Bool("ondemand", false, "clean flash card only on demand")
+		writeBack = flag.Bool("writeback", false, "use a write-back DRAM cache (paper default is write-through)")
+		verbose   = flag.Bool("v", false, "print component energy breakdown and device counters")
+		opLog     = flag.String("oplog", "", "write a per-operation CSV log to this file")
+	)
+	flag.Parse()
+
+	var t *trace.Trace
+	var err error
+	if *traceFile != "" {
+		t, err = readTrace(*traceFile)
+		if err != nil {
+			return err
+		}
+	} else {
+		t, err = workload.GenerateByName(*traceName, *seed)
+		if err != nil {
+			return err
+		}
+	}
+
+	cfg := core.Config{
+		Trace:            t,
+		WriteBack:        *writeBack,
+		SpinDown:         units.FromSeconds(*spinDown),
+		AsyncErase:       *async,
+		CleaningPolicy:   *policy,
+		OnDemandCleaning: *onDemand,
+		FlashUtilization: *util,
+		FlashCapacity:    units.Bytes(*capMB) * units.MB,
+		StoredData:       units.Bytes(*storedMB) * units.MB,
+	}
+	if err := selectDevice(&cfg, *devName, *source); err != nil {
+		return err
+	}
+
+	// DRAM default: 2 MB, except the hp trace which was captured below the
+	// buffer cache (§4.1).
+	switch {
+	case *dramKB >= 0:
+		cfg.DRAMBytes = units.Bytes(*dramKB) * units.KB
+	case t.Name == "hp":
+		cfg.DRAMBytes = 0
+	default:
+		cfg.DRAMBytes = 2 * units.MB
+	}
+	// SRAM default: 32 KB in front of disks (the paper's deferred spin-up
+	// configuration), none in front of flash.
+	switch {
+	case *sramKB >= 0:
+		cfg.SRAMBytes = units.Bytes(*sramKB) * units.KB
+	case cfg.Kind == core.MagneticDisk:
+		cfg.SRAMBytes = 32 * units.KB
+	}
+
+	var logClose func() error
+	if *opLog != "" {
+		f, err := os.Create(*opLog)
+		if err != nil {
+			return err
+		}
+		w := csv.NewWriter(f)
+		if err := w.Write([]string{"index", "arrival_us", "response_us", "op", "cache_hit", "size_bytes"}); err != nil {
+			return err
+		}
+		cfg.Observer = func(o core.OpObservation) {
+			w.Write([]string{
+				strconv.Itoa(o.Index),
+				strconv.FormatInt(int64(o.Arrival), 10),
+				strconv.FormatInt(int64(o.Response), 10),
+				o.Op.String(),
+				strconv.FormatBool(o.CacheHit),
+				strconv.FormatInt(int64(o.Size), 10),
+			})
+		}
+		logClose = func() error {
+			w.Flush()
+			if err := w.Error(); err != nil {
+				f.Close()
+				return err
+			}
+			return f.Close()
+		}
+	}
+
+	res, err := core.Run(cfg)
+	if err != nil {
+		return err
+	}
+	if logClose != nil {
+		if err := logClose(); err != nil {
+			return err
+		}
+	}
+	printResult(res, *verbose)
+	return nil
+}
+
+// selectDevice fills the storage parameters for a device name.
+func selectDevice(cfg *core.Config, name, source string) error {
+	pick := func(measured, datasheet func() bool) error {
+		switch source {
+		case "", "measured":
+			if measured() {
+				return nil
+			}
+			if source == "measured" {
+				return fmt.Errorf("no measured parameters for %q", name)
+			}
+			datasheet()
+			return nil
+		case "datasheet":
+			if datasheet() {
+				return nil
+			}
+			return fmt.Errorf("no datasheet parameters for %q", name)
+		default:
+			return fmt.Errorf("unknown source %q (want measured or datasheet)", source)
+		}
+	}
+	switch name {
+	case "cu140":
+		cfg.Kind = core.MagneticDisk
+		return pick(
+			func() bool { cfg.Disk = device.CU140Measured(); return true },
+			func() bool { cfg.Disk = device.CU140Datasheet(); return true },
+		)
+	case "kh":
+		cfg.Kind = core.MagneticDisk
+		return pick(
+			func() bool { return false },
+			func() bool { cfg.Disk = device.KittyhawkDatasheet(); return true },
+		)
+	case "sdp10":
+		cfg.Kind = core.FlashDisk
+		return pick(
+			func() bool { cfg.FlashDiskParams = device.SDP10Measured(); return true },
+			func() bool { cfg.FlashDiskParams = device.SDP10Datasheet(); return true },
+		)
+	case "sdp5":
+		cfg.Kind = core.FlashDisk
+		return pick(
+			func() bool { return false },
+			func() bool { cfg.FlashDiskParams = device.SDP5Datasheet(); return true },
+		)
+	case "intel":
+		cfg.Kind = core.FlashCard
+		return pick(
+			func() bool { cfg.FlashCardParams = device.IntelSeries2Measured(); return true },
+			func() bool { cfg.FlashCardParams = device.IntelSeries2Datasheet(); return true },
+		)
+	case "intel2+":
+		cfg.Kind = core.FlashCard
+		return pick(
+			func() bool { return false },
+			func() bool { cfg.FlashCardParams = device.IntelSeries2PlusDatasheet(); return true },
+		)
+	default:
+		return fmt.Errorf("unknown device %q", name)
+	}
+}
+
+// readTrace loads a trace file in either format, sniffing the binary magic.
+func readTrace(path string) (*trace.Trace, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if bytes.HasPrefix(data, []byte("MSTB1")) {
+		return trace.DecodeBinary(bytes.NewReader(data))
+	}
+	return trace.Decode(bytes.NewReader(data))
+}
+
+func printResult(res *core.Result, verbose bool) {
+	fmt.Printf("trace    %s\n", res.TraceName)
+	fmt.Printf("device   %s\n", res.Device)
+	fmt.Printf("energy   %.0f J\n", res.EnergyJ)
+	fmt.Printf("read     mean %.2f ms, max %.1f ms, σ %.1f ms (%d ops)\n",
+		res.Read.Mean(), res.Read.Max(), res.Read.StdDev(), res.Read.N())
+	fmt.Printf("write    mean %.2f ms, max %.1f ms, σ %.1f ms (%d ops)\n",
+		res.Write.Mean(), res.Write.Max(), res.Write.StdDev(), res.Write.N())
+	if !verbose {
+		return
+	}
+	fmt.Printf("read  p50/p95/p99  ≤ %.2f / %.1f / %.1f ms\n",
+		res.ReadP(0.50), res.ReadP(0.95), res.ReadP(0.99))
+	fmt.Printf("write p50/p95/p99  ≤ %.2f / %.1f / %.1f ms\n",
+		res.WriteP(0.50), res.WriteP(0.95), res.WriteP(0.99))
+	keys := make([]string, 0, len(res.EnergyByComponent))
+	for k := range res.EnergyByComponent {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Printf("energy.%-8s %.1f J\n", k, res.EnergyByComponent[k])
+	}
+	if res.CacheHits+res.CacheMisses > 0 {
+		fmt.Printf("cache    %.1f%% hit (%d/%d)\n",
+			res.HitRate()*100, res.CacheHits, res.CacheHits+res.CacheMisses)
+	}
+	if res.SpinUps > 0 {
+		fmt.Printf("spinups  %d\n", res.SpinUps)
+	}
+	if res.Erases > 0 {
+		fmt.Printf("erases   %d (max/unit %d, mean/unit %.2f)\n",
+			res.Erases, res.MaxEraseCount, res.MeanEraseCount)
+		fmt.Printf("cleaner  copied %d blocks for %d host blocks (amplification %.2f), %d stalled writes\n",
+			res.CopiedBlocks, res.HostBlocks, res.WriteAmplification(), res.WriteStalls)
+	}
+}

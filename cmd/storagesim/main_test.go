@@ -1,0 +1,96 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mobilestorage/internal/core"
+	"mobilestorage/internal/trace"
+	"mobilestorage/internal/units"
+	"mobilestorage/internal/workload"
+)
+
+func TestSelectDevice(t *testing.T) {
+	cases := []struct {
+		name, source string
+		kind         core.StorageKind
+		wantErr      bool
+	}{
+		{"cu140", "", core.MagneticDisk, false},
+		{"cu140", "measured", core.MagneticDisk, false},
+		{"cu140", "datasheet", core.MagneticDisk, false},
+		{"kh", "datasheet", core.MagneticDisk, false},
+		{"kh", "measured", 0, true}, // no measured kh numbers exist
+		{"sdp10", "", core.FlashDisk, false},
+		{"sdp5", "datasheet", core.FlashDisk, false},
+		{"sdp5", "measured", 0, true},
+		{"intel", "", core.FlashCard, false},
+		{"intel2+", "datasheet", core.FlashCard, false},
+		{"intel2+", "measured", 0, true},
+		{"floppy", "", 0, true},
+		{"cu140", "vibes", 0, true},
+	}
+	for _, c := range cases {
+		var cfg core.Config
+		err := selectDevice(&cfg, c.name, c.source)
+		if c.wantErr {
+			if err == nil {
+				t.Errorf("selectDevice(%q, %q) accepted", c.name, c.source)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("selectDevice(%q, %q): %v", c.name, c.source, err)
+			continue
+		}
+		if cfg.Kind != c.kind {
+			t.Errorf("selectDevice(%q): kind %v, want %v", c.name, cfg.Kind, c.kind)
+		}
+	}
+}
+
+func TestReadTraceBothFormats(t *testing.T) {
+	tr, err := workload.Synth(workload.SynthConfig{Seed: 1, Ops: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+
+	textPath := filepath.Join(dir, "t.trace")
+	f, err := os.Create(textPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.Encode(f, tr); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	binPath := filepath.Join(dir, "t.btrace")
+	f, err = os.Create(binPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.EncodeBinary(f, tr); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	for _, path := range []string{textPath, binPath} {
+		got, err := readTrace(path)
+		if err != nil {
+			t.Fatalf("readTrace(%s): %v", path, err)
+		}
+		if len(got.Records) != len(tr.Records) {
+			t.Errorf("%s: %d records, want %d", path, len(got.Records), len(tr.Records))
+		}
+		if got.BlockSize != 512*units.B {
+			t.Errorf("%s: block size %v", path, got.BlockSize)
+		}
+	}
+
+	if _, err := readTrace(filepath.Join(dir, "missing")); err == nil {
+		t.Error("missing file accepted")
+	}
+}

@@ -1,0 +1,116 @@
+// Command tracegen generates the synthetic workloads and writes them in
+// the text trace format, or prints their Table 3-style characteristics.
+//
+//	tracegen -workload mac -o mac.trace
+//	tracegen -workload mac -binary -o mac.btrace
+//	tracegen -workload synth -ops 50000 -o synth.trace
+//	tracegen -workload dos -summary
+//	tracegen -describe mac.trace
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+
+	"mobilestorage/internal/trace"
+	"mobilestorage/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		name     = flag.String("workload", "mac", "workload: mac, dos, hp, synth")
+		seed     = flag.Int64("seed", 1, "generation seed")
+		ops      = flag.Int("ops", 0, "operation count for synth (default 20000)")
+		out      = flag.String("o", "", "output trace file (default stdout)")
+		binFmt   = flag.Bool("binary", false, "write the compact binary format")
+		summary  = flag.Bool("summary", false, "print Table 3-style characteristics instead of the trace")
+		check    = flag.Bool("check", false, "compare the generated trace against its published Table 3 targets")
+		describe = flag.String("describe", "", "characterize an existing trace file and exit")
+	)
+	flag.Parse()
+
+	if *describe != "" {
+		t, err := readTrace(*describe)
+		if err != nil {
+			return err
+		}
+		printSummary(t)
+		return nil
+	}
+
+	var t *trace.Trace
+	var err error
+	if *name == "synth" {
+		t, err = workload.Synth(workload.SynthConfig{Seed: *seed, Ops: *ops})
+	} else {
+		t, err = workload.GenerateByName(*name, *seed)
+	}
+	if err != nil {
+		return err
+	}
+
+	if *check {
+		tgt, err := workload.PaperTargets(*name)
+		if err != nil {
+			return err
+		}
+		devs := workload.Fidelity(t, tgt)
+		fmt.Print(workload.RenderFidelity(devs))
+		fmt.Printf("worst deviation: %.1f%%\n", workload.WorstDeviation(devs)*100)
+		return nil
+	}
+
+	if *summary {
+		printSummary(t)
+		return nil
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if *binFmt {
+		return trace.EncodeBinary(w, t)
+	}
+	return trace.Encode(w, t)
+}
+
+// readTrace loads either format, sniffing the binary magic.
+func readTrace(path string) (*trace.Trace, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if bytes.HasPrefix(data, []byte("MSTB1")) {
+		return trace.DecodeBinary(bytes.NewReader(data))
+	}
+	return trace.Decode(bytes.NewReader(data))
+}
+
+func printSummary(t *trace.Trace) {
+	c := trace.Characterize(t, 0.1)
+	fmt.Printf("trace            %s\n", c.Name)
+	fmt.Printf("records          %d (%d deletes)\n", c.Records, c.Deletes)
+	fmt.Printf("duration         %v\n", c.Duration)
+	fmt.Printf("distinct KB      %.0f\n", c.DistinctKBytes)
+	fmt.Printf("fraction reads   %.2f\n", c.FractionReads)
+	fmt.Printf("block size       %v\n", c.BlockSize)
+	fmt.Printf("mean read size   %.1f blocks\n", c.MeanReadBlocks)
+	fmt.Printf("mean write size  %.1f blocks\n", c.MeanWriteBlocks)
+	fmt.Printf("inter-arrival    mean %.3fs, max %.1fs, σ %.1fs\n",
+		c.InterArrival.Mean(), c.InterArrival.Max(), c.InterArrival.StdDev())
+}

@@ -1,0 +1,51 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mobilestorage/internal/trace"
+	"mobilestorage/internal/workload"
+)
+
+func TestReadTraceSniffsFormats(t *testing.T) {
+	tr, err := workload.Synth(workload.SynthConfig{Seed: 1, Ops: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	for _, c := range []struct {
+		name   string
+		encode func(f *os.File) error
+	}{
+		{"text", func(f *os.File) error { return trace.Encode(f, tr) }},
+		{"binary", func(f *os.File) error { return trace.EncodeBinary(f, tr) }},
+	} {
+		path := filepath.Join(dir, c.name)
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.encode(f); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+		got, err := readTrace(path)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if len(got.Records) != len(tr.Records) {
+			t.Errorf("%s: %d records, want %d", c.name, len(got.Records), len(tr.Records))
+		}
+	}
+	if _, err := readTrace(filepath.Join(dir, "nope")); err == nil {
+		t.Error("missing file accepted")
+	}
+	// Garbage content errors rather than panicking.
+	bad := filepath.Join(dir, "bad")
+	os.WriteFile(bad, []byte("MSTB1garbage"), 0o644)
+	if _, err := readTrace(bad); err == nil {
+		t.Error("corrupt binary accepted")
+	}
+}

@@ -1,0 +1,10 @@
+// Package mobilestorage is a trace-driven simulator of mobile-computer
+// storage hierarchies: a from-scratch reproduction of Douglis et al.,
+// "Storage Alternatives for Mobile Computers" (OSDI 1994).
+//
+// The implementation lives under internal/ (see README.md for the map);
+// the executables under cmd/ and the runnable examples under examples/
+// are the supported entry points. This root package exists to host the
+// module documentation and the per-table/figure benchmark harness
+// (bench_test.go).
+package mobilestorage

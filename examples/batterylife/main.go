@@ -1,0 +1,69 @@
+// Batterylife: translate storage energy savings into battery life.
+//
+// The paper's motivating claim: the storage subsystem consumes 20–54% of a
+// notebook's energy [Marsh & Zenel], so replacing the disk with flash —
+// which saves ~90% of storage energy even against an aggressively
+// spun-down disk — extends battery life by 20–100%, with "a 22% extension"
+// as the headline at a 20% storage share. This example recomputes the whole
+// chain from simulation results.
+//
+//	go run ./examples/batterylife
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mobilestorage/internal/core"
+	"mobilestorage/internal/device"
+	"mobilestorage/internal/energy"
+	"mobilestorage/internal/units"
+	"mobilestorage/internal/workload"
+)
+
+func main() {
+	t, err := workload.GenerateByName("mac", 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Baseline: the CU140 with the paper's full power management — 5 s
+	// spin-down and a 32 KB deferred-spin-up write buffer.
+	disk := core.Config{
+		Trace: t, DRAMBytes: 2 * units.MB,
+		Kind: core.MagneticDisk, Disk: device.CU140Datasheet(),
+		SpinDown: 5 * units.Second, SRAMBytes: 32 * units.KB,
+	}
+	baseline, err := core.Run(disk)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Alternative: the Intel flash card at the paper's 80% utilization.
+	flash := core.Config{
+		Trace: t, DRAMBytes: 2 * units.MB,
+		Kind: core.FlashCard, FlashCardParams: device.IntelSeries2Datasheet(),
+		FlashCapacity: 40 * units.MB, StoredData: 32 * units.MB,
+	}
+	alternative, err := core.Run(flash)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("storage energy, disk (CU140 + power mgmt): %8.0f J\n", baseline.EnergyJ)
+	fmt.Printf("storage energy, flash (Intel card):        %8.0f J\n", alternative.EnergyJ)
+	fmt.Println()
+	fmt.Printf("%-14s %16s %14s\n", "storage share", "storage savings", "battery life")
+	for _, share := range []float64{0.20, 0.35, 0.54} {
+		m := energy.BatteryModel{
+			StorageFraction: share,
+			BaselineJ:       baseline.EnergyJ,
+			AlternativeJ:    alternative.EnergyJ,
+		}
+		fmt.Printf("%13.0f%% %15.0f%% %+13.0f%%\n",
+			share*100, m.StorageSavings()*100, m.LifeExtension()*100)
+	}
+	fmt.Println("\nAt the 20% storage share the paper's headline '22% extension of")
+	fmt.Println("battery life' falls out directly; at Marsh & Zenel's 54% upper")
+	fmt.Println("bound the extension approaches a doubling, matching §1.")
+}

@@ -1,0 +1,64 @@
+// Quickstart: compare the three storage architectures on the mac workload.
+//
+// This is the smallest end-to-end use of the library: generate a workload,
+// configure one simulation per architecture, and print the paper-style
+// energy and response-time comparison.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mobilestorage/internal/core"
+	"mobilestorage/internal/device"
+	"mobilestorage/internal/units"
+	"mobilestorage/internal/workload"
+)
+
+func main() {
+	// 1. Generate the mac workload (calibrated to the paper's Table 3).
+	t, err := workload.GenerateByName("mac", 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. One configuration per architecture, with the paper's defaults:
+	// 2 MB DRAM cache, 5 s disk spin-down + 32 KB SRAM write buffer,
+	// flash devices 40 MB at 80% utilization.
+	configs := []core.Config{
+		{
+			Trace: t, DRAMBytes: 2 * units.MB,
+			Kind: core.MagneticDisk, Disk: device.CU140Datasheet(),
+			SpinDown: 5 * units.Second, SRAMBytes: 32 * units.KB,
+		},
+		{
+			Trace: t, DRAMBytes: 2 * units.MB,
+			Kind: core.FlashDisk, FlashDiskParams: device.SDP5Datasheet(),
+			FlashCapacity: 40 * units.MB, StoredData: 32 * units.MB,
+		},
+		{
+			Trace: t, DRAMBytes: 2 * units.MB,
+			Kind: core.FlashCard, FlashCardParams: device.IntelSeries2Datasheet(),
+			FlashCapacity: 40 * units.MB, StoredData: 32 * units.MB,
+		},
+	}
+
+	// 3. Run and compare.
+	fmt.Printf("%-28s %10s %12s %12s\n", "device", "energy (J)", "read (ms)", "write (ms)")
+	var diskEnergy float64
+	for i, cfg := range configs {
+		res, err := core.Run(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-28s %10.0f %12.2f %12.2f\n",
+			res.Device, res.EnergyJ, res.Read.Mean(), res.Write.Mean())
+		if i == 0 {
+			diskEnergy = res.EnergyJ
+		} else {
+			fmt.Printf("%-28s %9.1f×\n", "  energy vs. disk", diskEnergy/res.EnergyJ)
+		}
+	}
+}

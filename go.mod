@@ -1,0 +1,3 @@
+module mobilestorage
+
+go 1.22

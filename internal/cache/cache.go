@@ -1,0 +1,254 @@
+// Package cache models the DRAM buffer cache that fronts every storage
+// configuration in the paper (§2, §4.2): block-granular, LRU, and
+// write-through by default ("this models the behavior of the Macintosh
+// operating system and until recently the DOS file system"). A write-back
+// mode is provided for the ablation the paper mentions but does not
+// simulate ("a write-back cache might avoid some erasures at the cost of
+// occasional data loss").
+package cache
+
+import (
+	"fmt"
+
+	"mobilestorage/internal/device"
+	"mobilestorage/internal/energy"
+	"mobilestorage/internal/units"
+)
+
+// Extent is a contiguous byte range in device address space.
+type Extent struct {
+	Addr units.Bytes
+	Size units.Bytes
+}
+
+// node is one cached block in the intrusive LRU list.
+type node struct {
+	block      int64
+	dirty      bool
+	prev, next *node
+}
+
+// Cache is a block-granular LRU buffer cache.
+type Cache struct {
+	params    device.MemoryParams
+	size      units.Bytes
+	blockSize units.Bytes
+	capBlocks int
+	writeBack bool
+
+	blocks map[int64]*node
+	// head is most-recently used; tail is least-recently used.
+	head, tail *node
+
+	meter      *energy.Meter
+	lastUpdate units.Time
+
+	hits, misses int64
+}
+
+// New builds a cache of the given total size; size must hold at least one
+// block. The zero-size case is handled by callers (they bypass the cache
+// entirely, as the hp simulations require).
+func New(params device.MemoryParams, size, blockSize units.Bytes, writeBack bool) (*Cache, error) {
+	if blockSize <= 0 {
+		return nil, fmt.Errorf("cache: block size must be positive")
+	}
+	capBlocks := int(size / blockSize)
+	if capBlocks < 1 {
+		return nil, fmt.Errorf("cache: size %v holds no %v blocks", size, blockSize)
+	}
+	return &Cache{
+		params:    params,
+		size:      size,
+		blockSize: blockSize,
+		capBlocks: capBlocks,
+		writeBack: writeBack,
+		blocks:    make(map[int64]*node, capBlocks),
+		meter:     energy.NewMeter(),
+	}, nil
+}
+
+// Size returns the configured capacity in bytes.
+func (c *Cache) Size() units.Bytes { return c.size }
+
+// Meter exposes the cache's energy accounting.
+func (c *Cache) Meter() *energy.Meter { return c.meter }
+
+// Hits and Misses report lookup outcomes.
+func (c *Cache) Hits() int64   { return c.hits }
+func (c *Cache) Misses() int64 { return c.misses }
+
+// Len returns the number of cached blocks.
+func (c *Cache) Len() int { return len(c.blocks) }
+
+// AccessTime returns the DRAM transfer time for size bytes and charges the
+// active energy for it.
+func (c *Cache) AccessTime(size units.Bytes) units.Time {
+	t := c.params.AccessTime(size)
+	c.meter.Accrue(energy.StateActive, c.params.ActiveW, t)
+	return t
+}
+
+// AccrueStandby integrates retention (refresh) power up to now. The paper's
+// §5.4 trade-off — extra DRAM costs energy even when idle — comes from
+// exactly this term.
+func (c *Cache) AccrueStandby(now units.Time) {
+	if now <= c.lastUpdate {
+		return
+	}
+	c.meter.Accrue(energy.StateStandby, c.params.StandbyWPerMB*c.size.MBytes(), now-c.lastUpdate)
+	c.lastUpdate = now
+}
+
+// Contains reports whether every block of [addr, addr+size) is cached,
+// touching the blocks' recency and recording a hit or miss.
+func (c *Cache) Contains(addr, size units.Bytes) bool {
+	if size <= 0 {
+		return false
+	}
+	first, last := c.blockRange(addr, size)
+	for b := first; b <= last; b++ {
+		if _, ok := c.blocks[b]; !ok {
+			c.misses++
+			return false
+		}
+	}
+	for b := first; b <= last; b++ {
+		c.touch(c.blocks[b])
+	}
+	c.hits++
+	return true
+}
+
+// Insert caches every block of [addr, addr+size), marking them dirty when
+// requested (write-back mode). It returns the dirty extents evicted to make
+// room, which the caller must write to the device. In write-through mode
+// nothing is ever dirty and the returned slice is always empty.
+func (c *Cache) Insert(addr, size units.Bytes, dirty bool) []Extent {
+	if size <= 0 {
+		return nil
+	}
+	if !c.writeBack {
+		dirty = false
+	}
+	var evicted []Extent
+	first, last := c.blockRange(addr, size)
+	for b := first; b <= last; b++ {
+		if n, ok := c.blocks[b]; ok {
+			n.dirty = n.dirty || dirty
+			c.touch(n)
+			continue
+		}
+		for len(c.blocks) >= c.capBlocks {
+			if e := c.evictLRU(); e != nil {
+				evicted = append(evicted, *e)
+			}
+		}
+		n := &node{block: b, dirty: dirty}
+		c.blocks[b] = n
+		c.pushFront(n)
+	}
+	return coalesce(evicted)
+}
+
+// Invalidate drops any cached blocks of [addr, addr+size) without writing
+// them back (used for file deletion).
+func (c *Cache) Invalidate(addr, size units.Bytes) {
+	if size <= 0 {
+		return
+	}
+	first, last := c.blockRange(addr, size)
+	for b := first; b <= last; b++ {
+		if n, ok := c.blocks[b]; ok {
+			c.unlink(n)
+			delete(c.blocks, b)
+		}
+	}
+}
+
+// DirtyExtents returns all dirty data as coalesced extents and marks it
+// clean (the final write-back flush).
+func (c *Cache) DirtyExtents() []Extent {
+	var out []Extent
+	for b, n := range c.blocks {
+		if n.dirty {
+			n.dirty = false
+			out = append(out, Extent{Addr: units.Bytes(b) * c.blockSize, Size: c.blockSize})
+		}
+	}
+	return coalesce(out)
+}
+
+func (c *Cache) blockRange(addr, size units.Bytes) (first, last int64) {
+	return int64(addr / c.blockSize), int64((addr + size - 1) / c.blockSize)
+}
+
+// evictLRU removes the least-recently-used block, returning its extent if
+// it was dirty.
+func (c *Cache) evictLRU() *Extent {
+	n := c.tail
+	if n == nil {
+		panic("cache: eviction from empty cache")
+	}
+	c.unlink(n)
+	delete(c.blocks, n.block)
+	if n.dirty {
+		return &Extent{Addr: units.Bytes(n.block) * c.blockSize, Size: c.blockSize}
+	}
+	return nil
+}
+
+func (c *Cache) touch(n *node) {
+	c.unlink(n)
+	c.pushFront(n)
+}
+
+func (c *Cache) pushFront(n *node) {
+	n.prev = nil
+	n.next = c.head
+	if c.head != nil {
+		c.head.prev = n
+	}
+	c.head = n
+	if c.tail == nil {
+		c.tail = n
+	}
+}
+
+func (c *Cache) unlink(n *node) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		c.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		c.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+}
+
+// coalesce merges adjacent extents (sorted by address) to turn per-block
+// evictions into the fewest device writes.
+func coalesce(extents []Extent) []Extent {
+	if len(extents) < 2 {
+		return extents
+	}
+	// Insertion sort: eviction batches are tiny.
+	for i := 1; i < len(extents); i++ {
+		for j := i; j > 0 && extents[j].Addr < extents[j-1].Addr; j-- {
+			extents[j], extents[j-1] = extents[j-1], extents[j]
+		}
+	}
+	out := extents[:1]
+	for _, e := range extents[1:] {
+		lastIdx := len(out) - 1
+		if out[lastIdx].Addr+out[lastIdx].Size == e.Addr {
+			out[lastIdx].Size += e.Size
+		} else {
+			out = append(out, e)
+		}
+	}
+	return out
+}

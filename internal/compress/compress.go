@@ -1,0 +1,88 @@
+// Package compress models the on-the-fly compression layers used in the
+// paper's hardware measurements (§3): DoubleSpace on the Caviar CU140,
+// Stacker on the SunDisk SDP10, and the compression built into MFFS 2.00 on
+// the Intel flash card.
+//
+// The paper's compressible test data was the first 2 KB of Moby-Dick
+// repeated through each file, compressing roughly 2:1; random data does not
+// compress. Compression shrinks the bytes that reach the device at the cost
+// of a CPU step, and (for DoubleSpace/Stacker) batches small writes.
+package compress
+
+import "mobilestorage/internal/units"
+
+// Data categorizes benchmark payloads.
+type Data uint8
+
+// Payload kinds used by the micro-benchmarks.
+const (
+	// Random data does not compress (the "uncompressed" columns of
+	// Table 1 for the flash card, where compression is always on).
+	Random Data = iota
+	// MobyDick is the paper's compressible payload: the first 2 KB of
+	// Melville's novel repeated through the file, ≈2:1.
+	MobyDick
+)
+
+// Model is a compression layer in front of a storage device.
+type Model struct {
+	// Name labels the product ("doublespace", "stacker", "mffs").
+	Name string
+	// Ratio is the size multiplier for compressible data (0.5 ≈ 2:1).
+	Ratio float64
+	// ThroughputKBs is the software (de)compression speed on the
+	// OmniBook's 25 MHz 386SXLV; this is the step that halves the flash
+	// card's read throughput on compressible data (§3).
+	ThroughputKBs float64
+	// BatchBytes, when non-zero, is the write-coalescing granularity:
+	// DoubleSpace and Stacker buffer small writes and push them to the
+	// device in batches, which is why compressed small-file writes beat
+	// the device's raw write speed in Table 1.
+	BatchBytes units.Bytes
+}
+
+// DoubleSpace models MS-DOS 6 DoubleSpace over the CU140.
+func DoubleSpace() Model {
+	return Model{Name: "doublespace", Ratio: 0.5, ThroughputKBs: 650, BatchBytes: 32 * units.KB}
+}
+
+// Stacker models Stac Electronics' Stacker over the SDP10.
+func Stacker() Model {
+	return Model{Name: "stacker", Ratio: 0.5, ThroughputKBs: 650, BatchBytes: 32 * units.KB}
+}
+
+// MFFS models the compression built into Microsoft Flash File System 2.00.
+// MFFS compresses always (Table 1 has no uncompressed Intel column) and
+// does not batch.
+func MFFS() Model {
+	return Model{Name: "mffs", Ratio: 0.5, ThroughputKBs: 650}
+}
+
+// CompressedSize returns the bytes that reach the device for a payload.
+func (m Model) CompressedSize(size units.Bytes, d Data) units.Bytes {
+	if d == Random || m.Ratio <= 0 || m.Ratio >= 1 {
+		return size
+	}
+	out := units.Bytes(float64(size) * m.Ratio)
+	if out < 1 {
+		out = 1
+	}
+	return out
+}
+
+// CPUTime returns the software compression or decompression time for a
+// payload. Random data is still scanned by the compressor but at a higher
+// effective rate (it bails to stored blocks quickly); the paper observed
+// flash-card reads of uncompressible data at about twice the speed of
+// compressible data, i.e. the decompression step dominates only for
+// compressible payloads.
+func (m Model) CPUTime(size units.Bytes, d Data) units.Time {
+	if m.ThroughputKBs <= 0 {
+		return 0
+	}
+	rate := m.ThroughputKBs
+	if d == Random {
+		rate *= 4 // stored-block fast path
+	}
+	return units.TransferTime(size, rate)
+}

@@ -1,0 +1,59 @@
+package compress
+
+import (
+	"testing"
+
+	"mobilestorage/internal/units"
+)
+
+func TestCompressedSize(t *testing.T) {
+	m := DoubleSpace()
+	if got := m.CompressedSize(4*units.KB, MobyDick); got != 2*units.KB {
+		t.Errorf("compressible 4KB → %v, want 2KB", got)
+	}
+	if got := m.CompressedSize(4*units.KB, Random); got != 4*units.KB {
+		t.Errorf("random 4KB → %v, want 4KB", got)
+	}
+	// Tiny payloads never compress to zero.
+	if got := m.CompressedSize(1, MobyDick); got < 1 {
+		t.Errorf("1B → %v", got)
+	}
+}
+
+func TestNoCompressionModel(t *testing.T) {
+	m := Model{Name: "none", Ratio: 1}
+	if got := m.CompressedSize(4*units.KB, MobyDick); got != 4*units.KB {
+		t.Errorf("ratio-1 model compressed: %v", got)
+	}
+	if got := m.CPUTime(4*units.KB, MobyDick); got != 0 {
+		t.Errorf("zero-throughput model charged CPU: %v", got)
+	}
+}
+
+func TestCPUTime(t *testing.T) {
+	m := MFFS()
+	compressible := m.CPUTime(4*units.KB, MobyDick)
+	random := m.CPUTime(4*units.KB, Random)
+	if compressible <= 0 {
+		t.Fatal("no CPU time for compressible data")
+	}
+	// §3: reads of uncompressible data run about twice as fast because the
+	// decompression step is (mostly) avoided; the model gives 4×.
+	if random >= compressible {
+		t.Errorf("random CPU %v not below compressible %v", random, compressible)
+	}
+}
+
+func TestProducts(t *testing.T) {
+	for _, m := range []Model{DoubleSpace(), Stacker(), MFFS()} {
+		if m.Name == "" || m.Ratio <= 0 || m.Ratio >= 1 {
+			t.Errorf("product %+v has bad parameters", m)
+		}
+	}
+	if MFFS().BatchBytes != 0 {
+		t.Error("MFFS must not batch")
+	}
+	if DoubleSpace().BatchBytes == 0 || Stacker().BatchBytes == 0 {
+		t.Error("DoubleSpace/Stacker must batch")
+	}
+}

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mobilestorage/internal/device"
+	"mobilestorage/internal/trace"
+	"mobilestorage/internal/units"
+)
+
+// randomTrace builds a structurally valid but adversarial trace: bursty
+// arrivals, overlapping extents, interleaved deletions and recreations,
+// files of wildly different sizes.
+func randomTrace(rng *rand.Rand, records int) *trace.Trace {
+	t := &trace.Trace{Name: "fuzz", BlockSize: 512}
+	const nfiles = 24
+	sizes := make([]units.Bytes, nfiles)
+	for i := range sizes {
+		sizes[i] = units.Bytes(rng.Intn(64)+1) * 512
+	}
+	deleted := make(map[uint32]bool)
+	var now units.Time
+	for i := 0; i < records; i++ {
+		// Bursty clock: mostly sub-millisecond gaps, occasional long idles.
+		if rng.Intn(20) == 0 {
+			now += units.Time(rng.Intn(30)) * units.Second
+		} else {
+			now += units.Time(rng.Intn(2000)) * units.Microsecond
+		}
+		f := uint32(rng.Intn(nfiles))
+		switch rng.Intn(10) {
+		case 0:
+			if deleted[f] {
+				continue
+			}
+			deleted[f] = true
+			t.Records = append(t.Records, trace.Record{Time: now, Op: trace.Delete, File: f, Size: sizes[f]})
+			continue
+		case 1, 2, 3, 4, 5:
+			delete(deleted, f)
+			off := units.Bytes(rng.Intn(int(sizes[f]/512))) * 512
+			sz := units.Bytes(rng.Intn(int(sizes[f]-off)/512)+1) * 512
+			t.Records = append(t.Records, trace.Record{Time: now, Op: trace.Write, File: f, Offset: off, Size: sz})
+		default:
+			if deleted[f] {
+				continue
+			}
+			off := units.Bytes(rng.Intn(int(sizes[f]/512))) * 512
+			sz := units.Bytes(rng.Intn(int(sizes[f]-off)/512)+1) * 512
+			t.Records = append(t.Records, trace.Record{Time: now, Op: trace.Read, File: f, Offset: off, Size: sz})
+		}
+	}
+	return t
+}
+
+// TestRunSurvivesRandomTraces drives randomized traces through every
+// storage architecture and configuration corner, asserting the simulator
+// neither panics nor produces non-physical results:
+//   - energy non-negative, finite, and consistent with component sums;
+//   - response times non-negative and finite;
+//   - write amplification ≥ 1.
+func TestRunSurvivesRandomTraces(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := randomTrace(rng, 400)
+		if err := tr.Validate(); err != nil {
+			t.Logf("generated invalid trace: %v", err)
+			return false
+		}
+		configs := []Config{
+			{Trace: tr, Kind: MagneticDisk, Disk: device.CU140Datasheet(),
+				SpinDown:  units.Time(rng.Intn(10)) * units.Second,
+				SRAMBytes: units.Bytes(rng.Intn(16)) * units.KB, DRAMBytes: units.Bytes(rng.Intn(64)) * units.KB},
+			{Trace: tr, Kind: MagneticDisk, Disk: device.KittyhawkDatasheet(),
+				SpinPolicy: []string{"adaptive", "immediate", "always-on"}[rng.Intn(3)]},
+			{Trace: tr, Kind: FlashDisk, FlashDiskParams: device.SDP5Datasheet(),
+				AsyncErase: rng.Intn(2) == 0, DRAMBytes: units.Bytes(rng.Intn(64)) * units.KB},
+			{Trace: tr, Kind: FlashCard, FlashCardParams: device.IntelSeries2Datasheet(),
+				FlashUtilization: 0.4 + 0.55*rng.Float64(),
+				CleaningPolicy:   []string{"greedy", "cost-benefit", "fifo"}[rng.Intn(3)],
+				OnDemandCleaning: rng.Intn(2) == 0,
+				WearLeveling:     int64(rng.Intn(3) * 4),
+				WriteBack:        rng.Intn(2) == 0,
+				DRAMBytes:        units.Bytes(rng.Intn(64)) * units.KB},
+		}
+		for _, cfg := range configs {
+			if cfg.SRAMBytes > 0 && cfg.SRAMBytes < tr.BlockSize {
+				cfg.SRAMBytes = tr.BlockSize
+			}
+			res, err := Run(cfg)
+			if err != nil {
+				t.Logf("seed %d: %v", seed, err)
+				return false
+			}
+			if res.EnergyJ < 0 || math.IsNaN(res.EnergyJ) || math.IsInf(res.EnergyJ, 0) {
+				t.Logf("seed %d: bad energy %g", seed, res.EnergyJ)
+				return false
+			}
+			for _, v := range []float64{res.Read.Mean(), res.Read.Max(), res.Write.Mean(), res.Write.Max()} {
+				if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Logf("seed %d: bad response %g", seed, v)
+					return false
+				}
+			}
+			if res.WriteAmplification() < 1 {
+				t.Logf("seed %d: amplification %g < 1", seed, res.WriteAmplification())
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 20}
+	if testing.Short() {
+		cfg.MaxCount = 5
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPercentilesOrdered: on a real run, the percentile bounds are
+// monotonic and bracket the mean sensibly.
+func TestPercentilesOrdered(t *testing.T) {
+	tr := randomTrace(rand.New(rand.NewSource(1)), 500)
+	res, err := Run(Config{Trace: tr, Kind: FlashDisk, FlashDiskParams: device.SDP5Datasheet()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p50, p95, p99 := res.WriteP(0.50), res.WriteP(0.95), res.WriteP(0.99)
+	if !(p50 <= p95 && p95 <= p99) {
+		t.Errorf("percentiles not ordered: %g %g %g", p50, p95, p99)
+	}
+	if p99 < res.Write.Mean()/10 {
+		t.Errorf("p99 %g implausibly below mean %g", p99, res.Write.Mean())
+	}
+}

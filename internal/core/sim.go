@@ -1,0 +1,458 @@
+package core
+
+import (
+	"fmt"
+
+	"mobilestorage/internal/cache"
+	"mobilestorage/internal/device"
+	"mobilestorage/internal/disk"
+	"mobilestorage/internal/energy"
+	"mobilestorage/internal/flashcard"
+	"mobilestorage/internal/flashdisk"
+	"mobilestorage/internal/hybrid"
+	"mobilestorage/internal/sram"
+	"mobilestorage/internal/stats"
+	"mobilestorage/internal/trace"
+	"mobilestorage/internal/units"
+)
+
+// stack is the composed storage hierarchy for one run, with typed handles
+// to each component for statistics extraction.
+type stack struct {
+	top    device.Device
+	disk   *disk.Disk
+	fdisk  *flashdisk.FlashDisk
+	fcard  *flashcard.Card
+	hyb    *hybrid.Cache
+	buffer *sram.Buffer
+}
+
+// meters returns every energy meter in the stack.
+func (s *stack) meters() []*energy.Meter {
+	var ms []*energy.Meter
+	switch {
+	case s.disk != nil:
+		ms = append(ms, s.disk.Meter())
+	case s.fdisk != nil:
+		ms = append(ms, s.fdisk.Meter())
+	case s.fcard != nil:
+		ms = append(ms, s.fcard.Meter())
+	case s.hyb != nil:
+		ms = append(ms, s.hyb.Meter())
+	}
+	if s.buffer != nil {
+		ms = append(ms, s.buffer.Meter())
+	}
+	return ms
+}
+
+// Run replays the configured trace through the configured storage hierarchy
+// and returns the paper-style result.
+func Run(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	t := cfg.Trace
+	blockSize := t.BlockSize
+
+	// Preprocess: footprint (max concurrent bytes placed) sizes the flash
+	// devices; file-size hints keep placement stable.
+	hints := t.MaxFileSizes()
+	footprint := traceFootprint(t, blockSize, hints)
+
+	st, err := buildStack(cfg, blockSize, footprint)
+	if err != nil {
+		return nil, err
+	}
+	var dram *cache.Cache
+	if cfg.DRAMBytes > 0 {
+		dram, err = cache.New(*cfg.DRAM, cfg.DRAMBytes, blockSize, cfg.WriteBack)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	res := &Result{
+		TraceName:         t.Name,
+		Device:            st.top.Name(),
+		EnergyByComponent: make(map[string]float64),
+		ReadHist:          stats.NewLatencyHistogram(),
+		WriteHist:         stats.NewLatencyHistogram(),
+	}
+
+	layout := trace.NewLayout(blockSize)
+	warmIdx := t.WarmSplit(cfg.WarmFraction)
+	var warmSnapshot float64
+	snapshotTaken := warmIdx == 0
+
+	var lastCompletion units.Time
+	for i, rec := range t.Records {
+		st.top.Idle(rec.Time)
+		if !snapshotTaken && i >= warmIdx {
+			if dram != nil {
+				dram.AccrueStandby(rec.Time)
+			}
+			warmSnapshot = totalEnergy(st, dram)
+			snapshotTaken = true
+		}
+
+		switch rec.Op {
+		case trace.Delete:
+			off, size, ok := layout.Extent(rec.File)
+			if !ok {
+				continue // deleting a file the trace never touched
+			}
+			if dram != nil {
+				dram.Invalidate(off, size)
+			}
+			st.top.Access(device.Request{Time: rec.Time, Op: trace.Delete, File: rec.File, Addr: off, Size: size})
+			layout.Delete(rec.File)
+
+		case trace.Read:
+			addr := layout.Place(rec.File, rec.Offset, hints[rec.File])
+			var resp units.Time
+			hit := false
+			if dram != nil && dram.Contains(addr, rec.Size) {
+				hit = true
+				resp = dram.AccessTime(rec.Size)
+			} else {
+				completion := st.top.Access(device.Request{
+					Time: rec.Time, Op: trace.Read, File: rec.File, Addr: addr, Size: rec.Size,
+				})
+				if completion > lastCompletion {
+					lastCompletion = completion
+				}
+				if dram != nil {
+					writeEvicted(st, dram.Insert(addr, rec.Size, false), completion)
+				}
+				resp = completion - rec.Time
+			}
+			if i >= warmIdx {
+				res.Read.AddTime(resp)
+				res.ReadHist.Add(resp.Milliseconds())
+				res.Overall.AddTime(resp)
+				res.MeasuredOps++
+			}
+			if cfg.Observer != nil {
+				cfg.Observer(OpObservation{Index: i, Arrival: rec.Time, Response: resp,
+					Op: trace.Read, CacheHit: hit, Size: rec.Size})
+			}
+
+		case trace.Write:
+			addr := layout.Place(rec.File, rec.Offset, hints[rec.File])
+			var resp units.Time
+			if cfg.WriteBack && dram != nil {
+				// Write-back ablation: the write completes at DRAM speed;
+				// dirty evictions trickle out asynchronously.
+				resp = dram.AccessTime(rec.Size)
+				writeEvicted(st, dram.Insert(addr, rec.Size, true), rec.Time+resp)
+			} else {
+				// Paper default: write-through. The block lands in the
+				// cache and the device; response is the device write.
+				completion := st.top.Access(device.Request{
+					Time: rec.Time, Op: trace.Write, File: rec.File, Addr: addr, Size: rec.Size,
+				})
+				if completion > lastCompletion {
+					lastCompletion = completion
+				}
+				if dram != nil {
+					dram.AccessTime(rec.Size) // parallel cache update energy
+					writeEvicted(st, dram.Insert(addr, rec.Size, false), completion)
+				}
+				resp = completion - rec.Time
+			}
+			if i >= warmIdx {
+				res.Write.AddTime(resp)
+				res.WriteHist.Add(resp.Milliseconds())
+				res.Overall.AddTime(resp)
+				res.MeasuredOps++
+			}
+			if cfg.Observer != nil {
+				cfg.Observer(OpObservation{Index: i, Arrival: rec.Time, Response: resp,
+					Op: trace.Write, Size: rec.Size})
+			}
+		}
+	}
+
+	end := units.Max(t.Duration(), lastCompletion)
+	// Final write-back flush happens off the books: it is an artifact of
+	// ending the simulation, not of the workload.
+	if cfg.WriteBack && dram != nil {
+		writeEvicted(st, dram.DirtyExtents(), end)
+	}
+	st.top.Finish(end)
+	if dram != nil {
+		dram.AccrueStandby(end)
+	}
+
+	res.EndTime = end
+	fillEnergy(res, st, dram, warmSnapshot)
+	fillDeviceStats(res, st, dram)
+	return res, nil
+}
+
+// writeEvicted flushes dirty cache evictions to the device at the given
+// time (asynchronous with respect to the response being measured).
+func writeEvicted(st *stack, extents []cache.Extent, at units.Time) {
+	for _, e := range extents {
+		st.top.Access(device.Request{
+			Time: at, Op: trace.Write, File: ^uint32(0), Addr: e.Addr, Size: e.Size,
+		})
+	}
+}
+
+// totalEnergy sums all component meters.
+func totalEnergy(st *stack, dram *cache.Cache) float64 {
+	var j float64
+	for _, m := range st.meters() {
+		j += m.TotalJ()
+	}
+	if dram != nil {
+		j += dram.Meter().TotalJ()
+	}
+	return j
+}
+
+// fillEnergy computes post-warm-start energy totals and the component
+// breakdown.
+func fillEnergy(res *Result, st *stack, dram *cache.Cache, warmSnapshot float64) {
+	var storageJ float64
+	switch {
+	case st.disk != nil:
+		storageJ = st.disk.Meter().TotalJ()
+	case st.fdisk != nil:
+		storageJ = st.fdisk.Meter().TotalJ()
+	case st.fcard != nil:
+		storageJ = st.fcard.Meter().TotalJ()
+	case st.hyb != nil:
+		storageJ = st.hyb.Meter().TotalJ()
+	}
+	res.EnergyByComponent["storage"] = storageJ
+	if st.buffer != nil {
+		res.EnergyByComponent["sram"] = st.buffer.Meter().TotalJ()
+	}
+	if dram != nil {
+		res.EnergyByComponent["dram"] = dram.Meter().TotalJ()
+	}
+	res.EnergyJ = totalEnergy(st, dram) - warmSnapshot
+}
+
+// fillDeviceStats extracts device-specific counters.
+func fillDeviceStats(res *Result, st *stack, dram *cache.Cache) {
+	if dram != nil {
+		res.CacheHits = dram.Hits()
+		res.CacheMisses = dram.Misses()
+	}
+	if st.disk != nil {
+		res.SpinUps = st.disk.SpinUps()
+	}
+	if st.hyb != nil {
+		res.SpinUps = st.hyb.Disk().SpinUps()
+		card := st.hyb.Card()
+		res.Erases = card.TotalErases()
+		res.CopiedBlocks = card.CopiedBlocks()
+		res.HostBlocks = card.HostBlocks()
+		res.WriteStalls = card.Stalls()
+	}
+	var wear device.WearReporter
+	if st.fdisk != nil {
+		wear = st.fdisk
+	}
+	if st.hyb != nil {
+		wear = st.hyb.Card()
+	}
+	if st.fcard != nil {
+		wear = st.fcard
+		res.Erases = st.fcard.TotalErases()
+		res.CopiedBlocks = st.fcard.CopiedBlocks()
+		res.HostBlocks = st.fcard.HostBlocks()
+		res.WriteStalls = st.fcard.Stalls()
+		res.CleaningTime = st.fcard.CleaningTime()
+		res.HostTime = st.fcard.HostTime()
+	}
+	if wear != nil {
+		counts := wear.EraseCounts()
+		var sum, max int64
+		for _, c := range counts {
+			sum += c
+			if c > max {
+				max = c
+			}
+		}
+		res.MaxEraseCount = max
+		if len(counts) > 0 {
+			res.MeanEraseCount = float64(sum) / float64(len(counts))
+		}
+		if res.Erases == 0 {
+			res.Erases = sum
+		}
+	}
+}
+
+// Footprint returns the storage footprint of a trace: the maximum
+// concurrent bytes placed over its lifetime. Experiments use it to size
+// flash devices relative to the workload.
+func Footprint(t *trace.Trace) units.Bytes {
+	return traceFootprint(t, t.BlockSize, t.MaxFileSizes())
+}
+
+// traceFootprint dry-runs the layout over the whole trace and returns the
+// maximum concurrent placement high-water mark, block-rounded.
+func traceFootprint(t *trace.Trace, blockSize units.Bytes, hints map[uint32]units.Bytes) units.Bytes {
+	l := trace.NewLayout(blockSize)
+	for _, rec := range t.Records {
+		switch rec.Op {
+		case trace.Delete:
+			l.Delete(rec.File)
+		default:
+			l.Place(rec.File, rec.Offset, hints[rec.File])
+		}
+	}
+	return l.HighWater()
+}
+
+// buildStack constructs the configured storage hierarchy.
+func buildStack(cfg Config, blockSize, footprint units.Bytes) (*stack, error) {
+	st := &stack{}
+	var base device.Device
+
+	switch cfg.Kind {
+	case MagneticDisk:
+		policy, err := spinPolicy(cfg)
+		if err != nil {
+			return nil, err
+		}
+		d, err := disk.New(cfg.Disk, disk.WithPolicy(policy))
+		if err != nil {
+			return nil, err
+		}
+		st.disk = d
+		base = d
+
+	case FlashDisk:
+		if err := cfg.FlashDiskParams.Validate(); err != nil {
+			return nil, err
+		}
+		capacity := flashCapacity(cfg, footprint, cfg.FlashDiskParams.SectorSize)
+		var opts []flashdisk.Option
+		if cfg.AsyncErase {
+			opts = append(opts, flashdisk.WithAsyncErase())
+		}
+		f, err := flashdisk.New(cfg.FlashDiskParams, capacity, opts...)
+		if err != nil {
+			return nil, err
+		}
+		st.fdisk = f
+		base = f
+
+	case FlashCard:
+		if err := cfg.FlashCardParams.Validate(); err != nil {
+			return nil, err
+		}
+		seg := cfg.FlashCardParams.SegmentSize
+		capacity := cfg.FlashCapacity
+		stored := cfg.StoredData
+		if stored < footprint {
+			stored = footprint
+		}
+		if capacity == 0 {
+			capacity = flashCapacity(cfg, footprint, seg)
+			// Guarantee the cleaning reserve above the stored data and the
+			// card's structural minimum of four segments. An explicit
+			// capacity is taken as-is and rejected downstream if too small.
+			if capacity < stored+3*seg {
+				capacity = units.CeilDiv(stored, seg)*seg + 3*seg
+			}
+		}
+		var opts []flashcard.Option
+		if cfg.OnDemandCleaning {
+			opts = append(opts, flashcard.WithOnDemandCleaning())
+		}
+		if cfg.WearLeveling > 0 {
+			opts = append(opts, flashcard.WithWearLeveling(cfg.WearLeveling))
+		}
+		if cfg.CleaningPolicy != "" {
+			p, ok := flashcard.Policies()[cfg.CleaningPolicy]
+			if !ok {
+				return nil, fmt.Errorf("core: unknown cleaning policy %q", cfg.CleaningPolicy)
+			}
+			opts = append(opts, flashcard.WithPolicy(p))
+		}
+		c, err := flashcard.New(cfg.FlashCardParams, capacity, blockSize, opts...)
+		if err != nil {
+			return nil, err
+		}
+		if err := c.Prefill(stored); err != nil {
+			return nil, err
+		}
+		st.fcard = c
+		base = c
+
+	case FlashCache:
+		// Constructed below, after the switch (it composes two devices).
+	default:
+		return nil, fmt.Errorf("core: unknown storage kind %d", cfg.Kind)
+	}
+
+	if cfg.Kind == FlashCache {
+		cacheBytes := cfg.FlashCacheBytes
+		if cacheBytes == 0 {
+			cacheBytes = 4 * units.MB
+		}
+		h, err := hybrid.New(hybrid.Config{
+			Disk:      cfg.Disk,
+			SpinDown:  cfg.SpinDown,
+			Card:      cfg.FlashCardParams,
+			CacheSize: cacheBytes,
+			BlockSize: blockSize,
+		})
+		if err != nil {
+			return nil, err
+		}
+		st.hyb = h
+		base = h
+	}
+
+	if cfg.SRAMBytes > 0 {
+		b, err := sram.New(*cfg.SRAM, cfg.SRAMBytes, blockSize, base)
+		if err != nil {
+			return nil, err
+		}
+		st.buffer = b
+		base = b
+	}
+	st.top = base
+	return st, nil
+}
+
+// spinPolicy resolves the configured spin-down policy.
+func spinPolicy(cfg Config) (disk.SpinPolicy, error) {
+	switch cfg.SpinPolicy {
+	case "":
+		return disk.FixedThreshold{Threshold: cfg.SpinDown}, nil
+	case "always-on":
+		return disk.FixedThreshold{}, nil
+	case "immediate":
+		return disk.Immediate{}, nil
+	case "adaptive":
+		return disk.NewAdaptive(), nil
+	default:
+		return nil, fmt.Errorf("core: unknown spin policy %q", cfg.SpinPolicy)
+	}
+}
+
+// flashCapacity derives the flash device capacity from the config: explicit
+// capacity wins; otherwise stored-data ÷ utilization, rounded up to the
+// erase unit.
+func flashCapacity(cfg Config, footprint, unit units.Bytes) units.Bytes {
+	if cfg.FlashCapacity > 0 {
+		return cfg.FlashCapacity
+	}
+	stored := cfg.StoredData
+	if stored < footprint {
+		stored = footprint
+	}
+	capacity := units.Bytes(float64(stored) / cfg.FlashUtilization)
+	return units.CeilDiv(capacity, unit) * unit
+}

@@ -1,0 +1,62 @@
+// Package device defines the storage-device abstraction the simulator core
+// drives, plus the parameter catalog for every hardware product the paper
+// measures or simulates (Table 2 and §3/§4.2).
+package device
+
+import (
+	"mobilestorage/internal/energy"
+	"mobilestorage/internal/trace"
+	"mobilestorage/internal/units"
+)
+
+// Request is one device-level operation, produced by preprocessing a
+// file-level trace record through a trace.Layout.
+type Request struct {
+	// Time is the arrival instant.
+	Time units.Time
+	// Op is Read, Write, or Delete.
+	Op trace.Op
+	// File is the originating file ID; device models use it for the paper's
+	// "repeated accesses to the same file never seek" assumption (§4.2).
+	File uint32
+	// Addr is the device byte address.
+	Addr units.Bytes
+	// Size is the transfer size in bytes.
+	Size units.Bytes
+}
+
+// Device is a non-volatile storage device model.
+//
+// Devices are single-server queues over simulated time: Access returns the
+// completion instant of the request, queueing it behind any in-progress
+// work (start = max(arrival, busy-until)). Response time is
+// completion − arrival.
+//
+// The core calls Idle before each request and Finish once at the end so
+// devices can integrate idle-period energy and perform background work
+// (disk spin-down, flash cleaning, asynchronous erasure). Background work is
+// suspended while host I/O is in progress, per §4.2.
+type Device interface {
+	// Access performs a read or write and returns its completion time.
+	// Delete requests invalidate the extent and complete instantly (they
+	// are metadata operations in the traced file systems).
+	Access(req Request) units.Time
+	// Idle advances the device's background activity and energy accounting
+	// to the given instant. now never moves backwards.
+	Idle(now units.Time)
+	// Finish finalizes energy accounting at the end of the simulation.
+	Finish(now units.Time)
+	// Meter exposes the device's energy accounting.
+	Meter() *energy.Meter
+	// Name identifies the modeled product.
+	Name() string
+}
+
+// WearReporter is implemented by devices with erase-cycle endurance limits
+// (both flash models) so experiments can report §5.2's endurance numbers.
+type WearReporter interface {
+	// EraseCounts returns the number of erasures per erase unit.
+	EraseCounts() []int64
+	// EnduranceCycles is the manufacturer's per-unit erase limit.
+	EnduranceCycles() int64
+}

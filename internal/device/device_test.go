@@ -1,0 +1,143 @@
+package device
+
+import (
+	"testing"
+
+	"mobilestorage/internal/units"
+)
+
+func TestCatalogValidates(t *testing.T) {
+	disks := []DiskParams{CU140Datasheet(), CU140Measured(), KittyhawkDatasheet()}
+	for _, p := range disks {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+	}
+	fdisks := []FlashDiskParams{SDP10Measured(), SDP10Datasheet(), SDP5Datasheet()}
+	for _, p := range fdisks {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+	}
+	cards := []FlashCardParams{IntelSeries2Datasheet(), IntelSeries2Measured(), IntelSeries2PlusDatasheet()}
+	for _, p := range cards {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+	}
+}
+
+func TestCatalogPaperValues(t *testing.T) {
+	// Spot-check values transcribed from Table 2.
+	cu := CU140Datasheet()
+	if cu.AccessLatency != units.FromMilliseconds(25.7) {
+		t.Errorf("cu140 latency %v", cu.AccessLatency)
+	}
+	if cu.TransferKBs != 2125 || cu.ActiveW != 1.75 || cu.IdleW != 0.7 || cu.SpinUpW != 3.0 {
+		t.Errorf("cu140 datasheet drifted: %+v", cu)
+	}
+	if cu.SpinUpTime != 1000*units.Millisecond {
+		t.Errorf("cu140 spin-up %v", cu.SpinUpTime)
+	}
+
+	ic := IntelSeries2Datasheet()
+	if ic.ReadKBs != 9765 || ic.WriteKBs != 214 {
+		t.Errorf("intel bandwidths drifted: %+v", ic)
+	}
+	if ic.EraseTime != 1600*units.Millisecond || ic.SegmentSize != 128*units.KB {
+		t.Errorf("intel erase drifted: %+v", ic)
+	}
+	if ic.EnduranceCycles != 100_000 {
+		t.Errorf("intel endurance %d", ic.EnduranceCycles)
+	}
+
+	sd := SDP5Datasheet()
+	if sd.WriteCoupledKBs != 75 || sd.EraseKBs != 150 || sd.WritePreErasedKBs != 400 {
+		t.Errorf("sdp5 §5.3 bandwidths drifted: %+v", sd)
+	}
+	if !sd.SupportsAsyncErase() {
+		t.Error("sdp5 must support async erase")
+	}
+	if SDP10Datasheet().SupportsAsyncErase() {
+		t.Error("sdp10 must not support async erase")
+	}
+
+	s2p := IntelSeries2PlusDatasheet()
+	if s2p.EraseTime != 300*units.Millisecond || s2p.EnduranceCycles != 1_000_000 {
+		t.Errorf("series 2+ drifted: %+v", s2p)
+	}
+}
+
+func TestMeasuredSlowerThanDatasheet(t *testing.T) {
+	// The DOS software path only ever makes devices slower.
+	if CU140Measured().TransferKBs >= CU140Datasheet().TransferKBs {
+		t.Error("measured cu140 not slower")
+	}
+	if IntelSeries2Measured().WriteKBs >= IntelSeries2Datasheet().WriteKBs {
+		t.Error("measured intel writes not slower")
+	}
+	if IntelSeries2Measured().ReadKBs >= IntelSeries2Datasheet().ReadKBs {
+		t.Error("measured intel reads not slower")
+	}
+}
+
+func TestValidateRejectsBadParams(t *testing.T) {
+	d := CU140Datasheet()
+	d.TransferKBs = 0
+	if d.Validate() == nil {
+		t.Error("zero transfer rate accepted")
+	}
+	d = CU140Datasheet()
+	d.IdleW = -1
+	if d.Validate() == nil {
+		t.Error("negative power accepted")
+	}
+	f := SDP5Datasheet()
+	f.SectorSize = 0
+	if f.Validate() == nil {
+		t.Error("zero sector accepted")
+	}
+	f = SDP5Datasheet()
+	f.EraseKBs = -1
+	if f.Validate() == nil {
+		t.Error("negative erase bandwidth accepted")
+	}
+	c := IntelSeries2Datasheet()
+	c.EraseTime = 0
+	if c.Validate() == nil {
+		t.Error("zero erase time accepted")
+	}
+	c = IntelSeries2Datasheet()
+	c.EraseW = -0.1
+	if c.Validate() == nil {
+		t.Error("negative erase power accepted")
+	}
+}
+
+func TestMemoryAccessTime(t *testing.T) {
+	m := NECDRAM()
+	// 50 MB/s → 1 KB in ~20 µs.
+	got := m.AccessTime(units.KB)
+	if got < 15 || got > 25 {
+		t.Errorf("DRAM 1KB access = %v", got)
+	}
+	s := NECSRAM()
+	if s.AccessTime(units.KB) <= 0 {
+		t.Error("SRAM access time not positive")
+	}
+}
+
+func TestCatalogTable(t *testing.T) {
+	entries := Catalog()
+	if len(entries) != 8 {
+		t.Fatalf("catalog has %d rows, want 8 (Table 2)", len(entries))
+	}
+	// The erase row's throughput is segment/size over erase time ≈ 80 KB/s.
+	last := entries[len(entries)-1]
+	if last.Operation != "erase" {
+		t.Fatalf("last row is %q", last.Operation)
+	}
+	if last.Throughput < 70 || last.Throughput > 90 {
+		t.Errorf("erase bandwidth %g KB/s, want ≈80", last.Throughput)
+	}
+}

@@ -1,0 +1,186 @@
+package device
+
+import (
+	"fmt"
+
+	"mobilestorage/internal/units"
+)
+
+// ParamSource records whether a parameter set came from the paper's hardware
+// measurements (§3, Table 1) or from manufacturer datasheets (Table 2).
+// Tables 4(a)–(c) report both variants side by side.
+type ParamSource string
+
+// Parameter provenance values.
+const (
+	Measured  ParamSource = "measured"
+	Datasheet ParamSource = "datasheet"
+)
+
+// DiskParams describes a magnetic hard disk (WD Caviar Ultralite CU140,
+// HP Kittyhawk).
+type DiskParams struct {
+	Name   string
+	Source ParamSource
+
+	// AccessLatency is the overhead of a random operation excluding the
+	// transfer itself: controller overhead, seeking, rotational latency
+	// (Table 2's "Latency" column).
+	AccessLatency units.Time
+	// TransferKBs is the sustained media transfer rate.
+	TransferKBs float64
+	// SpinUpTime is the time to spin up from standby.
+	SpinUpTime units.Time
+
+	// Power by state, watts.
+	ActiveW float64 // reading or writing
+	IdleW   float64 // spinning, no transfer
+	SpinUpW float64 // during spin-up
+	SleepW  float64 // spun down
+
+	// FirmwareSpinDown, when > 0, is a drive-internal spin-down timeout
+	// that applies regardless of the host policy (the Kittyhawk manages
+	// its own aggressive power state transitions). Zero means the host
+	// spin-down policy alone governs.
+	FirmwareSpinDown units.Time
+
+	// Calibrated flags values the paper does not publish and which were
+	// chosen to preserve the paper's orderings (see DESIGN.md §2).
+	Calibrated bool
+}
+
+// FlashDiskParams describes a flash disk emulator (SunDisk SDP series):
+// flash behind a 512-byte-sector disk interface, erasing one sector at a
+// time, normally coupled with the write.
+type FlashDiskParams struct {
+	Name   string
+	Source ParamSource
+
+	// AccessLatency is the per-operation controller overhead.
+	AccessLatency units.Time
+	// ReadKBs is the read bandwidth.
+	ReadKBs float64
+	// WriteCoupledKBs is the effective bandwidth of coupled erase+write
+	// (75 KB/s for the SDP series, §2).
+	WriteCoupledKBs float64
+	// EraseKBs is the standalone erasure bandwidth (150 KB/s on the SDP5A,
+	// §5.3). Zero means the device cannot erase asynchronously.
+	EraseKBs float64
+	// WritePreErasedKBs is the write bandwidth into pre-erased sectors
+	// (400 KB/s on the SDP5A, §5.3).
+	WritePreErasedKBs float64
+	// SectorSize is the erase/transfer unit (512 bytes).
+	SectorSize units.Bytes
+
+	ActiveW float64 // during reads
+	// WriteW is the draw during erase and write operations: the erase
+	// charge pumps draw noticeably more than the read path.
+	WriteW   float64
+	StandbyW float64 // idle
+
+	// EnduranceCycles is the per-sector erase limit (100,000 for the
+	// devices the paper studied).
+	EnduranceCycles int64
+
+	Calibrated bool
+}
+
+// SupportsAsyncErase reports whether the part can decouple erasure from
+// writes (SDP5A).
+func (p FlashDiskParams) SupportsAsyncErase() bool {
+	return p.EraseKBs > 0 && p.WritePreErasedKBs > 0
+}
+
+// FlashCardParams describes a byte-addressable flash memory card (Intel
+// Series 2 / Series 2+): reads at memory speed, out-of-place writes, large
+// fixed-time erase segments that require cleaning.
+type FlashCardParams struct {
+	Name   string
+	Source ParamSource
+
+	// ReadKBs and WriteKBs are transfer bandwidths. Reads avoid the disk
+	// interface entirely, hence the near-memory read speed.
+	ReadKBs  float64
+	WriteKBs float64
+	// CopyKBs is the write bandwidth for internal cleaning copies. Zero
+	// means WriteKBs. The measured WriteKBs includes MFFS host-path
+	// software overhead that internal copies do not pay.
+	CopyKBs float64
+	// EraseTime is the fixed cost of erasing one segment regardless of the
+	// amount of data (1.6 s for Series 2, 300 ms for Series 2+).
+	EraseTime units.Time
+	// SegmentSize is the erase unit (the paper simulates 128 KB).
+	SegmentSize units.Bytes
+
+	ActiveW float64 // during read or write transfers
+	// EraseW is the effective average draw across the fixed erase time.
+	// The erase is a pulse train with verify phases, so its average draw
+	// sits well below the peak transfer draw.
+	EraseW   float64
+	StandbyW float64 // idle
+
+	// EnduranceCycles is the per-segment erase limit (100,000 for Series 2,
+	// 1,000,000 for Series 2+).
+	EnduranceCycles int64
+
+	Calibrated bool
+}
+
+// MemoryParams describes a volatile or battery-backed memory used as a
+// cache or write buffer (NEC DRAM, NEC SRAM).
+type MemoryParams struct {
+	Name   string
+	Source ParamSource
+
+	// TransferKBs is the effective copy bandwidth for cache fills/hits.
+	TransferKBs float64
+	// ActiveW is drawn while transferring.
+	ActiveW float64
+	// StandbyWPerMB is the retention power per megabyte (DRAM refresh /
+	// SRAM data hold); this is what makes extra DRAM cost energy even when
+	// idle (§5.4).
+	StandbyWPerMB float64
+
+	Calibrated bool
+}
+
+// AccessTime returns the time to move size bytes through the memory.
+func (p MemoryParams) AccessTime(size units.Bytes) units.Time {
+	return units.TransferTime(size, p.TransferKBs)
+}
+
+// Validate checks a DiskParams for physical plausibility.
+func (p DiskParams) Validate() error {
+	if p.TransferKBs <= 0 || p.SpinUpTime < 0 || p.AccessLatency < 0 {
+		return fmt.Errorf("device %s: non-physical performance parameters", p.Name)
+	}
+	if p.ActiveW < 0 || p.IdleW < 0 || p.SpinUpW < 0 || p.SleepW < 0 {
+		return fmt.Errorf("device %s: negative power", p.Name)
+	}
+	return nil
+}
+
+// Validate checks a FlashDiskParams.
+func (p FlashDiskParams) Validate() error {
+	if p.ReadKBs <= 0 || p.WriteCoupledKBs <= 0 || p.SectorSize <= 0 {
+		return fmt.Errorf("device %s: non-physical performance parameters", p.Name)
+	}
+	if p.EraseKBs < 0 || p.WritePreErasedKBs < 0 {
+		return fmt.Errorf("device %s: negative bandwidth", p.Name)
+	}
+	if p.ActiveW < 0 || p.StandbyW < 0 {
+		return fmt.Errorf("device %s: negative power", p.Name)
+	}
+	return nil
+}
+
+// Validate checks a FlashCardParams.
+func (p FlashCardParams) Validate() error {
+	if p.ReadKBs <= 0 || p.WriteKBs <= 0 || p.SegmentSize <= 0 || p.EraseTime <= 0 {
+		return fmt.Errorf("device %s: non-physical performance parameters", p.Name)
+	}
+	if p.ActiveW < 0 || p.EraseW < 0 || p.StandbyW < 0 {
+		return fmt.Errorf("device %s: negative power", p.Name)
+	}
+	return nil
+}

@@ -1,0 +1,268 @@
+// Package disk models a magnetic hard disk with power management: a
+// spinning/sleeping state machine driven by a spin-down policy, spin-up
+// delays and energy on wake, and the paper's seek-avoidance assumption for
+// repeated accesses to the same file (§4.2).
+package disk
+
+import (
+	"fmt"
+
+	"mobilestorage/internal/device"
+	"mobilestorage/internal/energy"
+	"mobilestorage/internal/trace"
+	"mobilestorage/internal/units"
+)
+
+// sameFileLatencyFraction is the share of the full random-access latency
+// charged when the previous operation touched the same file: the seek is
+// avoided but controller overhead and rotational latency remain (§4.2:
+// "Repeated accesses to the same file are assumed never to require a seek
+// ... Each transfer requires the average rotational latency as well").
+const sameFileLatencyFraction = 0.35
+
+// sequentialLatencyFraction is charged when an access continues exactly
+// where the previous one ended in the same file: track-buffer read-ahead
+// and contiguous layout leave only controller overhead.
+const sequentialLatencyFraction = 0.10
+
+// state is the disk power state.
+type state uint8
+
+const (
+	spinning state = iota
+	sleeping
+)
+
+// Disk is a magnetic hard disk device model.
+type Disk struct {
+	p        device.DiskParams
+	policy   SpinPolicy
+	spinDown units.Time // current effective spin-down threshold; 0 = never
+	meter    *energy.Meter
+
+	sleepStart units.Time // when the current sleep began
+
+	st          state
+	lastUpdate  units.Time // energy integrated up to this instant
+	idleSince   units.Time // start of the current idle period (while spinning)
+	busyUntil   units.Time // completion time of the last host operation
+	bgBusyUntil units.Time // completion time of the last background write
+	spinUpUntil units.Time // platters reach speed at this instant
+
+	lastFile    uint32
+	hasLastFile bool
+	lastEnd     units.Bytes // device address one past the last access
+
+	spinUps int64
+	ops     int64
+}
+
+// Option configures a Disk.
+type Option func(*Disk)
+
+// WithSpinDown sets a fixed host spin-down timeout. Zero keeps the disk
+// spinning forever. The paper's simulations use 5 s "except where noted".
+// If the drive has a firmware timeout (Kittyhawk), the effective threshold
+// is the smaller of the two.
+func WithSpinDown(threshold units.Time) Option {
+	return WithPolicy(FixedThreshold{Threshold: threshold})
+}
+
+// WithPolicy installs a spin-down policy (fixed, immediate, adaptive). The
+// drive's firmware timeout, if any, still caps the effective threshold.
+func WithPolicy(p SpinPolicy) Option {
+	return func(d *Disk) {
+		d.policy = p
+		d.refreshThreshold()
+	}
+}
+
+// refreshThreshold re-evaluates the policy and applies the firmware cap.
+func (d *Disk) refreshThreshold() {
+	d.spinDown = d.policy.NextSpinDown()
+	if fw := d.p.FirmwareSpinDown; fw > 0 && (d.spinDown == 0 || fw < d.spinDown) {
+		d.spinDown = fw
+	}
+}
+
+// New builds a disk. The disk starts spinning at time zero.
+func New(p device.DiskParams, opts ...Option) (*Disk, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	d := &Disk{
+		p:      p,
+		policy: FixedThreshold{},
+		meter:  energy.NewMeter(),
+		st:     spinning,
+	}
+	d.refreshThreshold()
+	for _, o := range opts {
+		o(d)
+	}
+	return d, nil
+}
+
+// Policy returns the installed spin-down policy.
+func (d *Disk) Policy() SpinPolicy { return d.policy }
+
+// Name implements device.Device.
+func (d *Disk) Name() string { return fmt.Sprintf("%s-%s", d.p.Name, d.p.Source) }
+
+// Meter implements device.Device.
+func (d *Disk) Meter() *energy.Meter { return d.meter }
+
+// Params returns the device parameters.
+func (d *Disk) Params() device.DiskParams { return d.p }
+
+// SpinUps returns the number of spin-ups performed.
+func (d *Disk) SpinUps() int64 { return d.spinUps }
+
+// Spinning reports whether the platters are spinning at the given instant,
+// assuming no intervening operations. Used by the SRAM write buffer for
+// opportunistic flushing.
+func (d *Disk) Spinning(now units.Time) bool {
+	if now < d.busyUntil || now < d.bgBusyUntil {
+		return true
+	}
+	if d.st == sleeping {
+		return false
+	}
+	return d.spinDown == 0 || now < d.idleSince+d.spinDown
+}
+
+// Background performs a write off the host's critical path (SRAM buffer
+// drains): it spins the disk up if needed and charges the same time and
+// energy as Access, but does not delay subsequent host operations — real
+// drives service host requests ahead of background writeback. Returns the
+// completion time of the background write.
+func (d *Disk) Background(req device.Request) units.Time {
+	start := units.Max(req.Time, d.bgBusyUntil)
+	d.advance(start)
+	if d.st == sleeping {
+		d.wake(start)
+		start += d.p.SpinUpTime
+		d.spinUpUntil = start
+	} else if start < d.spinUpUntil {
+		start = d.spinUpUntil
+	}
+	service := d.serviceTime(req)
+	d.meter.Accrue(energy.StateActive, d.p.ActiveW, service)
+	completion := start + service
+	if completion > d.lastUpdate {
+		d.lastUpdate = completion
+	}
+	if completion > d.idleSince {
+		d.idleSince = completion
+	}
+	d.bgBusyUntil = completion
+	d.lastFile = req.File
+	d.hasLastFile = true
+	return completion
+}
+
+// Idle implements device.Device: integrates idle/sleep energy and applies
+// the spin-down policy up to now.
+func (d *Disk) Idle(now units.Time) { d.advance(now) }
+
+// Finish implements device.Device.
+func (d *Disk) Finish(now units.Time) { d.advance(now) }
+
+// Access implements device.Device.
+func (d *Disk) Access(req device.Request) units.Time {
+	if req.Op == trace.Delete {
+		// File deletion is a metadata operation handled above the device.
+		d.hasLastFile = false
+		return req.Time
+	}
+	start := units.Max(req.Time, d.busyUntil)
+	d.advance(start)
+
+	// Wake the disk if it is asleep; if a background drain already started
+	// the spin-up, wait only for the platters to reach speed.
+	if d.st == sleeping {
+		d.wake(start)
+		start += d.p.SpinUpTime
+		d.spinUpUntil = start
+	} else if start < d.spinUpUntil {
+		start = d.spinUpUntil
+	}
+
+	service := d.serviceTime(req)
+	d.meter.Accrue(energy.StateActive, d.p.ActiveW, service)
+	completion := start + service
+
+	// A concurrent background write may already have advanced the energy
+	// clock past this completion; never move it backwards.
+	if completion > d.lastUpdate {
+		d.lastUpdate = completion
+	}
+	if completion > d.idleSince {
+		d.idleSince = completion
+	}
+	d.busyUntil = completion
+	d.lastFile = req.File
+	d.hasLastFile = true
+	d.ops++
+	return completion
+}
+
+// wake spins the disk up at the given instant, charging spin-up energy and
+// feeding the observed sleep duration back to the policy.
+func (d *Disk) wake(at units.Time) {
+	d.meter.Accrue(energy.StateSpinUp, d.p.SpinUpW, d.p.SpinUpTime)
+	d.st = spinning
+	d.spinUps++
+	slept := at - d.sleepStart
+	if slept < 0 {
+		slept = 0
+	}
+	d.policy.OnSpinUp(slept)
+	d.refreshThreshold()
+}
+
+// serviceTime returns seek/rotation/controller overhead plus transfer time.
+func (d *Disk) serviceTime(req device.Request) units.Time {
+	latency := d.p.AccessLatency
+	if d.hasLastFile && req.File == d.lastFile {
+		if req.Addr == d.lastEnd {
+			latency = units.Time(float64(latency) * sequentialLatencyFraction)
+		} else {
+			latency = units.Time(float64(latency) * sameFileLatencyFraction)
+		}
+	}
+	d.lastEnd = req.Addr + req.Size
+	return latency + units.TransferTime(req.Size, d.p.TransferKBs)
+}
+
+// advance integrates energy from lastUpdate to now, spinning down when the
+// idle period crosses the threshold.
+func (d *Disk) advance(now units.Time) {
+	if now <= d.lastUpdate {
+		return
+	}
+	switch d.st {
+	case spinning:
+		if d.spinDown > 0 {
+			downAt := d.idleSince + d.spinDown
+			if now > downAt {
+				if downAt > d.lastUpdate {
+					d.meter.Accrue(energy.StateIdle, d.p.IdleW, downAt-d.lastUpdate)
+				} else {
+					downAt = d.lastUpdate
+				}
+				d.meter.Accrue(energy.StateSleep, d.p.SleepW, now-downAt)
+				d.st = sleeping
+				d.sleepStart = downAt
+				d.lastUpdate = now
+				return
+			}
+		}
+		d.meter.Accrue(energy.StateIdle, d.p.IdleW, now-d.lastUpdate)
+	case sleeping:
+		d.meter.Accrue(energy.StateSleep, d.p.SleepW, now-d.lastUpdate)
+	}
+	d.lastUpdate = now
+}
+
+var _ device.Device = (*Disk)(nil)

@@ -1,0 +1,152 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+)
+
+// WriteCSVs regenerates every figure and writes one CSV per figure into
+// dir, for plotting with gnuplot/matplotlib/spreadsheets. Returns the list
+// of files written.
+func WriteCSVs(dir string, seed int64) ([]string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	var written []string
+	emit := func(name string, header []string, rows [][]string) error {
+		path := filepath.Join(dir, name)
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w := csv.NewWriter(f)
+		if err := w.Write(header); err != nil {
+			return err
+		}
+		if err := w.WriteAll(rows); err != nil {
+			return err
+		}
+		w.Flush()
+		if err := w.Error(); err != nil {
+			return err
+		}
+		written = append(written, path)
+		return nil
+	}
+	ff := func(v float64) string { return strconv.FormatFloat(v, 'g', 6, 64) }
+
+	// Figure 1.
+	fig1, err := Fig1()
+	if err != nil {
+		return nil, err
+	}
+	{
+		header := []string{"cumulative_kb"}
+		for _, s := range fig1 {
+			header = append(header, s.Label+"_lat_ms", s.Label+"_kbps")
+		}
+		var rows [][]string
+		if len(fig1) > 0 {
+			for i := range fig1[0].Points {
+				row := []string{ff(fig1[0].Points[i].CumulativeKB)}
+				for _, s := range fig1 {
+					row = append(row, ff(s.Points[i].LatencyMs), ff(s.Points[i].ThroughputKBs))
+				}
+				rows = append(rows, row)
+			}
+		}
+		if err := emit("fig1.csv", header, rows); err != nil {
+			return nil, err
+		}
+	}
+
+	// Figure 2.
+	fig2, err := Fig2(seed)
+	if err != nil {
+		return nil, err
+	}
+	{
+		var rows [][]string
+		for _, p := range fig2 {
+			rows = append(rows, []string{
+				p.Trace, ff(p.Utilization), ff(p.EnergyJ), ff(p.WriteMeanMs),
+				strconv.FormatInt(p.Erases, 10), strconv.FormatInt(p.MaxErase, 10), ff(p.MeanErase),
+			})
+		}
+		if err := emit("fig2.csv",
+			[]string{"trace", "utilization", "energy_j", "write_mean_ms", "erases", "max_erase", "mean_erase"},
+			rows); err != nil {
+			return nil, err
+		}
+	}
+
+	// Figure 3.
+	fig3, err := Fig3(seed)
+	if err != nil {
+		return nil, err
+	}
+	{
+		header := []string{"cumulative_mb"}
+		for _, s := range fig3 {
+			header = append(header, fmt.Sprintf("live_%s_kbps", s.LiveData))
+		}
+		var rows [][]string
+		if len(fig3) > 0 {
+			for i := range fig3[0].Points {
+				row := []string{ff(fig3[0].Points[i].CumulativeMB)}
+				for _, s := range fig3 {
+					row = append(row, ff(s.Points[i].ThroughputKBs))
+				}
+				rows = append(rows, row)
+			}
+		}
+		if err := emit("fig3.csv", header, rows); err != nil {
+			return nil, err
+		}
+	}
+
+	// Figure 4.
+	fig4, err := Fig4(seed)
+	if err != nil {
+		return nil, err
+	}
+	{
+		var rows [][]string
+		for _, p := range fig4 {
+			rows = append(rows, []string{
+				p.Device, strconv.Itoa(p.FlashMB), strconv.FormatInt(p.DRAMKB, 10),
+				ff(p.Utilization), ff(p.EnergyJ), ff(p.OverallMeanMs),
+			})
+		}
+		if err := emit("fig4.csv",
+			[]string{"device", "flash_mb", "dram_kb", "utilization", "energy_j", "overall_mean_ms"},
+			rows); err != nil {
+			return nil, err
+		}
+	}
+
+	// Figure 5.
+	fig5, err := Fig5(seed)
+	if err != nil {
+		return nil, err
+	}
+	{
+		var rows [][]string
+		for _, p := range fig5 {
+			rows = append(rows, []string{
+				p.Trace, strconv.FormatInt(p.SRAMKB, 10), ff(p.EnergyJ), ff(p.WriteMeanMs),
+				ff(p.NormalizedEnergy), ff(p.NormalizedWrite),
+			})
+		}
+		if err := emit("fig5.csv",
+			[]string{"trace", "sram_kb", "energy_j", "write_mean_ms", "norm_energy", "norm_write"},
+			rows); err != nil {
+			return nil, err
+		}
+	}
+	return written, nil
+}

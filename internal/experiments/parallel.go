@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+)
+
+// pmap runs f(0..n-1) across a bounded worker pool and blocks until all
+// complete. Experiment sweeps are independent simulations, so they
+// parallelize perfectly; each f writes only to its own index of a
+// pre-allocated result slice, keeping output order — and therefore rendered
+// tables — deterministic.
+func pmap(n int, f func(i int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				f(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}
+
+// firstError collects the first non-nil error from concurrent workers.
+type firstError struct {
+	mu  sync.Mutex
+	err error
+}
+
+func (e *firstError) set(err error) {
+	if err == nil {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.err == nil {
+		e.err = err
+	}
+}
+
+func (e *firstError) get() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.err
+}

@@ -1,0 +1,215 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Experiment is a runnable reproduction unit: it executes and returns the
+// rendered text report.
+type Experiment struct {
+	ID          string
+	Description string
+	Run         func(seed int64) (string, error)
+}
+
+// Registry returns every experiment keyed by ID.
+func Registry() map[string]Experiment {
+	exps := []Experiment{
+		{"table1", "measured device throughput on the emulated OmniBook", func(int64) (string, error) {
+			rows, err := Table1()
+			if err != nil {
+				return "", err
+			}
+			return RenderTable1(rows), nil
+		}},
+		{"table2", "manufacturers' specifications (device catalog)", func(int64) (string, error) {
+			return RenderTable2(Table2()), nil
+		}},
+		{"table3", "trace characteristics", func(seed int64) (string, error) {
+			rows, err := Table3(seed)
+			if err != nil {
+				return "", err
+			}
+			return RenderTable3(rows), nil
+		}},
+		{"table4a", "energy and response per device, mac trace", table4Runner("mac")},
+		{"table4b", "energy and response per device, dos trace", table4Runner("dos")},
+		{"table4c", "energy and response per device, hp trace", table4Runner("hp")},
+		{"fig1", "write latency/throughput vs. cumulative data (MFFS anomaly)", func(int64) (string, error) {
+			series, err := Fig1()
+			if err != nil {
+				return "", err
+			}
+			return RenderFig1(series), nil
+		}},
+		{"fig2", "flash card energy/response vs. storage utilization", func(seed int64) (string, error) {
+			pts, err := Fig2(seed)
+			if err != nil {
+				return "", err
+			}
+			return RenderFig2(pts), nil
+		}},
+		{"fig3", "overwrite throughput vs. live data on a 10 MB card", func(seed int64) (string, error) {
+			series, err := Fig3(seed)
+			if err != nil {
+				return "", err
+			}
+			return RenderFig3(series), nil
+		}},
+		{"fig4", "energy/response vs. DRAM and flash size (dos)", func(seed int64) (string, error) {
+			pts, err := Fig4(seed)
+			if err != nil {
+				return "", err
+			}
+			return RenderFig4(pts), nil
+		}},
+		{"fig5", "energy/write response vs. SRAM size", func(seed int64) (string, error) {
+			pts, err := Fig5(seed)
+			if err != nil {
+				return "", err
+			}
+			return RenderFig5(pts), nil
+		}},
+		{"async", "§5.3 asynchronous flash-disk erasure", func(seed int64) (string, error) {
+			rows, err := AsyncCleaning(seed)
+			if err != nil {
+				return "", err
+			}
+			return RenderAsync(rows), nil
+		}},
+		{"validate", "§5.1 simulator vs. testbed on the synth trace", func(seed int64) (string, error) {
+			rows, err := Validate(seed)
+			if err != nil {
+				return "", err
+			}
+			return RenderValidation(rows), nil
+		}},
+		{"wear", "§5.2 endurance vs. utilization", func(seed int64) (string, error) {
+			rows, err := Wear(seed)
+			if err != nil {
+				return "", err
+			}
+			return RenderWear(rows), nil
+		}},
+		{"battery", "battery-life extension headline", func(seed int64) (string, error) {
+			rows, err := BatteryLife(seed)
+			if err != nil {
+				return "", err
+			}
+			return RenderBattery(rows), nil
+		}},
+		{"ablate-cleaner", "cleaning-policy comparison", func(seed int64) (string, error) {
+			rows, err := CleanerPolicies(seed)
+			if err != nil {
+				return "", err
+			}
+			return RenderCleaner(rows), nil
+		}},
+		{"ablate-flash-sram", "SRAM write buffer in front of flash (§7)", func(seed int64) (string, error) {
+			rows, err := FlashSRAM(seed)
+			if err != nil {
+				return "", err
+			}
+			return RenderFlashSRAM(rows), nil
+		}},
+		{"ablate-series2plus", "Series 2 vs. Series 2+ erase generation (§7)", func(seed int64) (string, error) {
+			rows, err := Series2Plus(seed)
+			if err != nil {
+				return "", err
+			}
+			return RenderSeries2Plus(rows), nil
+		}},
+		{"ablate-writeback", "write-back vs. write-through cache (§4.2)", func(seed int64) (string, error) {
+			rows, err := WriteBack(seed)
+			if err != nil {
+				return "", err
+			}
+			return RenderWriteBack(rows), nil
+		}},
+		{"ablate-spindown", "disk spin-down policy comparison (§2, §5.1)", func(seed int64) (string, error) {
+			rows, err := SpinDownPolicies(seed)
+			if err != nil {
+				return "", err
+			}
+			return RenderSpinDown(rows), nil
+		}},
+		{"ablate-wearlevel", "static wear leveling (§2)", func(seed int64) (string, error) {
+			rows, err := WearLeveling(seed)
+			if err != nil {
+				return "", err
+			}
+			return RenderWearLevel(rows), nil
+		}},
+		{"hybrid", "flash-as-disk-cache architecture (§6, Marsh et al.)", func(seed int64) (string, error) {
+			rows, err := HybridComparison(seed)
+			if err != nil {
+				return "", err
+			}
+			return RenderHybrid(rows), nil
+		}},
+		{"envy", "cleaning-time fraction under TPC-A (§6, eNVy)", func(seed int64) (string, error) {
+			rows, err := Envy(seed)
+			if err != nil {
+				return "", err
+			}
+			return RenderEnvy(rows), nil
+		}},
+		{"ablate-mffs", "MFFS 2.00 vs. a repaired MFFS (§7)", func(int64) (string, error) {
+			rows, err := MFFSFixed()
+			if err != nil {
+				return "", err
+			}
+			return RenderMFFSFixed(rows), nil
+		}},
+		{"seeds", "Table 4 robustness across workload seeds", func(seed int64) (string, error) {
+			rows, err := SeedSensitivity("mac", []int64{seed, seed + 1, seed + 2, seed + 3, seed + 4})
+			if err != nil {
+				return "", err
+			}
+			return RenderSeeds(rows), nil
+		}},
+	}
+	m := make(map[string]Experiment, len(exps))
+	for _, e := range exps {
+		m[e.ID] = e
+	}
+	return m
+}
+
+func table4Runner(traceName string) func(int64) (string, error) {
+	return func(seed int64) (string, error) {
+		rows, err := Table4(traceName, seed)
+		if err != nil {
+			return "", err
+		}
+		return RenderTable4(traceName, rows), nil
+	}
+}
+
+// IDs returns experiment IDs in a stable order: tables, figures, analyses,
+// ablations.
+func IDs() []string {
+	reg := Registry()
+	ids := make([]string, 0, len(reg))
+	for id := range reg {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return orderKey(ids[i]) < orderKey(ids[j]) })
+	return ids
+}
+
+func orderKey(id string) string {
+	order := map[string]int{
+		"table1": 0, "table2": 1, "table3": 2, "table4a": 3, "table4b": 4, "table4c": 5,
+		"fig1": 6, "fig2": 7, "fig3": 8, "fig4": 9, "fig5": 10,
+		"async": 11, "validate": 12, "wear": 13, "battery": 14,
+		"ablate-cleaner": 15, "ablate-flash-sram": 16, "ablate-series2plus": 17, "ablate-writeback": 18,
+		"ablate-spindown": 19, "ablate-wearlevel": 20, "hybrid": 21, "envy": 22,
+		"ablate-mffs": 23, "seeds": 24,
+	}
+	if n, ok := order[id]; ok {
+		return fmt.Sprintf("%02d", n)
+	}
+	return "99" + id
+}

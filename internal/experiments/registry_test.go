@@ -1,0 +1,44 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestEveryExperimentRuns executes the whole registry end to end: every
+// table, figure, analysis, ablation, and extension must produce a
+// non-empty rendered report without error. This is the top-level
+// integration test of the reproduction.
+func TestEveryExperimentRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full evaluation suite")
+	}
+	reg := Registry()
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			out, err := reg[id].Run(DefaultSeed)
+			if err != nil {
+				t.Fatalf("%s: %v", id, err)
+			}
+			if len(out) == 0 {
+				t.Fatalf("%s: empty report", id)
+			}
+			// Every report is a titled table: header line + separator.
+			if !strings.Contains(out, "\n") || !strings.Contains(out, "-") {
+				t.Errorf("%s: does not look like a rendered table:\n%s", id, out)
+			}
+		})
+	}
+}
+
+func TestDescriptionsPresent(t *testing.T) {
+	for id, e := range Registry() {
+		if e.Description == "" {
+			t.Errorf("%s: empty description", id)
+		}
+		if e.ID != id {
+			t.Errorf("registry key %q holds experiment %q", id, e.ID)
+		}
+	}
+}

@@ -1,0 +1,103 @@
+package flashcard
+
+// Policy selects which closed segment to clean next. Policies see the card
+// read-only and must return a segment in the closed state with at least one
+// invalid block (cleaning a fully-live segment reclaims nothing), or
+// noSegment when no segment qualifies.
+//
+// The paper discusses greedy utilization-based selection (what MFFS uses)
+// and notes that richer metrics exist (eNVy's locality-aware cleaning);
+// CostBenefitPolicy and FIFOPolicy support the ablation experiments.
+type Policy interface {
+	SelectVictim(c *Card) int32
+	Name() string
+}
+
+// closedVictims iterates closed segments with at least one invalid block,
+// invoking fn with the segment ID, live count, and age rank.
+func closedVictims(c *Card, fn func(seg int32, live int32, fillSeq int64)) {
+	for s := int32(0); s < c.nseg; s++ {
+		if c.segState[s] != segClosed {
+			continue
+		}
+		if c.segLive[s] >= c.blocksPerSeg {
+			continue // fully live: nothing to reclaim
+		}
+		fn(s, c.segLive[s], c.segFillSeq[s])
+	}
+}
+
+// GreedyPolicy picks the segment with the lowest utilization (the most
+// reclaimable space), i.e. the approach MFFS takes (§2): "picking the next
+// segment by finding the one with the lowest utilization".
+type GreedyPolicy struct{}
+
+// Name implements Policy.
+func (GreedyPolicy) Name() string { return "greedy" }
+
+// SelectVictim implements Policy.
+func (GreedyPolicy) SelectVictim(c *Card) int32 {
+	best := noSegment
+	bestLive := int32(0)
+	closedVictims(c, func(s, live int32, _ int64) {
+		if best == noSegment || live < bestLive {
+			best, bestLive = s, live
+		}
+	})
+	return best
+}
+
+// CostBenefitPolicy weighs reclaimed space against copying cost and segment
+// age, after Sprite LFS and eNVy (§2, §6): maximize free·age/(1+live),
+// where free and live are block counts and age is how long ago the segment
+// was filled (in log-sequence units). Old, mostly-invalid segments win;
+// recently filled segments get time for more of their blocks to die.
+type CostBenefitPolicy struct{}
+
+// Name implements Policy.
+func (CostBenefitPolicy) Name() string { return "cost-benefit" }
+
+// SelectVictim implements Policy.
+func (CostBenefitPolicy) SelectVictim(c *Card) int32 {
+	best := noSegment
+	bestScore := -1.0
+	closedVictims(c, func(s, live int32, fillSeq int64) {
+		free := float64(c.blocksPerSeg - live)
+		age := float64(c.fillSeq - fillSeq + 1)
+		score := free * age / float64(1+live)
+		if score > bestScore {
+			best, bestScore = s, score
+		}
+	})
+	return best
+}
+
+// FIFOPolicy cleans the oldest filled segment regardless of utilization.
+// It is the simplest wear-leveling-friendly policy and serves as the
+// ablation baseline: every segment is erased equally often, at the price of
+// copying more live data.
+type FIFOPolicy struct{}
+
+// Name implements Policy.
+func (FIFOPolicy) Name() string { return "fifo" }
+
+// SelectVictim implements Policy.
+func (FIFOPolicy) SelectVictim(c *Card) int32 {
+	best := noSegment
+	bestSeq := int64(0)
+	closedVictims(c, func(s, _ int32, fillSeq int64) {
+		if best == noSegment || fillSeq < bestSeq {
+			best, bestSeq = s, fillSeq
+		}
+	})
+	return best
+}
+
+// Policies returns the available cleaning policies keyed by name.
+func Policies() map[string]Policy {
+	return map[string]Policy{
+		(GreedyPolicy{}).Name():      GreedyPolicy{},
+		(CostBenefitPolicy{}).Name(): CostBenefitPolicy{},
+		(FIFOPolicy{}).Name():        FIFOPolicy{},
+	}
+}

@@ -1,0 +1,642 @@
+// Package flashcard models a byte-addressable flash memory card (Intel
+// Series 2 / Series 2+) managed as a log-structured store, the way the
+// Microsoft Flash File System and eNVy do (§2):
+//
+//   - reads proceed at memory speed from wherever the block lives;
+//   - writes append to the active segment; overwriting a logical block
+//     invalidates its previous copy;
+//   - one segment is filled completely before a new one is opened (§4.2);
+//   - a background cleaner keeps erased segments in reserve, copying live
+//     data out of the lowest-utilization victim and erasing it (1.6 s per
+//     segment on the Series 2, regardless of the amount of data);
+//   - cleaning runs in the gaps between host operations and is suspended
+//     during host I/O; a write stalls only when no erased space exists, in
+//     which case it absorbs the remaining cleaning time synchronously;
+//   - cleaner relocations go to their own log head, separate from fresh
+//     host writes. Survivor blocks are long-lived by definition, so mixing
+//     them with hot data would drag every segment toward the same mediocre
+//     utilization (the LFS hot/cold mixing problem; eNVy [24] separates
+//     them for the same reason).
+//
+// Per-segment erase counts are tracked for the §5.2 endurance analysis.
+package flashcard
+
+import (
+	"fmt"
+
+	"mobilestorage/internal/device"
+	"mobilestorage/internal/energy"
+	"mobilestorage/internal/trace"
+	"mobilestorage/internal/units"
+)
+
+const (
+	// noSegment marks a logical block with no live copy and an unset log
+	// head.
+	noSegment = int32(-1)
+	// reserveSegments is how many erased segments the cleaner tries to keep
+	// available: one for the host to open plus one so cleaning copies always
+	// have somewhere to land (the classic LFS reserve). The paper's
+	// simulator "attempts to keep at least one segment erased at all
+	// times" (§4.2).
+	reserveSegments = 2
+)
+
+// segState tracks the lifecycle of one segment.
+type segState uint8
+
+const (
+	segErased segState = iota // erased, ready to open
+	segActive                 // accepting appends (host or cleaner head)
+	segClosed                 // filled; cleanable
+)
+
+// logHead identifies which append stream a block enters.
+type logHead uint8
+
+const (
+	hostHead logHead = iota
+	cleanHead
+	numHeads
+)
+
+// Card is a flash memory card device model.
+type Card struct {
+	p         device.FlashCardParams
+	meter     *energy.Meter
+	capacity  units.Bytes
+	blockSize units.Bytes
+	policy    Policy
+	onDemand  bool  // clean only when a write needs space
+	wearLevel int64 // static wear-leveling imbalance threshold; 0 = off
+	lastLevel bool  // previous job was a leveling move (alternation guard)
+
+	blocksPerSeg int32
+	nseg         int32
+
+	// blockSeg[b] is the segment holding logical block b's live copy.
+	blockSeg []int32
+	// segLive[s] counts live blocks in segment s.
+	segLive []int32
+	// segState[s] is the lifecycle state of segment s.
+	segState []segState
+	// segBlocks[s] lists logical blocks appended to s; entries are stale
+	// when blockSeg no longer points back.
+	segBlocks [][]int32
+	// segErases[s] counts erasures of segment s (endurance, §5.2).
+	segErases []int64
+	// segFillSeq[s] is the log sequence number at which s was opened,
+	// used by the FIFO and cost-benefit cleaning policies.
+	segFillSeq []int64
+	fillSeq    int64
+
+	// active[h] is the segment accepting appends for log head h, or
+	// noSegment; activeFree[h] counts its remaining slots.
+	active     [numHeads]int32
+	activeFree [numHeads]int32
+	erased     []int32
+
+	job *cleanJob
+
+	lastUpdate  units.Time
+	busyUntil   units.Time
+	bgBusyUntil units.Time
+
+	// Counters for experiment reporting.
+	hostWrites    int64 // host blocks written
+	copyWrites    int64 // cleaner blocks copied
+	totalErases   int64
+	stallTime     units.Time // write time spent waiting for erased space
+	stalls        int64
+	victimLiveSum int64      // sum of live counts over all cleaning victims
+	cleanTime     units.Time // cumulative copy+erase time
+	hostTime      units.Time // cumulative host transfer time
+	prefilled     bool
+}
+
+// cleanJob is an in-progress cleaning of one victim segment.
+// The job copies first, then erases: while remaining > EraseTime the work
+// being done is copying.
+type cleanJob struct {
+	victim    int32
+	remaining units.Time
+}
+
+// Option configures a Card.
+type Option func(*Card)
+
+// WithPolicy selects the cleaning victim-selection policy. The default is
+// GreedyPolicy (lowest utilization first), which is what MFFS uses (§2).
+func WithPolicy(p Policy) Option {
+	return func(c *Card) { c.policy = p }
+}
+
+// WithOnDemandCleaning disables background cleaning: segments are cleaned
+// only when a write needs space, synchronously (the "on-demand" cleaning
+// policy of §4.2's parameter list).
+func WithOnDemandCleaning() Option {
+	return func(c *Card) { c.onDemand = true }
+}
+
+// WithWearLeveling enables static wear leveling (§2: "it is possible to
+// spread the load over the flash memory to avoid burning out particular
+// areas"): when the erase-count spread between the most- and least-worn
+// segments exceeds threshold, the cleaner forces the least-worn closed
+// segment into circulation — relocating its (usually cold) data to the log
+// head so the barely-worn cells join the erased pool and absorb future hot
+// writes. Costs extra copies; bounds the wear spread.
+func WithWearLeveling(threshold int64) Option {
+	return func(c *Card) { c.wearLevel = threshold }
+}
+
+// New builds a flash card with the given capacity and logical block size.
+// Capacity is rounded down to a whole number of segments.
+func New(p device.FlashCardParams, capacity units.Bytes, blockSize units.Bytes, opts ...Option) (*Card, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if blockSize <= 0 || blockSize > p.SegmentSize {
+		return nil, fmt.Errorf("flashcard %s: block size %v must be in (0, %v]", p.Name, blockSize, p.SegmentSize)
+	}
+	if p.SegmentSize%blockSize != 0 {
+		return nil, fmt.Errorf("flashcard %s: segment size %v not a multiple of block size %v", p.Name, p.SegmentSize, blockSize)
+	}
+	nseg := int32(capacity / p.SegmentSize)
+	if nseg < reserveSegments+2 {
+		return nil, fmt.Errorf("flashcard %s: capacity %v yields %d segments, need ≥ %d",
+			p.Name, capacity, nseg, reserveSegments+2)
+	}
+	c := &Card{
+		p:            p,
+		meter:        energy.NewMeter(),
+		capacity:     units.Bytes(nseg) * p.SegmentSize,
+		blockSize:    blockSize,
+		policy:       GreedyPolicy{},
+		blocksPerSeg: int32(p.SegmentSize / blockSize),
+		nseg:         nseg,
+		segLive:      make([]int32, nseg),
+		segState:     make([]segState, nseg),
+		segBlocks:    make([][]int32, nseg),
+		segErases:    make([]int64, nseg),
+		segFillSeq:   make([]int64, nseg),
+		active:       [numHeads]int32{noSegment, noSegment},
+	}
+	c.blockSeg = make([]int32, c.capacity/blockSize)
+	for i := range c.blockSeg {
+		c.blockSeg[i] = noSegment
+	}
+	c.erased = make([]int32, nseg)
+	for i := range c.erased {
+		c.erased[i] = int32(i)
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c, nil
+}
+
+// Prefill populates the card with the given amount of live data, placed
+// sequentially from logical address zero, without charging time or energy:
+// it models the preallocation the paper performs before each simulation to
+// set the storage utilization (§4.2). Prefill must be called before any
+// Access.
+func (c *Card) Prefill(data units.Bytes) error {
+	if c.prefilled || c.hostWrites > 0 || c.copyWrites > 0 {
+		return fmt.Errorf("flashcard %s: Prefill after Access or a previous Prefill", c.p.Name)
+	}
+	c.prefilled = true
+	blocks := int64(units.CeilDiv(data, c.blockSize))
+	maxBlocks := int64(c.nseg-reserveSegments) * int64(c.blocksPerSeg)
+	if blocks > maxBlocks {
+		return fmt.Errorf("flashcard %s: prefill %v exceeds usable capacity (%v of %v)",
+			c.p.Name, data, units.Bytes(maxBlocks)*c.blockSize, c.capacity)
+	}
+	for b := int64(0); b < blocks; b++ {
+		c.appendBlock(int32(b), hostHead)
+	}
+	return nil
+}
+
+// Name implements device.Device.
+func (c *Card) Name() string { return fmt.Sprintf("%s-%s", c.p.Name, c.p.Source) }
+
+// Meter implements device.Device.
+func (c *Card) Meter() *energy.Meter { return c.meter }
+
+// Params returns the device parameters.
+func (c *Card) Params() device.FlashCardParams { return c.p }
+
+// Capacity returns the usable capacity (whole segments).
+func (c *Card) Capacity() units.Bytes { return c.capacity }
+
+// LiveBlocks returns the number of live logical blocks on the card.
+func (c *Card) LiveBlocks() int64 {
+	var live int64
+	for _, l := range c.segLive {
+		live += int64(l)
+	}
+	return live
+}
+
+// Utilization returns the live fraction of the card.
+func (c *Card) Utilization() float64 {
+	return float64(c.LiveBlocks()) / float64(int64(c.nseg)*int64(c.blocksPerSeg))
+}
+
+// TotalErases returns the total number of segment erasures performed.
+func (c *Card) TotalErases() int64 { return c.totalErases }
+
+// CopiedBlocks returns the number of blocks relocated by the cleaner;
+// (hostWrites+copyWrites)/hostWrites is the cleaning write amplification.
+func (c *Card) CopiedBlocks() int64 { return c.copyWrites }
+
+// HostBlocks returns the number of blocks written by the host.
+func (c *Card) HostBlocks() int64 { return c.hostWrites }
+
+// StallTime returns cumulative write time spent waiting for erased space.
+func (c *Card) StallTime() units.Time { return c.stallTime }
+
+// Stalls returns the number of writes that waited for erased space.
+func (c *Card) Stalls() int64 { return c.stalls }
+
+// MeanVictimLive returns the average live-block count of cleaning victims,
+// a direct measure of cleaning cost (0 with no cleans yet).
+func (c *Card) MeanVictimLive() float64 {
+	if c.totalErases == 0 {
+		return 0
+	}
+	return float64(c.victimLiveSum) / float64(c.totalErases)
+}
+
+// LiveHistogram buckets closed segments by live fraction into deciles
+// (index 10 = exactly full). Useful for studying cleaner behavior.
+func (c *Card) LiveHistogram() [11]int {
+	var h [11]int
+	for s := int32(0); s < c.nseg; s++ {
+		if c.segState[s] != segClosed {
+			continue
+		}
+		d := int(float64(c.segLive[s]) / float64(c.blocksPerSeg) * 10)
+		if d > 10 {
+			d = 10
+		}
+		h[d]++
+	}
+	return h
+}
+
+// EraseCounts implements device.WearReporter.
+func (c *Card) EraseCounts() []int64 {
+	out := make([]int64, len(c.segErases))
+	copy(out, c.segErases)
+	return out
+}
+
+// EnduranceCycles implements device.WearReporter.
+func (c *Card) EnduranceCycles() int64 { return c.p.EnduranceCycles }
+
+// Idle implements device.Device: accounts standby energy and advances
+// background cleaning through the idle gap.
+func (c *Card) Idle(now units.Time) { c.advance(now) }
+
+// Finish implements device.Device.
+func (c *Card) Finish(now units.Time) { c.advance(now) }
+
+// Access implements device.Device.
+func (c *Card) Access(req device.Request) units.Time {
+	if req.Op == trace.Delete {
+		c.invalidate(req.Addr, req.Size)
+		return req.Time
+	}
+	start := units.Max(req.Time, c.busyUntil)
+	c.advance(start)
+
+	var service units.Time
+	switch req.Op {
+	case trace.Read:
+		service = units.TransferTime(req.Size, c.p.ReadKBs)
+		c.meter.Accrue(energy.StateActive, c.p.ActiveW, service)
+		c.hostTime += service
+	case trace.Write:
+		service = c.write(req.Addr, req.Size)
+	}
+	completion := start + service
+	// A background operation may already have advanced the energy clock
+	// past this completion; never move it backwards.
+	if completion > c.lastUpdate {
+		c.lastUpdate = completion
+	}
+	c.busyUntil = completion
+	return completion
+}
+
+// Background performs an operation off the host's critical path (cache
+// installs in the hybrid architecture): it charges the same time and
+// energy as Access and mutates the same block state, but does not delay
+// subsequent host operations. Returns the completion time.
+func (c *Card) Background(req device.Request) units.Time {
+	if req.Op == trace.Delete {
+		c.invalidate(req.Addr, req.Size)
+		return req.Time
+	}
+	start := units.Max(req.Time, c.bgBusyUntil)
+	c.advance(start)
+	var service units.Time
+	switch req.Op {
+	case trace.Read:
+		service = units.TransferTime(req.Size, c.p.ReadKBs)
+		c.meter.Accrue(energy.StateActive, c.p.ActiveW, service)
+	case trace.Write:
+		service = c.write(req.Addr, req.Size)
+	}
+	completion := start + service
+	if completion > c.lastUpdate {
+		c.lastUpdate = completion
+	}
+	c.bgBusyUntil = completion
+	return completion
+}
+
+// write appends the blocks of [addr, addr+size) to the host log and returns
+// the service time, including any synchronous wait for erased space.
+func (c *Card) write(addr, size units.Bytes) units.Time {
+	first := int64(addr / c.blockSize)
+	last := int64((addr + size - 1) / c.blockSize)
+	var stall units.Time
+	for b := first; b <= last; b++ {
+		stall += c.ensureSpace(hostHead)
+		c.appendBlock(int32(b), hostHead)
+		c.hostWrites++
+	}
+	transfer := units.TransferTime(size, c.p.WriteKBs)
+	c.meter.Accrue(energy.StateActive, c.p.ActiveW, transfer)
+	c.hostTime += transfer // stall time is cleaning work, counted there
+	if stall > 0 {
+		c.stallTime += stall
+		c.stalls++
+	}
+	return stall + transfer
+}
+
+// ensureSpace guarantees the head's active segment can take one more block,
+// returning any synchronous stall time incurred finishing cleans. A head
+// only opens a segment while another remains erased (or nothing is
+// cleanable), so cleaning relocations always have somewhere to land.
+func (c *Card) ensureSpace(h logHead) units.Time {
+	if c.active[h] != noSegment && c.activeFree[h] > 0 {
+		return 0
+	}
+	var stall units.Time
+	for len(c.erased) < 2 {
+		if c.job == nil {
+			c.startJob()
+			if c.job == nil {
+				break // nothing cleanable; open what we have
+			}
+		}
+		stall += c.job.remaining
+		c.accrueJob(c.job.remaining)
+		c.job.remaining = 0
+		c.finishJob()
+	}
+	// The cleaning relocations above may themselves have opened a fresh
+	// active segment for this head; use it rather than leaking it.
+	if c.active[h] != noSegment && c.activeFree[h] > 0 {
+		return stall
+	}
+	if len(c.erased) == 0 {
+		panic(fmt.Sprintf("flashcard %s: wedged: no erased space and no cleanable victim (utilization %.3f)",
+			c.p.Name, c.Utilization()))
+	}
+	c.openSegment(h)
+	return stall
+}
+
+// openSegment makes the next erased segment the active segment of head h.
+// The head's previous segment must have been closed; silently clobbering it
+// would leak its free slots.
+func (c *Card) openSegment(h logHead) {
+	if c.active[h] != noSegment {
+		panic(fmt.Sprintf("flashcard %s: openSegment(%d) while segment %d is active", c.p.Name, h, c.active[h]))
+	}
+	s := c.erased[0]
+	c.erased = c.erased[1:]
+	c.active[h] = s
+	c.activeFree[h] = c.blocksPerSeg
+	c.segState[s] = segActive
+	c.fillSeq++
+	c.segFillSeq[s] = c.fillSeq
+	c.segBlocks[s] = c.segBlocks[s][:0]
+}
+
+// appendBlock writes one logical block at head h's log position,
+// invalidating any previous copy. Callers ensure erased space exists;
+// Prefill starts from an all-erased card so its opens always succeed.
+func (c *Card) appendBlock(b int32, h logHead) {
+	if c.active[h] == noSegment || c.activeFree[h] == 0 {
+		if c.active[h] != noSegment {
+			c.segState[c.active[h]] = segClosed
+			c.active[h] = noSegment
+		}
+		if len(c.erased) == 0 {
+			panic(fmt.Sprintf("flashcard %s: appendBlock without erased space", c.p.Name))
+		}
+		c.openSegment(h)
+	}
+	s := c.active[h]
+	if old := c.blockSeg[b]; old != noSegment {
+		c.segLive[old]--
+	}
+	c.blockSeg[b] = s
+	c.segLive[s]++
+	c.segBlocks[s] = append(c.segBlocks[s], b)
+	c.activeFree[h]--
+	if c.activeFree[h] == 0 {
+		c.segState[s] = segClosed
+		c.active[h] = noSegment
+	}
+}
+
+// invalidate drops live copies in [addr, addr+size) (file deletion).
+func (c *Card) invalidate(addr, size units.Bytes) {
+	if size <= 0 {
+		return
+	}
+	first := int64(addr / c.blockSize)
+	last := int64((addr + size - 1) / c.blockSize)
+	for b := first; b <= last; b++ {
+		if s := c.blockSeg[b]; s != noSegment {
+			c.segLive[s]--
+			c.blockSeg[b] = noSegment
+		}
+	}
+}
+
+// advance integrates standby energy and progresses background cleaning
+// across the host-idle gap [lastUpdate, now].
+func (c *Card) advance(now units.Time) {
+	if now <= c.lastUpdate {
+		return
+	}
+	gap := now - c.lastUpdate
+	var spent units.Time
+	if !c.onDemand {
+		spent = c.runCleaner(gap)
+	}
+	c.meter.Accrue(energy.StateStandby, c.p.StandbyW, gap-spent)
+	c.lastUpdate = now
+}
+
+// runCleaner spends up to budget µs of idle time cleaning; returns time
+// actually spent.
+func (c *Card) runCleaner(budget units.Time) units.Time {
+	var spent units.Time
+	for spent < budget {
+		if c.job == nil {
+			if int32(len(c.erased)) >= reserveSegments {
+				return spent // reserve satisfied
+			}
+			c.startJob()
+			if c.job == nil {
+				return spent // nothing cleanable
+			}
+		}
+		step := units.Min(c.job.remaining, budget-spent)
+		c.accrueJob(step)
+		c.job.remaining -= step
+		spent += step
+		if c.job.remaining == 0 {
+			c.finishJob()
+		}
+	}
+	return spent
+}
+
+// startJob selects a cleaning victim whose relocation is guaranteed to fit
+// in the remaining free space, and computes the job cost. Leaves job nil
+// when no victim qualifies.
+func (c *Card) startJob() {
+	victim := c.policy.SelectVictim(c)
+	// A leveling move relocates a (often fully live) cold segment, which
+	// frees no net space, so it must alternate with ordinary cleans —
+	// otherwise a space-starved write could loop on leveling forever.
+	if c.wearLevel > 0 && !c.lastLevel {
+		if lv := c.wearLevelVictim(); lv != noSegment && c.relocationFits(lv) {
+			c.lastLevel = true
+			c.startJobFor(lv)
+			return
+		}
+	}
+	c.lastLevel = false
+	if victim != noSegment && !c.relocationFits(victim) {
+		// Fall back to the smallest-live victim, the most likely to fit.
+		victim = (GreedyPolicy{}).SelectVictim(c)
+		if victim != noSegment && !c.relocationFits(victim) {
+			victim = noSegment
+		}
+	}
+	if victim == noSegment {
+		return
+	}
+	c.startJobFor(victim)
+}
+
+// startJobFor computes the cleaning cost of a chosen victim and installs
+// the job.
+func (c *Card) startJobFor(victim int32) {
+	copyBytes := units.Bytes(c.segLive[victim]) * c.blockSize
+	// Copying is a flash read plus a flash write per live byte, followed by
+	// the fixed-cost erase.
+	copyKBs := c.p.CopyKBs
+	if copyKBs == 0 {
+		copyKBs = c.p.WriteKBs
+	}
+	copyWork := units.TransferTime(copyBytes, c.p.ReadKBs) + units.TransferTime(copyBytes, copyKBs)
+	c.job = &cleanJob{victim: victim, remaining: copyWork + c.p.EraseTime}
+}
+
+// wearLevelVictim returns the least-worn closed segment when the wear
+// spread exceeds the leveling threshold, or noSegment.
+func (c *Card) wearLevelVictim() int32 {
+	var minSeg = noSegment
+	var minWear, maxWear int64
+	for s := int32(0); s < c.nseg; s++ {
+		if e := c.segErases[s]; e > maxWear {
+			maxWear = e
+		}
+		if c.segState[s] != segClosed {
+			continue
+		}
+		if minSeg == noSegment || c.segErases[s] < minWear {
+			minSeg, minWear = s, c.segErases[s]
+		}
+	}
+	if minSeg == noSegment || maxWear-minWear <= c.wearLevel {
+		return noSegment
+	}
+	return minSeg
+}
+
+// relocationFits reports whether victim's live blocks fit in the cleaner's
+// active segment plus the erased pool.
+func (c *Card) relocationFits(victim int32) bool {
+	space := int64(len(c.erased)) * int64(c.blocksPerSeg)
+	if c.active[cleanHead] != noSegment {
+		space += int64(c.activeFree[cleanHead])
+	}
+	return int64(c.segLive[victim]) <= space
+}
+
+// CleaningTime returns cumulative time spent copying and erasing, and
+// HostTime the cumulative host transfer time (including cleaning stalls).
+// CleaningTime/(CleaningTime+HostTime) is eNVy's "fraction of time spent
+// erasing or copying data within flash" (§6).
+func (c *Card) CleaningTime() units.Time { return c.cleanTime }
+
+// HostTime returns cumulative host service time on the card.
+func (c *Card) HostTime() units.Time { return c.hostTime }
+
+// accrueJob charges energy for a step of cleaning work. The job copies
+// first and erases last, so the final EraseTime of remaining is erase work
+// (at the lower erase draw) and everything before it is copying.
+func (c *Card) accrueJob(step units.Time) {
+	c.cleanTime += step
+	copying := units.Max(0, c.job.remaining-c.p.EraseTime)
+	cp := units.Min(step, copying)
+	if cp > 0 {
+		c.meter.Accrue(energy.StateCleaner, c.p.ActiveW, cp)
+	}
+	if er := step - cp; er > 0 {
+		c.meter.Accrue(energy.StateErase, c.p.EraseW, er)
+	}
+}
+
+// finishJob applies the completed job's state changes: relocate the
+// victim's live blocks to the cleaner's log head, then mark the victim
+// erased.
+func (c *Card) finishJob() {
+	v := c.job.victim
+	c.job = nil
+	c.victimLiveSum += int64(c.segLive[v])
+	for _, b := range c.segBlocks[v] {
+		if c.blockSeg[b] == v {
+			c.segLive[v]--
+			c.blockSeg[b] = noSegment // avoid double-decrement in appendBlock
+			c.appendBlock(b, cleanHead)
+			c.copyWrites++
+		}
+	}
+	c.segBlocks[v] = c.segBlocks[v][:0]
+	if c.segLive[v] != 0 {
+		panic(fmt.Sprintf("flashcard %s: segment %d has %d live blocks after clean", c.p.Name, v, c.segLive[v]))
+	}
+	c.segErases[v]++
+	c.totalErases++
+	c.segState[v] = segErased
+	c.erased = append(c.erased, v)
+}
+
+var (
+	_ device.Device       = (*Card)(nil)
+	_ device.WearReporter = (*Card)(nil)
+)

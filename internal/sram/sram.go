@@ -1,0 +1,333 @@
+// Package sram models a battery-backed SRAM write buffer in front of a
+// storage device (§2, §5.5): small synchronous writes complete at SRAM
+// speed and are held while the device is unavailable (a spun-down disk
+// stays spun down), draining in the background once the device is active
+// anyway or the buffer fills — the Quantum Daytona's "deferred spin-up"
+// policy.
+//
+// Writes to SRAM are assumed recoverable after a crash, so buffering a
+// synchronous write is safe (§5.5). A write waits only when the buffer is
+// full and the drain has not finished ("if writes are large or are
+// clustered in time, such that the write buffer frequently fills, then many
+// writes will be delayed as they wait for the disk").
+//
+// The buffer wraps any device.Device, which also supports the paper's
+// suggested extension of putting SRAM in front of flash (§5.1, §7).
+package sram
+
+import (
+	"fmt"
+	"sort"
+
+	"mobilestorage/internal/device"
+	"mobilestorage/internal/energy"
+	"mobilestorage/internal/trace"
+	"mobilestorage/internal/units"
+)
+
+// flushFile is the file ID used for flush writes. It is outside any trace's
+// file ID space, so the device charges a full seek for the first flush
+// write of a batch.
+const flushFile = ^uint32(0)
+
+// highWaterFraction is the fill level at which the buffer starts a
+// background drain. Runs of writes below this mark never wake a sleeping
+// disk at all (the deferred spin-up benefit).
+const highWaterFraction = 0.25
+
+// spinStater is implemented by devices with a spin state (the magnetic
+// disk); the buffer uses it to decide when draining is cheap.
+type spinStater interface {
+	Spinning(now units.Time) bool
+}
+
+// backgrounder is implemented by devices that can absorb writes off the
+// host's critical path (the magnetic disk services host requests ahead of
+// writeback). Drains prefer it; devices without it are drained through the
+// normal access path.
+type backgrounder interface {
+	Background(req device.Request) units.Time
+}
+
+// Buffer is a battery-backed SRAM write buffer wrapping a storage device.
+type Buffer struct {
+	params    device.MemoryParams
+	size      units.Bytes
+	blockSize units.Bytes
+	capBlocks int
+	inner     device.Device
+	meter     *energy.Meter
+
+	// dirty holds buffered block indices.
+	dirty map[int64]struct{}
+	// drainDoneAt is when the in-flight background drain completes; writes
+	// that find the buffer full wait for it.
+	drainDoneAt units.Time
+
+	lastUpdate units.Time
+
+	flushes       int64
+	overflowStall units.Time
+	stalledWrites int64
+}
+
+// New wraps inner with an SRAM write buffer of the given size.
+func New(params device.MemoryParams, size, blockSize units.Bytes, inner device.Device) (*Buffer, error) {
+	if blockSize <= 0 {
+		return nil, fmt.Errorf("sram: block size must be positive")
+	}
+	if size < blockSize {
+		return nil, fmt.Errorf("sram: buffer size %v below one %v block", size, blockSize)
+	}
+	return &Buffer{
+		params:    params,
+		size:      size,
+		blockSize: blockSize,
+		capBlocks: int(size / blockSize),
+		inner:     inner,
+		meter:     energy.NewMeter(),
+		dirty:     make(map[int64]struct{}),
+	}, nil
+}
+
+// Name implements device.Device.
+func (b *Buffer) Name() string {
+	return fmt.Sprintf("%s+sram%v", b.inner.Name(), b.size)
+}
+
+// Meter implements device.Device and returns the SRAM's own meter; the
+// wrapped device keeps its own accounting.
+func (b *Buffer) Meter() *energy.Meter { return b.meter }
+
+// Inner returns the wrapped device.
+func (b *Buffer) Inner() device.Device { return b.inner }
+
+// Flushes returns how many drains were performed.
+func (b *Buffer) Flushes() int64 { return b.flushes }
+
+// StalledWrites returns how many writes waited for a drain.
+func (b *Buffer) StalledWrites() int64 { return b.stalledWrites }
+
+// OverflowStall returns the cumulative time writes spent waiting for space.
+func (b *Buffer) OverflowStall() units.Time { return b.overflowStall }
+
+// BufferedBytes returns the amount of dirty data currently held.
+func (b *Buffer) BufferedBytes() units.Bytes {
+	return units.Bytes(len(b.dirty)) * b.blockSize
+}
+
+// Idle implements device.Device.
+func (b *Buffer) Idle(now units.Time) {
+	b.accrueStandby(now)
+	b.inner.Idle(now)
+}
+
+// Finish implements device.Device. Buffered data stays in SRAM (it is
+// battery-backed); spinning the disk up at the end of the simulation just
+// to flush would distort the energy accounting.
+func (b *Buffer) Finish(now units.Time) {
+	b.accrueStandby(now)
+	b.inner.Finish(now)
+}
+
+// Access implements device.Device.
+func (b *Buffer) Access(req device.Request) units.Time {
+	switch req.Op {
+	case trace.Delete:
+		b.drop(req.Addr, req.Size)
+		return b.inner.Access(req)
+	case trace.Read:
+		return b.read(req)
+	case trace.Write:
+		return b.write(req)
+	default:
+		panic(fmt.Sprintf("sram: unknown op %v", req.Op))
+	}
+}
+
+// read serves fully-buffered reads from SRAM; otherwise it flushes any
+// overlapping dirty blocks (the device copy must be current before the
+// device services the read) and forwards to the device. A read that forced
+// a spin-up drains the rest of the buffer afterwards, off the critical
+// path, while the platters turn.
+func (b *Buffer) read(req device.Request) units.Time {
+	first, last := b.blockRange(req.Addr, req.Size)
+	allBuffered := len(b.dirty) > 0
+	anyBuffered := false
+	for blk := first; blk <= last; blk++ {
+		if _, ok := b.dirty[blk]; ok {
+			anyBuffered = true
+		} else {
+			allBuffered = false
+		}
+	}
+	if allBuffered {
+		return req.Time + b.accessTime(req.Size)
+	}
+	start := req.Time
+	if anyBuffered {
+		start = b.flushRange(start, first, last)
+	}
+	wasSpinning := true
+	if ss, ok := b.inner.(spinStater); ok {
+		wasSpinning = ss.Spinning(start)
+	}
+	req.Time = start
+	completion := b.inner.Access(req)
+	if !wasSpinning && len(b.dirty) > 0 {
+		b.drain(completion)
+	}
+	return completion
+}
+
+// write buffers the data, draining in the background per the deferred
+// spin-up policy; writes larger than the whole buffer bypass it.
+func (b *Buffer) write(req device.Request) units.Time {
+	if req.Size > b.size {
+		// Oversized write: drop overlapping buffered blocks (superseded)
+		// and write through.
+		b.drop(req.Addr, req.Size)
+		return b.inner.Access(req)
+	}
+	first, last := b.blockRange(req.Addr, req.Size)
+	newBlocks := 0
+	for blk := first; blk <= last; blk++ {
+		if _, ok := b.dirty[blk]; !ok {
+			newBlocks++
+		}
+	}
+	start := req.Time
+	if len(b.dirty)+newBlocks > b.capBlocks {
+		if b.drainDoneAt <= start {
+			// Full with no drain in flight: kick one off in the background;
+			// the freed space is available immediately in model state.
+			b.drain(start)
+		} else {
+			// Full while a drain is already running (writes arriving
+			// faster than the device absorbs them): the write must wait.
+			b.overflowStall += b.drainDoneAt - start
+			b.stalledWrites++
+			start = b.drainDoneAt
+		}
+	}
+	for blk := first; blk <= last; blk++ {
+		b.dirty[blk] = struct{}{}
+	}
+	completion := start + b.accessTime(req.Size)
+
+	// High-water background drain: once the buffer is half full, spin the
+	// device up (if needed) and drain without delaying the host. Runs of
+	// writes smaller than the high-water mark still complete without ever
+	// waking a sleeping disk — the deferred spin-up benefit.
+	if len(b.dirty) >= int(highWaterFraction*float64(b.capBlocks)) && b.drainDoneAt <= completion {
+		b.drain(completion)
+	}
+	return completion
+}
+
+// drain writes the whole buffer back in the background starting at now.
+// The buffer empties immediately in model state (new writes can land) while
+// the device stays busy until drainDoneAt. Returns the completion time of
+// the first flushed extent (when the first freed space is truly available).
+func (b *Buffer) drain(now units.Time) units.Time {
+	blocks := make([]int64, 0, len(b.dirty))
+	for blk := range b.dirty {
+		blocks = append(blocks, blk)
+	}
+	firstDone := b.flushBlocks(now, blocks)
+	return firstDone
+}
+
+// flushRange writes back buffered blocks overlapping [first, last],
+// returning the completion time.
+func (b *Buffer) flushRange(now units.Time, first, last int64) units.Time {
+	var blocks []int64
+	for blk := first; blk <= last; blk++ {
+		if _, ok := b.dirty[blk]; ok {
+			blocks = append(blocks, blk)
+		}
+	}
+	return b.flushBlocks(now, blocks)
+}
+
+// flushBlocks writes the given buffered blocks to the device as coalesced
+// extents and removes them from the buffer. It returns the completion time
+// of the first extent; the completion of the whole flush is recorded in
+// drainDoneAt.
+func (b *Buffer) flushBlocks(now units.Time, blocks []int64) units.Time {
+	if len(blocks) == 0 {
+		return now
+	}
+	sort.Slice(blocks, func(i, j int) bool { return blocks[i] < blocks[j] })
+	write := b.inner.Access
+	if bg, ok := b.inner.(backgrounder); ok {
+		write = bg.Background
+	}
+	completion := now
+	var firstDone units.Time
+	runStart := blocks[0]
+	runLen := int64(1)
+	emit := func() {
+		completion = write(device.Request{
+			Time: completion,
+			Op:   trace.Write,
+			File: flushFile,
+			Addr: units.Bytes(runStart) * b.blockSize,
+			Size: units.Bytes(runLen) * b.blockSize,
+		})
+		if firstDone == 0 {
+			firstDone = completion
+		}
+	}
+	for _, blk := range blocks[1:] {
+		if blk == runStart+runLen {
+			runLen++
+			continue
+		}
+		emit()
+		runStart, runLen = blk, 1
+	}
+	emit()
+	for _, blk := range blocks {
+		delete(b.dirty, blk)
+	}
+	b.flushes++
+	if completion > b.drainDoneAt {
+		b.drainDoneAt = completion
+	}
+	return firstDone
+}
+
+// drop removes buffered blocks overlapping [addr, addr+size) without
+// writing them back (deletion or supersession).
+func (b *Buffer) drop(addr, size units.Bytes) {
+	if size <= 0 {
+		return
+	}
+	first, last := b.blockRange(addr, size)
+	for blk := first; blk <= last; blk++ {
+		delete(b.dirty, blk)
+	}
+}
+
+// accessTime charges active energy for an SRAM transfer and returns its
+// duration.
+func (b *Buffer) accessTime(size units.Bytes) units.Time {
+	t := b.params.AccessTime(size)
+	b.meter.Accrue(energy.StateActive, b.params.ActiveW, t)
+	return t
+}
+
+func (b *Buffer) accrueStandby(now units.Time) {
+	if now <= b.lastUpdate {
+		return
+	}
+	b.meter.Accrue(energy.StateStandby, b.params.StandbyWPerMB*b.size.MBytes(), now-b.lastUpdate)
+	b.lastUpdate = now
+}
+
+func (b *Buffer) blockRange(addr, size units.Bytes) (first, last int64) {
+	return int64(addr / b.blockSize), int64((addr + size - 1) / b.blockSize)
+}
+
+var _ device.Device = (*Buffer)(nil)

@@ -1,0 +1,189 @@
+package testbed
+
+import (
+	"fmt"
+
+	"mobilestorage/internal/compress"
+	"mobilestorage/internal/stats"
+	"mobilestorage/internal/trace"
+	"mobilestorage/internal/units"
+)
+
+// benchChunk is the transfer size of the paper's micro-benchmarks: "4-Kbyte
+// reads and writes to 4-Kbyte and 1-Mbyte files" (Table 1).
+const benchChunk = 4 * units.KB
+
+// Throughput measures sequential write then read throughput (KB/s of
+// logical data) over a fresh testbed: totalBytes moved through files of
+// fileSize in 4 KB calls. This is the §3 micro-benchmark.
+func Throughput(cfg Config, fileSize, totalBytes units.Bytes) (writeKBs, readKBs float64, err error) {
+	tb, err := New(cfg)
+	if err != nil {
+		return 0, 0, err
+	}
+	nfiles := uint32(units.CeilDiv(totalBytes, fileSize))
+
+	start := tb.Clock()
+	for f := uint32(0); f < nfiles; f++ {
+		for off := units.Bytes(0); off < fileSize; off += benchChunk {
+			tb.Write(f, fileSize, chunkAt(off, fileSize))
+		}
+	}
+	writeKBs = units.BandwidthKBs(totalBytes, tb.Clock()-start)
+
+	start = tb.Clock()
+	for f := uint32(0); f < nfiles; f++ {
+		for off := units.Bytes(0); off < fileSize; off += benchChunk {
+			tb.Read(f, off, chunkAt(off, fileSize))
+		}
+	}
+	readKBs = units.BandwidthKBs(totalBytes, tb.Clock()-start)
+	return writeKBs, readKBs, nil
+}
+
+// chunkAt returns the benchmark transfer size, clipped at end of file.
+func chunkAt(off, fileSize units.Bytes) units.Bytes {
+	if fileSize-off < benchChunk {
+		return fileSize - off
+	}
+	return benchChunk
+}
+
+// WriteLatencyPoint is one Figure 1 sample: the latency and instantaneous
+// throughput after writing a cumulative amount of data, averaged across
+// 32 KB of writes like the paper's plots.
+type WriteLatencyPoint struct {
+	CumulativeKB  float64
+	LatencyMs     float64
+	ThroughputKBs float64
+}
+
+// WriteLatencyCurve reproduces Figure 1: 4 KB writes to a 1 MB file,
+// reporting average latency and instantaneous throughput per 32 KB of
+// cumulative logical data.
+func WriteLatencyCurve(cfg Config) ([]WriteLatencyPoint, error) {
+	tb, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	const fileSize = 1 * units.MB
+	const window = 32 * units.KB
+	var points []WriteLatencyPoint
+	var windowTime units.Time
+	var windowBytes units.Bytes
+	for off := units.Bytes(0); off < fileSize; off += benchChunk {
+		lat := tb.Write(0, fileSize, benchChunk)
+		windowTime += lat
+		windowBytes += benchChunk
+		if windowBytes >= window {
+			points = append(points, WriteLatencyPoint{
+				CumulativeKB:  (off + benchChunk).KBytes(),
+				LatencyMs:     windowTime.Milliseconds() / float64(windowBytes/benchChunk),
+				ThroughputKBs: units.BandwidthKBs(windowBytes, windowTime),
+			})
+			windowTime, windowBytes = 0, 0
+		}
+	}
+	return points, nil
+}
+
+// OverwritePoint is one Figure 3 sample: instantaneous throughput after a
+// cumulative number of megabytes overwritten.
+type OverwritePoint struct {
+	CumulativeMB  float64
+	ThroughputKBs float64
+}
+
+// OverwriteCurve reproduces Figure 3: on a 10 MB Intel card holding
+// liveData of files, overwrite totalMB megabytes (4 KB at a time, randomly
+// selected within the live data) and report throughput per megabyte.
+// Throughput drops both with cumulative data (MFFS bookkeeping) and with
+// the amount of live data (cleaning pressure).
+func OverwriteCurve(liveData units.Bytes, totalMB int, seed int64) ([]OverwritePoint, error) {
+	tb, err := New(Config{Kind: IntelCard, Data: compress.MobyDick})
+	if err != nil {
+		return nil, err
+	}
+	// Live data as 64 KB files, written once to populate the card.
+	const fileSize = 64 * units.KB
+	nfiles := uint32(liveData / fileSize)
+	if nfiles == 0 {
+		return nil, fmt.Errorf("testbed: live data %v below one file", liveData)
+	}
+	for f := uint32(0); f < nfiles; f++ {
+		for off := units.Bytes(0); off < fileSize; off += benchChunk {
+			tb.Write(f, fileSize, benchChunk)
+		}
+	}
+
+	rng := newSplitMix(seed)
+	var points []OverwritePoint
+	for mb := 0; mb < totalMB; mb++ {
+		start := tb.Clock()
+		for written := units.Bytes(0); written < units.MB; written += benchChunk {
+			f := uint32(rng.next() % uint64(nfiles))
+			tb.Write(f, fileSize, benchChunk)
+		}
+		points = append(points, OverwritePoint{
+			CumulativeMB:  float64(mb + 1),
+			ThroughputKBs: units.BandwidthKBs(units.MB, tb.Clock()-start),
+		})
+	}
+	return points, nil
+}
+
+// ReplayResult summarizes a trace replay on the testbed (§5.1 validation).
+type ReplayResult struct {
+	Read  stats.Summary // ms
+	Write stats.Summary // ms
+}
+
+// Replay runs a file-level trace against the testbed, honoring the trace's
+// inter-arrival gaps so background cleaning gets its idle time. Used to
+// validate the simulator against the "hardware" (§5.1): the same synth
+// trace runs through both and the response times are compared.
+func Replay(cfg Config, t *trace.Trace, warmFraction float64) (*ReplayResult, error) {
+	tb, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	sizes := t.MaxFileSizes()
+	if err := tb.Preload(sizes); err != nil {
+		return nil, err
+	}
+	warm := t.WarmSplit(warmFraction)
+	res := &ReplayResult{}
+	for i, r := range t.Records {
+		tb.Idle(r.Time)
+		switch r.Op {
+		case trace.Delete:
+			tb.Delete(r.File)
+		case trace.Write:
+			tb.Write(r.File, sizes[r.File], r.Size)
+			if i >= warm {
+				res.Write.AddTime(tb.Clock() - r.Time)
+			}
+		case trace.Read:
+			tb.Read(r.File, r.Offset, r.Size)
+			if i >= warm {
+				res.Read.AddTime(tb.Clock() - r.Time)
+			}
+		}
+	}
+	return res, nil
+}
+
+// splitMix is a tiny deterministic RNG for benchmark file selection
+// (math/rand would work too; this keeps the dependency local and the
+// sequence stable).
+type splitMix struct{ state uint64 }
+
+func newSplitMix(seed int64) *splitMix { return &splitMix{state: uint64(seed)*2654435769 + 1} }
+
+func (s *splitMix) next() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

@@ -1,0 +1,176 @@
+package testbed
+
+import (
+	"testing"
+
+	"mobilestorage/internal/compress"
+	"mobilestorage/internal/units"
+	"mobilestorage/internal/workload"
+)
+
+func TestThroughputOrderings(t *testing.T) {
+	// The load-bearing qualitative claims of Table 1.
+	type result struct{ w4, r4, w1m, r1m float64 }
+	measure := func(kind StorageKind, comp bool, data compress.Data) result {
+		cfg := Config{Kind: kind, Compression: comp, Data: data}
+		w4, r4, err := Throughput(cfg, 4*units.KB, 2*units.MB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w1m, r1m, err := Throughput(cfg, units.MB, 2*units.MB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return result{w4, r4, w1m, r1m}
+	}
+	cu := measure(CU140, false, compress.Random)
+	sd := measure(SDP10, false, compress.Random)
+	ic := measure(IntelCard, false, compress.Random)
+
+	// "the Caviar Ultralite cu140 provides the best write throughput".
+	if cu.w1m <= sd.w1m || cu.w1m <= ic.w1m {
+		t.Errorf("cu140 1MB write %f not the best (sdp %f, intel %f)", cu.w1m, sd.w1m, ic.w1m)
+	}
+	// "Read throughput of the flash card is much better than the other
+	// devices for small files".
+	if ic.r4 <= cu.r4 || ic.r4 <= sd.r4 {
+		t.Errorf("intel 4KB read %f not the best (cu %f, sdp %f)", ic.r4, cu.r4, sd.r4)
+	}
+	// "Throughput is unexpectedly poor for reading or writing large files"
+	// (the MFFS 2.00 anomaly).
+	if ic.r1m >= ic.r4/4 {
+		t.Errorf("intel 1MB read %f did not collapse vs 4KB read %f", ic.r1m, ic.r4)
+	}
+	if ic.w1m >= ic.w4/2 {
+		t.Errorf("intel 1MB write %f did not collapse vs 4KB write %f", ic.w1m, ic.w4)
+	}
+	// The flash disk is far slower to write than to read.
+	if sd.w4 >= sd.r4 {
+		t.Errorf("sdp write %f not below read %f", sd.w4, sd.r4)
+	}
+
+	// "Compression similarly helps the performance of small file writes on
+	// the flash disk, resulting in write throughput greater than the
+	// theoretical limit of the SunDisk sdp10" (50 KB/s).
+	sdc := measure(SDP10, true, compress.MobyDick)
+	if sdc.w4 <= 50 {
+		t.Errorf("compressed sdp 4KB writes %f not above the 50 KB/s raw limit", sdc.w4)
+	}
+}
+
+func TestWriteLatencyCurveMFFSAnomaly(t *testing.T) {
+	pts, err := WriteLatencyCurve(Config{Kind: IntelCard, Data: compress.MobyDick})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) < 10 {
+		t.Fatalf("only %d points", len(pts))
+	}
+	first, last := pts[0], pts[len(pts)-1]
+	// Figure 1: latency grows roughly linearly; by 1 MB it is several times
+	// the initial latency, and throughput has collapsed correspondingly.
+	if last.LatencyMs < 3*first.LatencyMs {
+		t.Errorf("intel latency %f → %f did not grow ≥3×", first.LatencyMs, last.LatencyMs)
+	}
+	if last.ThroughputKBs > first.ThroughputKBs/2 {
+		t.Errorf("intel throughput %f → %f did not halve", first.ThroughputKBs, last.ThroughputKBs)
+	}
+	// Monotone growth (within per-window noise): check a middle point too.
+	mid := pts[len(pts)/2]
+	if !(first.LatencyMs < mid.LatencyMs && mid.LatencyMs < last.LatencyMs) {
+		t.Errorf("latency not increasing: %f, %f, %f", first.LatencyMs, mid.LatencyMs, last.LatencyMs)
+	}
+
+	// The disk stays flat (Figure 1: "the cu140 was continuously accessed").
+	cu, err := WriteLatencyCurve(Config{Kind: CU140, Data: compress.Random})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cf, cl := cu[0], cu[len(cu)-1]
+	if cl.LatencyMs > cf.LatencyMs*1.5 {
+		t.Errorf("cu140 latency grew %f → %f", cf.LatencyMs, cl.LatencyMs)
+	}
+}
+
+func TestOverwriteCurveLiveDataEffect(t *testing.T) {
+	// Figure 3: more live data → lower throughput (cleaning pressure), and
+	// throughput declines with cumulative data in all configurations.
+	avg := func(live units.Bytes) (first, rest float64) {
+		pts, err := OverwriteCurve(live, 8, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		first = pts[0].ThroughputKBs
+		for _, p := range pts[2:] {
+			rest += p.ThroughputKBs
+		}
+		rest /= float64(len(pts) - 2)
+		return first, rest
+	}
+	_, low := avg(1 * units.MB)
+	_, high := avg(9 * units.MB)
+	_, higher := avg(9*units.MB + 512*units.KB)
+	if high >= low {
+		t.Errorf("9MB live throughput %f not below 1MB live %f", high, low)
+	}
+	if higher > high*1.1 {
+		t.Errorf("9.5MB live throughput %f above 9MB live %f", higher, high)
+	}
+}
+
+func TestReplaySynth(t *testing.T) {
+	synth, err := workload.Synth(workload.SynthConfig{Seed: 1, Ops: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range []StorageKind{CU140, SDP10, IntelCard} {
+		res, err := Replay(Config{Kind: kind, Data: compress.Random}, synth, 0.1)
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		if res.Read.N() == 0 || res.Write.N() == 0 {
+			t.Errorf("%v: empty replay stats", kind)
+		}
+		if res.Read.Mean() <= 0 || res.Write.Mean() <= 0 {
+			t.Errorf("%v: non-positive response times", kind)
+		}
+	}
+}
+
+func TestPreloadAfterIORejected(t *testing.T) {
+	tb, err := New(Config{Kind: CU140, Data: compress.Random})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb.Write(1, units.KB, units.KB)
+	if err := tb.Preload(map[uint32]units.Bytes{2: units.KB}); err == nil {
+		t.Error("preload after I/O accepted")
+	}
+}
+
+func TestDeleteResetsMFFSState(t *testing.T) {
+	tb, err := New(Config{Kind: IntelCard, Data: compress.MobyDick})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Grow a file, delete it, rewrite: the first write after deletion must
+	// cost like a fresh file (no rewrite anomaly carry-over).
+	for i := 0; i < 32; i++ {
+		tb.Write(1, units.MB, 4*units.KB)
+	}
+	grown := tb.Write(1, units.MB, 4*units.KB)
+	tb.Delete(1)
+	fresh := tb.Write(1, units.MB, 4*units.KB)
+	if fresh >= grown {
+		t.Errorf("write after delete (%v) as slow as grown file (%v)", fresh, grown)
+	}
+}
+
+func TestUnknownKind(t *testing.T) {
+	if _, err := New(Config{Kind: StorageKind(9)}); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	if StorageKind(9).String() == "" {
+		t.Error("empty name for unknown kind")
+	}
+}

@@ -1,0 +1,174 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"mobilestorage/internal/units"
+)
+
+func TestBinaryRoundTrip(t *testing.T) {
+	tr := testTrace()
+	var buf bytes.Buffer
+	if err := EncodeBinary(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != tr.Name || got.BlockSize != tr.BlockSize {
+		t.Errorf("header: %q %v", got.Name, got.BlockSize)
+	}
+	if !reflect.DeepEqual(got.Records, tr.Records) {
+		t.Errorf("records mismatch")
+	}
+}
+
+func TestBinaryRoundTripProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := &Trace{Name: "bprop", BlockSize: 512}
+		now := units.Time(0)
+		for i := 0; i < int(n); i++ {
+			now += units.Time(rng.Intn(1_000_000))
+			op := Op(rng.Intn(3))
+			size := units.Bytes(rng.Intn(64 * 1024))
+			if op != Delete {
+				size++
+			}
+			tr.Records = append(tr.Records, Record{
+				Time: now, Op: op,
+				File:   uint32(rng.Intn(1 << 20)),
+				Offset: units.Bytes(rng.Intn(1 << 24)),
+				Size:   size,
+			})
+		}
+		var buf bytes.Buffer
+		if err := EncodeBinary(&buf, tr); err != nil {
+			return false
+		}
+		got, err := DecodeBinary(&buf)
+		if err != nil {
+			return false
+		}
+		if len(tr.Records) == 0 {
+			return len(got.Records) == 0
+		}
+		return reflect.DeepEqual(got.Records, tr.Records)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBinarySmallerThanText(t *testing.T) {
+	// Build a realistic-sized trace and compare encodings.
+	tr := &Trace{Name: "size", BlockSize: 512}
+	rng := rand.New(rand.NewSource(1))
+	now := units.Time(0)
+	for i := 0; i < 5000; i++ {
+		now += units.Time(rng.Intn(100_000))
+		tr.Records = append(tr.Records, Record{
+			Time: now, Op: Op(rng.Intn(2)),
+			File:   uint32(rng.Intn(500)),
+			Offset: units.Bytes(rng.Intn(32)) * 512,
+			Size:   units.Bytes(rng.Intn(16)+1) * 512,
+		})
+	}
+	var text, bin bytes.Buffer
+	if err := Encode(&text, tr); err != nil {
+		t.Fatal(err)
+	}
+	if err := EncodeBinary(&bin, tr); err != nil {
+		t.Fatal(err)
+	}
+	if bin.Len() >= text.Len()/2 {
+		t.Errorf("binary %d B not < half of text %d B", bin.Len(), text.Len())
+	}
+}
+
+func TestBinaryDecodeErrors(t *testing.T) {
+	cases := [][]byte{
+		nil,             // empty
+		[]byte("XXXXX"), // bad magic
+		[]byte("MSTB1"), // truncated after magic
+	}
+	for i, c := range cases {
+		if _, err := DecodeBinary(bytes.NewReader(c)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	// A valid header with a bad op byte.
+	var buf bytes.Buffer
+	tr := &Trace{Name: "x", BlockSize: 512, Records: []Record{{Time: 1, Op: Write, Size: 512}}}
+	if err := EncodeBinary(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	// Corrupt the op byte (after magic+namelen+name+blocksize+count+delta).
+	idx := bytes.LastIndexByte(b, byte(Write))
+	b[idx] = 9
+	if _, err := DecodeBinary(bytes.NewReader(b)); err == nil || !strings.Contains(err.Error(), "bad op") {
+		t.Errorf("corrupted op accepted: %v", err)
+	}
+}
+
+func TestBinaryRejectsInvalidTrace(t *testing.T) {
+	tr := &Trace{Name: "bad", BlockSize: 0}
+	var buf bytes.Buffer
+	if err := EncodeBinary(&buf, tr); err == nil {
+		t.Error("invalid trace encoded")
+	}
+}
+
+func BenchmarkEncodeText(b *testing.B)   { benchCodec(b, false, true) }
+func BenchmarkEncodeBinary(b *testing.B) { benchCodec(b, true, true) }
+func BenchmarkDecodeText(b *testing.B)   { benchCodec(b, false, false) }
+func BenchmarkDecodeBinary(b *testing.B) { benchCodec(b, true, false) }
+
+func benchCodec(b *testing.B, binaryFmt, encode bool) {
+	tr := &Trace{Name: "bench", BlockSize: 512}
+	rng := rand.New(rand.NewSource(1))
+	now := units.Time(0)
+	for i := 0; i < 20000; i++ {
+		now += units.Time(rng.Intn(100_000))
+		tr.Records = append(tr.Records, Record{
+			Time: now, Op: Op(rng.Intn(2)), File: uint32(rng.Intn(500)),
+			Offset: units.Bytes(rng.Intn(32)) * 512, Size: 512,
+		})
+	}
+	var data bytes.Buffer
+	if binaryFmt {
+		EncodeBinary(&data, tr)
+	} else {
+		Encode(&data, tr)
+	}
+	raw := data.Bytes()
+	b.SetBytes(int64(len(raw)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if encode {
+			var buf bytes.Buffer
+			if binaryFmt {
+				EncodeBinary(&buf, tr)
+			} else {
+				Encode(&buf, tr)
+			}
+		} else {
+			var err error
+			if binaryFmt {
+				_, err = DecodeBinary(bytes.NewReader(raw))
+			} else {
+				_, err = Decode(bytes.NewReader(raw))
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

@@ -1,0 +1,82 @@
+package trace
+
+import (
+	"mobilestorage/internal/stats"
+	"mobilestorage/internal/units"
+)
+
+// Characteristics summarizes a trace the way the paper's Table 3 does.
+// Like the paper, the statistics apply to the measured (post-warm-start)
+// portion of the trace.
+type Characteristics struct {
+	Name            string
+	Duration        units.Time  // span of the measured portion
+	DistinctKBytes  float64     // number of distinct KB accessed
+	FractionReads   float64     // reads / (reads + writes)
+	BlockSize       units.Bytes // file-system block size
+	MeanReadBlocks  float64     // mean read size in blocks
+	MeanWriteBlocks float64     // mean write size in blocks
+	InterArrival    stats.Summary
+	Records         int
+	Deletes         int
+}
+
+// Characterize computes Table 3-style statistics over the measured portion
+// of the trace (after skipping warmFraction of the records, 0.1 in the
+// paper).
+func Characterize(t *Trace, warmFraction float64) Characteristics {
+	start := t.WarmSplit(warmFraction)
+	recs := t.Records[start:]
+	c := Characteristics{
+		Name:      t.Name,
+		BlockSize: t.BlockSize,
+		Records:   len(recs),
+	}
+	if len(recs) == 0 {
+		return c
+	}
+	c.Duration = recs[len(recs)-1].Time - recs[0].Time
+
+	// Distinct bytes accessed, counted at block granularity like the paper
+	// ("number of distinct Kbytes accessed").
+	type blockKey struct {
+		file  uint32
+		block units.Bytes
+	}
+	distinct := make(map[blockKey]struct{})
+	var reads, writes int
+	var readBlocks, writeBlocks float64
+	prev := recs[0].Time
+	for i, r := range recs {
+		if i > 0 {
+			c.InterArrival.Add((r.Time - prev).Seconds())
+			prev = r.Time
+		}
+		if r.Op == Delete {
+			c.Deletes++
+			continue
+		}
+		nblocks := float64(units.CeilDiv(r.Size, t.BlockSize))
+		for b := r.Offset / t.BlockSize; b*t.BlockSize < r.End(); b++ {
+			distinct[blockKey{r.File, b}] = struct{}{}
+		}
+		if r.Op == Read {
+			reads++
+			readBlocks += nblocks
+		} else {
+			writes++
+			writeBlocks += nblocks
+		}
+	}
+	c.DistinctKBytes = float64(len(distinct)) * t.BlockSize.KBytes()
+	if reads+writes > 0 {
+		c.FractionReads = float64(reads) / float64(reads+writes)
+	}
+	if reads > 0 {
+		c.MeanReadBlocks = readBlocks / float64(reads)
+	}
+	if writes > 0 {
+		c.MeanWriteBlocks = writeBlocks / float64(writes)
+	}
+	return c
+}

@@ -1,0 +1,139 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"mobilestorage/internal/units"
+)
+
+// The on-disk trace format is a line-oriented text format chosen for easy
+// inspection with standard tools:
+//
+//	# comment
+//	trace <name> blocksize=<bytes>
+//	<time-µs> <r|w|d> <file> <offset> <size>
+//
+// Times are absolute microseconds. One header line is required before the
+// first record.
+
+// Encode serializes a trace in the text format.
+func Encode(w io.Writer, t *Trace) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# mobilestorage trace, %d records\n", len(t.Records)); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(bw, "trace %s blocksize=%d\n", t.Name, t.BlockSize); err != nil {
+		return err
+	}
+	for _, r := range t.Records {
+		var op byte
+		switch r.Op {
+		case Read:
+			op = 'r'
+		case Write:
+			op = 'w'
+		case Delete:
+			op = 'd'
+		default:
+			return fmt.Errorf("trace: cannot encode op %v", r.Op)
+		}
+		if _, err := fmt.Fprintf(bw, "%d %c %d %d %d\n", r.Time, op, r.File, r.Offset, r.Size); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Decode parses a trace in the text format.
+func Decode(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	t := &Trace{}
+	sawHeader := false
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !sawHeader {
+			name, bs, err := parseHeader(line)
+			if err != nil {
+				return nil, fmt.Errorf("trace: line %d: %w", lineno, err)
+			}
+			t.Name, t.BlockSize = name, bs
+			sawHeader = true
+			continue
+		}
+		rec, err := parseRecord(line)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", lineno, err)
+		}
+		t.Records = append(t.Records, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if !sawHeader {
+		return nil, fmt.Errorf("trace: missing header line")
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+func parseHeader(line string) (string, units.Bytes, error) {
+	fields := strings.Fields(line)
+	if len(fields) != 3 || fields[0] != "trace" {
+		return "", 0, fmt.Errorf("malformed header %q", line)
+	}
+	const prefix = "blocksize="
+	if !strings.HasPrefix(fields[2], prefix) {
+		return "", 0, fmt.Errorf("malformed header %q: missing blocksize", line)
+	}
+	bs, err := strconv.ParseInt(fields[2][len(prefix):], 10, 64)
+	if err != nil || bs <= 0 {
+		return "", 0, fmt.Errorf("malformed blocksize in %q", line)
+	}
+	return fields[1], units.Bytes(bs), nil
+}
+
+func parseRecord(line string) (Record, error) {
+	fields := strings.Fields(line)
+	if len(fields) != 5 {
+		return Record{}, fmt.Errorf("malformed record %q: want 5 fields, got %d", line, len(fields))
+	}
+	tm, err := strconv.ParseInt(fields[0], 10, 64)
+	if err != nil {
+		return Record{}, fmt.Errorf("bad time in %q: %v", line, err)
+	}
+	op, err := ParseOp(fields[1])
+	if err != nil {
+		return Record{}, err
+	}
+	file, err := strconv.ParseUint(fields[2], 10, 32)
+	if err != nil {
+		return Record{}, fmt.Errorf("bad file id in %q: %v", line, err)
+	}
+	off, err := strconv.ParseInt(fields[3], 10, 64)
+	if err != nil {
+		return Record{}, fmt.Errorf("bad offset in %q: %v", line, err)
+	}
+	size, err := strconv.ParseInt(fields[4], 10, 64)
+	if err != nil {
+		return Record{}, fmt.Errorf("bad size in %q: %v", line, err)
+	}
+	return Record{
+		Time:   units.Time(tm),
+		Op:     op,
+		File:   uint32(file),
+		Offset: units.Bytes(off),
+		Size:   units.Bytes(size),
+	}, nil
+}

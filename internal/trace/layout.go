@@ -1,0 +1,136 @@
+package trace
+
+import (
+	"fmt"
+
+	"mobilestorage/internal/units"
+)
+
+// Layout maps file IDs to disk locations, converting file-level trace
+// accesses into device-level (byte-address) operations. This mirrors the
+// paper's preprocessing step: "The traces were preprocessed to convert
+// file-level accesses into disk-level operations, by associating a unique
+// disk location with each file" (§4.1).
+//
+// Files are placed first-touch, contiguously, rounded up to whole blocks.
+// Deleted files release their extent to a free list that is reused
+// first-fit, so the dos and synth traces (which contain deletions) do not
+// grow the address space without bound.
+type Layout struct {
+	blockSize units.Bytes
+	next      units.Bytes
+	extents   map[uint32]extent
+	free      []extent // sorted by offset, coalesced
+}
+
+type extent struct {
+	off, size units.Bytes
+}
+
+// NewLayout builds a layout that rounds file extents to blockSize.
+func NewLayout(blockSize units.Bytes) *Layout {
+	if blockSize <= 0 {
+		panic("trace: layout block size must be positive")
+	}
+	return &Layout{
+		blockSize: blockSize,
+		extents:   make(map[uint32]extent),
+	}
+}
+
+// Place returns the device byte address of (file, offset), allocating an
+// extent the first time a file is seen. The size hint must be the file's
+// maximum extent (from Trace.MaxFileSizes) so the allocation is stable
+// across the whole trace.
+func (l *Layout) Place(file uint32, offset, sizeHint units.Bytes) units.Bytes {
+	e, ok := l.extents[file]
+	if !ok {
+		e = l.allocate(roundUp(sizeHint, l.blockSize))
+		l.extents[file] = e
+	}
+	if offset > e.size {
+		// The hint must cover all accesses; failing this indicates the
+		// caller computed sizes from a different trace.
+		panic(fmt.Sprintf("trace: file %d accessed at %d beyond hinted extent %d", file, offset, e.size))
+	}
+	return e.off + offset
+}
+
+// Extent returns the placement of a file, if it has one.
+func (l *Layout) Extent(file uint32) (off, size units.Bytes, ok bool) {
+	e, found := l.extents[file]
+	return e.off, e.size, found
+}
+
+// Delete releases a file's extent for reuse. Deleting an unplaced file is a
+// no-op (a trace may delete a file it never read or wrote).
+func (l *Layout) Delete(file uint32) {
+	e, ok := l.extents[file]
+	if !ok {
+		return
+	}
+	delete(l.extents, file)
+	l.release(e)
+}
+
+// HighWater returns one past the highest byte address ever allocated: the
+// device capacity needed to replay the trace.
+func (l *Layout) HighWater() units.Bytes { return l.next }
+
+// LiveBytes returns the total bytes currently allocated to files.
+func (l *Layout) LiveBytes() units.Bytes {
+	var total units.Bytes
+	for _, e := range l.extents {
+		total += e.size
+	}
+	return total
+}
+
+func (l *Layout) allocate(size units.Bytes) extent {
+	if size <= 0 {
+		size = l.blockSize
+	}
+	// First-fit from the free list.
+	for i, f := range l.free {
+		if f.size >= size {
+			e := extent{off: f.off, size: size}
+			if f.size == size {
+				l.free = append(l.free[:i], l.free[i+1:]...)
+			} else {
+				l.free[i] = extent{off: f.off + size, size: f.size - size}
+			}
+			return e
+		}
+	}
+	e := extent{off: l.next, size: size}
+	l.next += size
+	return e
+}
+
+func (l *Layout) release(e extent) {
+	// Insert sorted by offset, then coalesce neighbours.
+	i := 0
+	for i < len(l.free) && l.free[i].off < e.off {
+		i++
+	}
+	l.free = append(l.free, extent{})
+	copy(l.free[i+1:], l.free[i:])
+	l.free[i] = e
+	// Coalesce with next.
+	if i+1 < len(l.free) && l.free[i].off+l.free[i].size == l.free[i+1].off {
+		l.free[i].size += l.free[i+1].size
+		l.free = append(l.free[:i+1], l.free[i+2:]...)
+	}
+	// Coalesce with previous.
+	if i > 0 && l.free[i-1].off+l.free[i-1].size == l.free[i].off {
+		l.free[i-1].size += l.free[i].size
+		l.free = append(l.free[:i], l.free[i+1:]...)
+	}
+}
+
+func roundUp(v, to units.Bytes) units.Bytes {
+	if v <= 0 {
+		return to
+	}
+	return units.CeilDiv(v, to) * to
+}

@@ -1,0 +1,95 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"mobilestorage/internal/trace"
+	"mobilestorage/internal/units"
+)
+
+// Targets are the published Table 3 statistics a generated trace should
+// approximate. Zero-valued fields are not checked.
+type Targets struct {
+	DistinctKB      float64
+	FractionReads   float64
+	BlockSize       units.Bytes
+	MeanReadBlocks  float64
+	MeanWriteBlocks float64
+	IAMeanS         float64
+	IAMaxS          float64
+	IASigmaS        float64
+}
+
+// PaperTargets returns the Table 3 statistics for a preset name.
+func PaperTargets(name string) (Targets, error) {
+	switch name {
+	case "mac":
+		return Targets{22000, 0.50, 1 * units.KB, 1.3, 1.2, 0.078, 90.8, 0.57}, nil
+	case "dos":
+		return Targets{16300, 0.24, 512 * units.B, 3.8, 3.4, 0.528, 713, 10.8}, nil
+	case "hp":
+		return Targets{32000, 0.38, 1 * units.KB, 4.3, 6.2, 11.1, 1800, 112.3}, nil
+	default:
+		return Targets{}, fmt.Errorf("workload: no published targets for %q", name)
+	}
+}
+
+// Deviation is one fidelity-check line: a statistic, its target, the
+// generated value, and the relative error.
+type Deviation struct {
+	Metric   string
+	Target   float64
+	Got      float64
+	RelError float64 // |got−target| / target
+}
+
+// Fidelity compares a generated trace against targets and returns the
+// per-metric deviations (post-warm-start, like Table 3). Use it when
+// re-fitting a preset: `tracegen -workload dos -check` prints it.
+func Fidelity(t *trace.Trace, tgt Targets) []Deviation {
+	c := trace.Characterize(t, 0.1)
+	var out []Deviation
+	add := func(metric string, target, got float64) {
+		if target == 0 {
+			return
+		}
+		out = append(out, Deviation{
+			Metric:   metric,
+			Target:   target,
+			Got:      got,
+			RelError: math.Abs(got-target) / math.Abs(target),
+		})
+	}
+	add("distinct KB", tgt.DistinctKB, c.DistinctKBytes)
+	add("fraction reads", tgt.FractionReads, c.FractionReads)
+	add("block size B", float64(tgt.BlockSize), float64(c.BlockSize))
+	add("mean read blocks", tgt.MeanReadBlocks, c.MeanReadBlocks)
+	add("mean write blocks", tgt.MeanWriteBlocks, c.MeanWriteBlocks)
+	add("IA mean s", tgt.IAMeanS, c.InterArrival.Mean())
+	add("IA max s", tgt.IAMaxS, c.InterArrival.Max())
+	add("IA sigma s", tgt.IASigmaS, c.InterArrival.StdDev())
+	return out
+}
+
+// RenderFidelity formats deviations as an aligned report.
+func RenderFidelity(devs []Deviation) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-18s %12s %12s %9s\n", "metric", "target", "generated", "rel err")
+	for _, d := range devs {
+		fmt.Fprintf(&b, "%-18s %12.3f %12.3f %8.1f%%\n", d.Metric, d.Target, d.Got, d.RelError*100)
+	}
+	return b.String()
+}
+
+// WorstDeviation returns the largest relative error, or 0 with no checks.
+func WorstDeviation(devs []Deviation) float64 {
+	var worst float64
+	for _, d := range devs {
+		if d.RelError > worst {
+			worst = d.RelError
+		}
+	}
+	return worst
+}

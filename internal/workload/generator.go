@@ -1,0 +1,298 @@
+package workload
+
+import (
+	"fmt"
+
+	"mobilestorage/internal/trace"
+	"mobilestorage/internal/units"
+)
+
+// Config parameterizes a synthetic file-level workload generator.
+//
+// The generator models a population of files accessed by a mix of random
+// (hot/cold biased) and sequential-scan operations, with bursty
+// inter-arrival times. The presets in presets.go calibrate these knobs to
+// the Table 3 statistics of the paper's mac, dos, and hp traces.
+type Config struct {
+	// Name labels the generated trace.
+	Name string
+	// Seed makes generation deterministic.
+	Seed int64
+	// BlockSize is the file-system block size (Table 3).
+	BlockSize units.Bytes
+	// Duration is the simulated span of the trace.
+	Duration units.Time
+	// NumFiles and MeanFileSize describe the file population; sizes are
+	// lognormal with coefficient of variation FileSizeCV, rounded up to a
+	// whole number of blocks.
+	NumFiles     int
+	MeanFileSize units.Bytes
+	FileSizeCV   float64
+	// ReadFraction is the probability a non-delete operation is a read.
+	ReadFraction float64
+	// DeleteFraction is the probability an operation deletes a file
+	// (0 for mac and hp, which recorded no deletions).
+	DeleteFraction float64
+	// MeanReadBlocks / MeanWriteBlocks set the geometric transfer-size
+	// means, in blocks.
+	MeanReadBlocks  float64
+	MeanWriteBlocks float64
+	// HotFileFraction of the files receive HotAccessFraction of the random
+	// accesses (hot/cold locality).
+	HotFileFraction   float64
+	HotAccessFraction float64
+	// SequentialFraction of operations advance a scan cursor that walks the
+	// whole file population, modeling application loads and saves that
+	// stream entire files. Scans are what make the trace's distinct-bytes
+	// footprint approach the full population size.
+	SequentialFraction float64
+	// ReadRecentFraction of reads re-read a recently written extent
+	// (read-after-write locality: applications verify or re-display what
+	// they just saved). This is what gives the traces the high buffer-cache
+	// hit rates the paper's response times imply.
+	ReadRecentFraction float64
+	// WriteBurstStickiness is the probability a random-access write stays
+	// on the same file as the previous write (applications save one file
+	// as a burst of small writes). Clustered writes mean clustered
+	// invalidation on log-structured flash, which is what lets the cleaner
+	// find cheap victims.
+	WriteBurstStickiness float64
+	// PauseEvery, when positive, inserts a long idle pause (drawn
+	// uniformly from [PauseMinS, PauseMaxS] seconds) once per period of
+	// generated time. A handful of long pauses carries a third or more of
+	// a desktop trace's span; scheduling them (rather than drawing them
+	// i.i.d.) keeps the realized record count stable across seeds while
+	// still producing the published inter-arrival maxima and σ.
+	PauseEvery units.Time
+	PauseMinS  float64
+	PauseMaxS  float64
+	// SyncBurstGap, when positive, models periodic-sync behavior (the
+	// HP-UX update daemon, application autosave): activity resuming after
+	// an idle gap longer than this starts with a run of writes, so reads
+	// concentrate in periods when the disk is already spinning. The run
+	// length is geometric with mean SyncBurstOps.
+	SyncBurstGap units.Time
+	SyncBurstOps float64
+	// InterArrival is the gap distribution between operations.
+	InterArrival Mixture
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.Name == "":
+		return fmt.Errorf("workload: missing name")
+	case c.BlockSize <= 0:
+		return fmt.Errorf("workload %s: block size must be positive", c.Name)
+	case c.Duration <= 0:
+		return fmt.Errorf("workload %s: duration must be positive", c.Name)
+	case c.NumFiles <= 0:
+		return fmt.Errorf("workload %s: need at least one file", c.Name)
+	case c.MeanFileSize < c.BlockSize:
+		return fmt.Errorf("workload %s: mean file size below one block", c.Name)
+	case c.ReadFraction < 0 || c.ReadFraction > 1:
+		return fmt.Errorf("workload %s: read fraction out of range", c.Name)
+	case c.DeleteFraction < 0 || c.DeleteFraction > 0.5:
+		return fmt.Errorf("workload %s: delete fraction out of range", c.Name)
+	case c.MeanReadBlocks < 1 || c.MeanWriteBlocks < 1:
+		return fmt.Errorf("workload %s: mean transfer sizes must be ≥ 1 block", c.Name)
+	case c.HotFileFraction <= 0 || c.HotFileFraction > 1:
+		return fmt.Errorf("workload %s: hot file fraction out of range", c.Name)
+	case c.HotAccessFraction < 0 || c.HotAccessFraction > 1:
+		return fmt.Errorf("workload %s: hot access fraction out of range", c.Name)
+	case c.SequentialFraction < 0 || c.SequentialFraction > 1:
+		return fmt.Errorf("workload %s: sequential fraction out of range", c.Name)
+	case c.ReadRecentFraction < 0 || c.ReadRecentFraction > 1:
+		return fmt.Errorf("workload %s: read-recent fraction out of range", c.Name)
+	case c.WriteBurstStickiness < 0 || c.WriteBurstStickiness > 1:
+		return fmt.Errorf("workload %s: write-burst stickiness out of range", c.Name)
+	}
+	return c.InterArrival.Validate()
+}
+
+// Generate produces the full synthetic trace for the configuration.
+func Generate(c Config) (*trace.Trace, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	g := NewRNG(c.Seed)
+
+	// Build the file population. File sizes are block-rounded lognormals.
+	sizes := make([]units.Bytes, c.NumFiles)
+	for i := range sizes {
+		raw := g.LogNormalish(float64(c.MeanFileSize), c.FileSizeCV)
+		blocks := units.CeilDiv(units.Bytes(raw), c.BlockSize)
+		if blocks < 1 {
+			blocks = 1
+		}
+		sizes[i] = blocks * c.BlockSize
+	}
+	hotCount := int(float64(c.NumFiles) * c.HotFileFraction)
+	if hotCount < 1 {
+		hotCount = 1
+	}
+
+	t := &trace.Trace{Name: c.Name, BlockSize: c.BlockSize}
+	deleted := make(map[uint32]bool)
+
+	// Scan cursor state: walks files in order, block by block.
+	scanFile, scanOff := 0, units.Bytes(0)
+
+	// Per-file write cursors: successive writes to a file continue where
+	// the previous one ended (wrapping), modeling applications that save
+	// files as runs of small sequential writes. Individual writes stay
+	// small (Table 3's 1.2–6.2 block means) but their addresses cluster,
+	// so whole runs of flash blocks are invalidated together — the
+	// invalidation pattern file-level traces actually exhibit, and the
+	// reason log-structured cleaners find cheap victims.
+	writeCursor := make(map[int]units.Bytes)
+
+	// Ring of recent write extents for read-after-write locality.
+	type extent struct {
+		file      int
+		off, size units.Bytes
+	}
+	const recentRing = 64
+	var recent []extent
+	recentIdx := 0
+	remember := func(file int, off, size units.Bytes) {
+		e := extent{file, off, size}
+		if len(recent) < recentRing {
+			recent = append(recent, e)
+			return
+		}
+		recent[recentIdx] = e
+		recentIdx = (recentIdx + 1) % recentRing
+	}
+
+	now := units.Time(0)
+	forcedWrites := 0
+	lastWriteFile := -1
+	nextPause := c.PauseEvery
+	for {
+		gap := c.InterArrival.Draw(g)
+		if c.PauseEvery > 0 && now+gap >= nextPause {
+			gap += units.FromSeconds(g.Uniform(c.PauseMinS, c.PauseMaxS))
+			nextPause += c.PauseEvery
+		}
+		now += gap
+		if now > c.Duration {
+			break
+		}
+		if c.SyncBurstGap > 0 && gap > c.SyncBurstGap {
+			// At least a few writes per sync run, geometric above that.
+			forcedWrites = 2 + g.Geometric(c.SyncBurstOps-2)
+		}
+
+		// Deletions (dos trace only).
+		if c.DeleteFraction > 0 && g.Float64() < c.DeleteFraction {
+			f := uint32(g.Intn(c.NumFiles))
+			if deleted[f] {
+				continue // already gone; skip this slot
+			}
+			deleted[f] = true
+			t.Records = append(t.Records, trace.Record{
+				Time: now, Op: trace.Delete, File: f, Size: sizes[f],
+			})
+			continue
+		}
+
+		isRead := g.Float64() < c.ReadFraction
+		if forcedWrites > 0 {
+			isRead = false
+			forcedWrites--
+		}
+
+		// Read-after-write locality: re-read a recently written extent.
+		if isRead && len(recent) > 0 && g.Float64() < c.ReadRecentFraction {
+			e := recent[g.Intn(len(recent))]
+			if !deleted[uint32(e.file)] {
+				t.Records = append(t.Records, trace.Record{
+					Time: now, Op: trace.Read, File: uint32(e.file), Offset: e.off, Size: e.size,
+				})
+				continue
+			}
+		}
+
+		meanBlocks := c.MeanWriteBlocks
+		if isRead {
+			meanBlocks = c.MeanReadBlocks
+		}
+		nblocks := g.Geometric(meanBlocks)
+
+		var file int
+		var off units.Bytes
+		if g.Float64() < c.SequentialFraction {
+			// Continue the global scan. Deleted files are recreated by
+			// writes and skipped by reads.
+			for deleted[uint32(scanFile)] && isRead {
+				scanFile = (scanFile + 1) % c.NumFiles
+				scanOff = 0
+			}
+			file, off = scanFile, scanOff
+			scanOff += units.Bytes(nblocks) * c.BlockSize
+			if scanOff >= sizes[scanFile] {
+				scanFile = (scanFile + 1) % c.NumFiles
+				scanOff = 0
+			}
+		} else {
+			// Random access with hot/cold bias; writes stick to the file
+			// being saved with probability WriteBurstStickiness.
+			if !isRead && lastWriteFile >= 0 && !deleted[uint32(lastWriteFile)] &&
+				g.Float64() < c.WriteBurstStickiness {
+				file = lastWriteFile
+			} else if g.Float64() < c.HotAccessFraction {
+				file = g.Intn(hotCount)
+			} else {
+				file = hotCount + g.Intn(c.NumFiles-hotCount)
+				if c.NumFiles == hotCount {
+					file = g.Intn(c.NumFiles)
+				}
+			}
+			if deleted[uint32(file)] && isRead {
+				// Can't read a deleted file; make this a write that
+				// recreates it (applications recreate scratch files).
+				isRead = false
+				nblocks = g.Geometric(c.MeanWriteBlocks)
+			}
+			if isRead {
+				fileBlocks := int(sizes[file] / c.BlockSize)
+				off = units.Bytes(g.Intn(fileBlocks)) * c.BlockSize
+			} else {
+				// Writes continue the file's save run.
+				off = writeCursor[file]
+				if off >= sizes[file] {
+					off = 0
+				}
+				next := off + units.Bytes(nblocks)*c.BlockSize
+				if next >= sizes[file] {
+					next = 0
+				}
+				writeCursor[file] = next
+			}
+		}
+
+		size := units.Bytes(nblocks) * c.BlockSize
+		if off+size > sizes[file] {
+			size = sizes[file] - off
+		}
+		if size <= 0 {
+			continue
+		}
+		op := trace.Write
+		if isRead {
+			op = trace.Read
+		} else {
+			delete(deleted, uint32(file))
+			remember(file, off, size)
+			lastWriteFile = file
+		}
+		t.Records = append(t.Records, trace.Record{
+			Time: now, Op: op, File: uint32(file), Offset: off, Size: size,
+		})
+	}
+	if err := t.Validate(); err != nil {
+		return nil, fmt.Errorf("workload %s: generated invalid trace: %w", c.Name, err)
+	}
+	return t, nil
+}

@@ -1,0 +1,97 @@
+package workload
+
+import (
+	"fmt"
+
+	"mobilestorage/internal/units"
+)
+
+// ComponentKind selects the distribution family of one mixture component.
+type ComponentKind uint8
+
+// Supported component families.
+const (
+	// ExpComponent draws Shift + Exp(Mean), capped at Cap when Cap > 0.
+	ExpComponent ComponentKind = iota
+	// UniformComponent draws uniformly on [Shift, Shift+2·Mean), so the
+	// component mean is Shift + Mean.
+	UniformComponent
+)
+
+// Component is one arm of an inter-arrival mixture distribution.
+// All durations are in seconds.
+type Component struct {
+	Weight float64
+	Kind   ComponentKind
+	Mean   float64 // mean of the un-shifted distribution
+	Shift  float64 // constant offset added to every draw
+	Cap    float64 // if > 0, draws are truncated to this value
+}
+
+// Mixture models bursty inter-arrival times as a weighted mixture: a short
+// "burst" component plus one or more long "pause" components. The paper's
+// traces all show this pattern (Table 3: mean inter-arrivals of 0.078–11.1 s
+// with maxima of 90 s – 30 min); the synth workload is explicitly specified
+// as a bimodal mixture (§4.1).
+type Mixture struct {
+	Components []Component
+}
+
+// Validate checks weights are positive and sum to ~1.
+func (m Mixture) Validate() error {
+	if len(m.Components) == 0 {
+		return fmt.Errorf("workload: empty mixture")
+	}
+	var sum float64
+	for i, c := range m.Components {
+		if c.Weight <= 0 {
+			return fmt.Errorf("workload: mixture component %d has non-positive weight", i)
+		}
+		if c.Mean < 0 || c.Shift < 0 {
+			return fmt.Errorf("workload: mixture component %d has negative parameter", i)
+		}
+		sum += c.Weight
+	}
+	if sum < 0.999 || sum > 1.001 {
+		return fmt.Errorf("workload: mixture weights sum to %g, want 1", sum)
+	}
+	return nil
+}
+
+// Mean returns the analytic mean of the mixture in seconds (ignoring caps,
+// which for the calibrated presets shift the mean by well under a percent).
+func (m Mixture) Mean() float64 {
+	var mean float64
+	for _, c := range m.Components {
+		mean += c.Weight * (c.Shift + c.Mean)
+	}
+	return mean
+}
+
+// Draw samples one inter-arrival gap.
+func (m Mixture) Draw(g *RNG) units.Time {
+	u := g.Float64()
+	var acc float64
+	comp := m.Components[len(m.Components)-1]
+	for _, c := range m.Components {
+		acc += c.Weight
+		if u < acc {
+			comp = c
+			break
+		}
+	}
+	var v float64
+	switch comp.Kind {
+	case ExpComponent:
+		v = g.Exp(comp.Mean)
+	case UniformComponent:
+		v = g.Uniform(0, 2*comp.Mean)
+	default:
+		panic(fmt.Sprintf("workload: unknown component kind %d", comp.Kind))
+	}
+	if comp.Cap > 0 && v > comp.Cap {
+		v = comp.Cap
+	}
+	v += comp.Shift
+	return units.FromSeconds(v)
+}

@@ -1,0 +1,164 @@
+package workload
+
+import (
+	"fmt"
+
+	"mobilestorage/internal/trace"
+	"mobilestorage/internal/units"
+)
+
+// The presets below are calibrated against Table 3 of the paper. The
+// inter-arrival mixtures were fit analytically to the published mean/max/σ:
+// a dominant short "burst" arm plus one or two long "pause" arms whose
+// weight and scale reproduce the heavy tails (see EXPERIMENTS.md for the
+// generated-vs-published comparison).
+
+// Mac returns the configuration for the mac workload: PowerBook Duo 230
+// file-level traces (Finder, Excel, FrameMaker, email, editing, Newton
+// Toolkit). 3.5 hours, 22,000 distinct KB, 50% reads, 1 KB blocks,
+// 1.3/1.2-block mean transfers, 0.078 s mean inter-arrival (max 90.8,
+// σ 0.57). No deletions.
+func Mac(seed int64) Config {
+	return Config{
+		Name:            "mac",
+		Seed:            seed,
+		BlockSize:       1 * units.KB,
+		Duration:        units.Time(3.5 * float64(units.Hour)),
+		NumFiles:        900,
+		MeanFileSize:    24 * units.KB,
+		FileSizeCV:      1.2,
+		ReadFraction:    0.50,
+		DeleteFraction:  0,
+		MeanReadBlocks:  1.3,
+		MeanWriteBlocks: 1.2,
+		// Interactive editing: most accesses hammer the documents in use,
+		// and the hot set fits the 2 MB buffer cache (the paper's read
+		// response times imply a ~90% hit rate on this trace).
+		HotFileFraction:      0.06,
+		HotAccessFraction:    0.93,
+		SequentialFraction:   0.09,
+		ReadRecentFraction:   0.35,
+		WriteBurstStickiness: 0.85,
+		InterArrival: Mixture{Components: []Component{
+			{Weight: 0.9796, Kind: ExpComponent, Mean: 0.04},
+			{Weight: 0.0200, Kind: ExpComponent, Mean: 1.2},
+			{Weight: 0.0004, Kind: ExpComponent, Mean: 18, Cap: 90.8},
+		}},
+	}
+}
+
+// Dos returns the configuration for the dos workload: Kester Li's UC
+// Berkeley traces of IBM desktop PCs running Windows 3.1 (PowerPoint,
+// Word). 1.5 hours, 16,300 distinct KB, 24% reads, 0.5 KB blocks,
+// 3.8/3.4-block mean transfers, 0.528 s mean inter-arrival (max 713,
+// σ 10.8). Includes deletions.
+func Dos(seed int64) Config {
+	return Config{
+		Name:            "dos",
+		Seed:            seed,
+		BlockSize:       512 * units.B,
+		Duration:        units.Time(1.5 * float64(units.Hour)),
+		NumFiles:        1400,
+		MeanFileSize:    12 * units.KB,
+		FileSizeCV:      1.0,
+		ReadFraction:    0.28,
+		DeleteFraction:  0.02,
+		MeanReadBlocks:  3.8,
+		MeanWriteBlocks: 3.4,
+		// Office applications stream whole documents: high sequential
+		// fraction gives the near-unique footprint Table 3 implies
+		// (≈17 MB touched, 16.3 MB distinct).
+		HotFileFraction:      0.10,
+		HotAccessFraction:    0.35,
+		SequentialFraction:   0.70,
+		ReadRecentFraction:   0.75,
+		WriteBurstStickiness: 0.55,
+		// Autosave behavior: activity resuming after a long idle gap starts
+		// with writes, so the disk's spin-ups are mostly absorbed by the
+		// SRAM write buffer rather than paid by reads.
+		SyncBurstGap: 5 * units.Second,
+		SyncBurstOps: 10,
+		// Roughly six long breaks (5–12 min) carry 55% of the 1.5 h span,
+		// yielding the paper's 713 s maximum and σ ≈ 11 without making the
+		// record count lurch with the seed; the disk sleeps through them.
+		PauseEvery: 15 * units.Minute,
+		PauseMinS:  300,
+		PauseMaxS:  713,
+		InterArrival: Mixture{Components: []Component{
+			{Weight: 0.90, Kind: ExpComponent, Mean: 0.09},
+			{Weight: 0.10, Kind: ExpComponent, Mean: 1.5},
+		}},
+	}
+}
+
+// HP returns the configuration for the hp workload: Ruemmler & Wilkes
+// disk-level traces of an HP-UX workstation. 4.4 days, 32,000 distinct KB,
+// 38% reads, 1 KB blocks, 4.3/6.2-block mean transfers, 11.1 s mean
+// inter-arrival (max 30 min, σ 112.3). No deletions; traces are below the
+// buffer cache, so simulations use a zero-sized DRAM cache.
+func HP(seed int64) Config {
+	return Config{
+		Name:            "hp",
+		Seed:            seed,
+		BlockSize:       1 * units.KB,
+		Duration:        units.FromSeconds(4.4 * 24 * 3600),
+		NumFiles:        1600,
+		MeanFileSize:    20 * units.KB,
+		FileSizeCV:      1.2,
+		ReadFraction:    0.50,
+		DeleteFraction:  0,
+		MeanReadBlocks:  4.3,
+		MeanWriteBlocks: 6.2,
+		// Below-cache traffic has little re-reference locality (the cache
+		// absorbed it), so random accesses spread widely.
+		HotFileFraction:      0.25,
+		HotAccessFraction:    0.45,
+		SequentialFraction:   0.35,
+		ReadRecentFraction:   0.10,
+		WriteBurstStickiness: 0.75,
+		// The HP-UX update daemon: activity after an idle period starts
+		// with a run of sync writes (Ruemmler & Wilkes observed most idle
+		// gaps broken by periodic metadata flushes). ReadFraction is set
+		// above the Table 3 value of 0.38 so the trace-wide read share
+		// still lands at ≈0.38 after these forced write runs.
+		SyncBurstGap: 5 * units.Second,
+		SyncBurstOps: 4,
+		InterArrival: Mixture{Components: []Component{
+			{Weight: 0.902, Kind: ExpComponent, Mean: 0.30},
+			{Weight: 0.089, Kind: ExpComponent, Mean: 9},
+			// Long idle periods: uniform on [10 min, 30 min]; these ~1% of
+			// gaps cover ~80% of the 4.4-day span, giving the paper's
+			// 30-minute maximum and σ ≈ 112.
+			{Weight: 0.009, Kind: UniformComponent, Mean: 600, Shift: 600},
+		}},
+	}
+}
+
+// ByName returns the preset configuration for "mac", "dos", or "hp".
+func ByName(name string, seed int64) (Config, error) {
+	switch name {
+	case "mac":
+		return Mac(seed), nil
+	case "dos":
+		return Dos(seed), nil
+	case "hp":
+		return HP(seed), nil
+	default:
+		return Config{}, fmt.Errorf("workload: unknown preset %q (want mac, dos, hp, or synth)", name)
+	}
+}
+
+// GenerateByName builds the named workload, including "synth".
+func GenerateByName(name string, seed int64) (*trace.Trace, error) {
+	if name == "synth" {
+		return Synth(SynthConfig{Seed: seed, Ops: DefaultSynthOps})
+	}
+	cfg, err := ByName(name, seed)
+	if err != nil {
+		return nil, err
+	}
+	return Generate(cfg)
+}
+
+// Names lists the available workload presets.
+func Names() []string { return []string{"mac", "dos", "hp", "synth"} }
