@@ -1,0 +1,32 @@
+GO ?= go
+
+.PHONY: build vet test race bench fuzz-smoke golden-update check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Race-detector pass over the whole module; the parallel experiment sweeps
+# and shared observability scopes are what this guards.
+race:
+	$(GO) test -race ./...
+
+# Observability overhead guard plus the rest of the benchmarks.
+bench:
+	$(GO) test -run='^$$' -bench=. -benchmem ./...
+
+# Short coverage-guided fuzz burst over the simulator core.
+fuzz-smoke:
+	MOBILESTORAGE_FUZZ_SMOKE=1 $(GO) test ./internal/core -run TestFuzzSmoke -v
+
+# Regenerate the golden files after an intentional behavior change; review
+# the diff before committing.
+golden-update:
+	$(GO) test ./internal/core -run TestGolden -update
+
+check: vet test race

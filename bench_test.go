@@ -14,7 +14,12 @@ package mobilestorage
 import (
 	"testing"
 
+	"mobilestorage/internal/core"
+	"mobilestorage/internal/device"
 	"mobilestorage/internal/experiments"
+	"mobilestorage/internal/obs"
+	"mobilestorage/internal/units"
+	"mobilestorage/internal/workload"
 )
 
 const seed = experiments.DefaultSeed
@@ -335,6 +340,45 @@ func BenchmarkEnvy(b *testing.B) {
 			}
 		}
 	}
+}
+
+// Observability overhead guard: the same flash-card simulation with a nil
+// scope (instrumentation compiled in but disabled), with a live metrics
+// registry, and with full event tracing into a ring buffer. The nil-scope
+// run is the hot path every experiment takes; its ns/op must stay within
+// 2% of what it was before the obs layer existed (numbers documented in
+// docs/OBSERVABILITY.md). Compare with:
+//
+//	go test -bench='BenchmarkRun(Nil|Active|Tracing)' -count=10 | benchstat
+func benchRunScope(b *testing.B, sc *obs.Scope) {
+	tr, err := workload.Synth(workload.SynthConfig{Seed: 7, Ops: 4000})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := core.Config{
+		Kind:            core.FlashCard,
+		Trace:           tr,
+		FlashCardParams: device.IntelSeries2Datasheet(),
+		DRAMBytes:       512 * units.KB,
+		Scope:           sc,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRunNilScope(b *testing.B) { benchRunScope(b, nil) }
+
+func BenchmarkRunActiveScope(b *testing.B) {
+	benchRunScope(b, obs.NewScope(obs.NewRegistry(), nil))
+}
+
+func BenchmarkRunTracingScope(b *testing.B) {
+	benchRunScope(b, obs.NewScope(obs.NewRegistry(), obs.NewRing(1<<16)))
 }
 
 func BenchmarkSeedSensitivity(b *testing.B) {

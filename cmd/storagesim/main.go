@@ -21,6 +21,7 @@ import (
 
 	"mobilestorage/internal/core"
 	"mobilestorage/internal/device"
+	"mobilestorage/internal/obs"
 	"mobilestorage/internal/trace"
 	"mobilestorage/internal/units"
 	"mobilestorage/internal/workload"
@@ -52,6 +53,8 @@ func run() error {
 		writeBack = flag.Bool("writeback", false, "use a write-back DRAM cache (paper default is write-through)")
 		verbose   = flag.Bool("v", false, "print component energy breakdown and device counters")
 		opLog     = flag.String("oplog", "", "write a per-operation CSV log to this file")
+		events    = flag.String("events", "", "write structured simulator events (NDJSON) to this file")
+		metrics   = flag.Bool("metrics", false, "print the observability counter registry after the run")
 	)
 	flag.Parse()
 
@@ -133,6 +136,32 @@ func run() error {
 		}
 	}
 
+	var reg *obs.Registry
+	if *metrics {
+		reg = obs.NewRegistry()
+	}
+	var sink *obs.NDJSONSink
+	var eventsClose func() error
+	if *events != "" {
+		f, err := os.Create(*events)
+		if err != nil {
+			return err
+		}
+		sink = obs.NewNDJSONSink(f)
+		eventsClose = func() error {
+			if err := sink.Flush(); err != nil {
+				f.Close()
+				return err
+			}
+			return f.Close()
+		}
+	}
+	var tr obs.Tracer
+	if sink != nil {
+		tr = sink
+	}
+	cfg.Scope = obs.NewScope(reg, tr)
+
 	res, err := core.Run(cfg)
 	if err != nil {
 		return err
@@ -142,7 +171,15 @@ func run() error {
 			return err
 		}
 	}
+	if eventsClose != nil {
+		if err := eventsClose(); err != nil {
+			return err
+		}
+	}
 	printResult(res, *verbose)
+	if reg != nil {
+		fmt.Print(reg.String())
+	}
 	return nil
 }
 

@@ -12,6 +12,7 @@ import (
 
 	"mobilestorage/internal/device"
 	"mobilestorage/internal/energy"
+	"mobilestorage/internal/obs"
 	"mobilestorage/internal/units"
 )
 
@@ -44,12 +45,29 @@ type Cache struct {
 	lastUpdate units.Time
 
 	hits, misses int64
+
+	// Observability (nil-safe no-ops without a scope).
+	cHits   *obs.Counter
+	cMisses *obs.Counter
+}
+
+// Option configures a Cache.
+type Option func(*Cache)
+
+// WithScope attaches an observability scope: hit/miss counters. Events are
+// emitted by the simulation core, which knows the request timestamps. A nil
+// scope is free.
+func WithScope(sc *obs.Scope) Option {
+	return func(c *Cache) {
+		c.cHits = sc.Counter("cache.hits")
+		c.cMisses = sc.Counter("cache.misses")
+	}
 }
 
 // New builds a cache of the given total size; size must hold at least one
 // block. The zero-size case is handled by callers (they bypass the cache
 // entirely, as the hp simulations require).
-func New(params device.MemoryParams, size, blockSize units.Bytes, writeBack bool) (*Cache, error) {
+func New(params device.MemoryParams, size, blockSize units.Bytes, writeBack bool, opts ...Option) (*Cache, error) {
 	if blockSize <= 0 {
 		return nil, fmt.Errorf("cache: block size must be positive")
 	}
@@ -57,7 +75,7 @@ func New(params device.MemoryParams, size, blockSize units.Bytes, writeBack bool
 	if capBlocks < 1 {
 		return nil, fmt.Errorf("cache: size %v holds no %v blocks", size, blockSize)
 	}
-	return &Cache{
+	c := &Cache{
 		params:    params,
 		size:      size,
 		blockSize: blockSize,
@@ -65,7 +83,11 @@ func New(params device.MemoryParams, size, blockSize units.Bytes, writeBack bool
 		writeBack: writeBack,
 		blocks:    make(map[int64]*node, capBlocks),
 		meter:     energy.NewMeter(),
-	}, nil
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c, nil
 }
 
 // Size returns the configured capacity in bytes.
@@ -110,6 +132,7 @@ func (c *Cache) Contains(addr, size units.Bytes) bool {
 	for b := first; b <= last; b++ {
 		if _, ok := c.blocks[b]; !ok {
 			c.misses++
+			c.cMisses.Inc()
 			return false
 		}
 	}
@@ -117,6 +140,7 @@ func (c *Cache) Contains(addr, size units.Bytes) bool {
 		c.touch(c.blocks[b])
 	}
 	c.hits++
+	c.cHits.Inc()
 	return true
 }
 

@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"mobilestorage/internal/device"
+	"mobilestorage/internal/obs"
 	"mobilestorage/internal/trace"
 	"mobilestorage/internal/units"
 )
@@ -121,6 +122,12 @@ type Config struct {
 	// completes — an op-level log for debugging and external analysis.
 	// It must not retain the observation beyond the call.
 	Observer func(OpObservation)
+
+	// Scope, when non-nil, receives metrics and (if it carries a tracer)
+	// structured events from every layer of the stack. Instrumentation is
+	// strictly read-only: attaching a scope never changes simulation
+	// results. Nil disables observability at zero cost.
+	Scope *obs.Scope
 }
 
 // OpObservation is one completed trace operation as seen by the simulator.

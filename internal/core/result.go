@@ -35,7 +35,8 @@ type Result struct {
 	CacheMisses int64
 
 	// Disk-specific.
-	SpinUps int64
+	SpinUps   int64
+	SpinDowns int64
 
 	// Flash-specific.
 	Erases         int64   // total erase operations
@@ -50,9 +51,17 @@ type Result struct {
 	CleaningTime units.Time
 	HostTime     units.Time
 
+	// SRAM write-buffer activity (zero without an SRAM buffer).
+	SRAMFlushes       int64 // background drains performed
+	SRAMStalledWrites int64 // writes that waited for a drain
+
 	// Run shape.
 	MeasuredOps int        // operations contributing to statistics
 	EndTime     units.Time // completion time of the run
+
+	// Metrics is a snapshot of the observability counters at the end of the
+	// run, keyed by metric name. Nil unless Config.Scope carried a registry.
+	Metrics map[string]int64
 }
 
 // ReadP returns an upper bound on the q-quantile of read response time in

@@ -10,6 +10,7 @@ import (
 	"mobilestorage/internal/flashcard"
 	"mobilestorage/internal/flashdisk"
 	"mobilestorage/internal/hybrid"
+	"mobilestorage/internal/obs"
 	"mobilestorage/internal/sram"
 	"mobilestorage/internal/stats"
 	"mobilestorage/internal/trace"
@@ -67,11 +68,13 @@ func Run(cfg Config) (*Result, error) {
 	}
 	var dram *cache.Cache
 	if cfg.DRAMBytes > 0 {
-		dram, err = cache.New(*cfg.DRAM, cfg.DRAMBytes, blockSize, cfg.WriteBack)
+		dram, err = cache.New(*cfg.DRAM, cfg.DRAMBytes, blockSize, cfg.WriteBack, cache.WithScope(cfg.Scope))
 		if err != nil {
 			return nil, err
 		}
 	}
+	sc := cfg.Scope
+	tracing := sc.Tracing()
 
 	res := &Result{
 		TraceName:         t.Name,
@@ -115,8 +118,14 @@ func Run(cfg Config) (*Result, error) {
 			hit := false
 			if dram != nil && dram.Contains(addr, rec.Size) {
 				hit = true
+				if tracing {
+					sc.Emit(obs.Event{T: int64(rec.Time), Kind: obs.EvCacheHit, Size: int64(rec.Size)})
+				}
 				resp = dram.AccessTime(rec.Size)
 			} else {
+				if tracing && dram != nil {
+					sc.Emit(obs.Event{T: int64(rec.Time), Kind: obs.EvCacheMiss, Size: int64(rec.Size)})
+				}
 				completion := st.top.Access(device.Request{
 					Time: rec.Time, Op: trace.Read, File: rec.File, Addr: addr, Size: rec.Size,
 				})
@@ -189,6 +198,9 @@ func Run(cfg Config) (*Result, error) {
 	res.EndTime = end
 	fillEnergy(res, st, dram, warmSnapshot)
 	fillDeviceStats(res, st, dram)
+	if reg := sc.Registry(); reg != nil {
+		res.Metrics = reg.Counters()
+	}
 	return res, nil
 }
 
@@ -246,9 +258,15 @@ func fillDeviceStats(res *Result, st *stack, dram *cache.Cache) {
 	}
 	if st.disk != nil {
 		res.SpinUps = st.disk.SpinUps()
+		res.SpinDowns = st.disk.SpinDowns()
+	}
+	if st.buffer != nil {
+		res.SRAMFlushes = st.buffer.Flushes()
+		res.SRAMStalledWrites = st.buffer.StalledWrites()
 	}
 	if st.hyb != nil {
 		res.SpinUps = st.hyb.Disk().SpinUps()
+		res.SpinDowns = st.hyb.Disk().SpinDowns()
 		card := st.hyb.Card()
 		res.Erases = card.TotalErases()
 		res.CopiedBlocks = card.CopiedBlocks()
@@ -323,7 +341,7 @@ func buildStack(cfg Config, blockSize, footprint units.Bytes) (*stack, error) {
 		if err != nil {
 			return nil, err
 		}
-		d, err := disk.New(cfg.Disk, disk.WithPolicy(policy))
+		d, err := disk.New(cfg.Disk, disk.WithPolicy(policy), disk.WithScope(cfg.Scope))
 		if err != nil {
 			return nil, err
 		}
@@ -335,7 +353,7 @@ func buildStack(cfg Config, blockSize, footprint units.Bytes) (*stack, error) {
 			return nil, err
 		}
 		capacity := flashCapacity(cfg, footprint, cfg.FlashDiskParams.SectorSize)
-		var opts []flashdisk.Option
+		opts := []flashdisk.Option{flashdisk.WithScope(cfg.Scope)}
 		if cfg.AsyncErase {
 			opts = append(opts, flashdisk.WithAsyncErase())
 		}
@@ -365,7 +383,7 @@ func buildStack(cfg Config, blockSize, footprint units.Bytes) (*stack, error) {
 				capacity = units.CeilDiv(stored, seg)*seg + 3*seg
 			}
 		}
-		var opts []flashcard.Option
+		opts := []flashcard.Option{flashcard.WithScope(cfg.Scope)}
 		if cfg.OnDemandCleaning {
 			opts = append(opts, flashcard.WithOnDemandCleaning())
 		}
@@ -406,6 +424,7 @@ func buildStack(cfg Config, blockSize, footprint units.Bytes) (*stack, error) {
 			Card:      cfg.FlashCardParams,
 			CacheSize: cacheBytes,
 			BlockSize: blockSize,
+			Scope:     cfg.Scope,
 		})
 		if err != nil {
 			return nil, err
@@ -415,7 +434,7 @@ func buildStack(cfg Config, blockSize, footprint units.Bytes) (*stack, error) {
 	}
 
 	if cfg.SRAMBytes > 0 {
-		b, err := sram.New(*cfg.SRAM, cfg.SRAMBytes, blockSize, base)
+		b, err := sram.New(*cfg.SRAM, cfg.SRAMBytes, blockSize, base, sram.WithScope(cfg.Scope))
 		if err != nil {
 			return nil, err
 		}

@@ -9,6 +9,7 @@ import (
 
 	"mobilestorage/internal/device"
 	"mobilestorage/internal/energy"
+	"mobilestorage/internal/obs"
 	"mobilestorage/internal/trace"
 	"mobilestorage/internal/units"
 )
@@ -53,8 +54,17 @@ type Disk struct {
 	hasLastFile bool
 	lastEnd     units.Bytes // device address one past the last access
 
-	spinUps int64
-	ops     int64
+	spinUps   int64
+	spinDowns int64
+	ops       int64
+
+	// Observability (nil-safe no-ops without a scope).
+	sc         *obs.Scope
+	evName     string // cached Name() for event emission
+	cSpinUps   *obs.Counter
+	cSpinDowns *obs.Counter
+	cOps       *obs.Counter
+	hSleepMs   *obs.Histogram
 }
 
 // Option configures a Disk.
@@ -74,6 +84,19 @@ func WithPolicy(p SpinPolicy) Option {
 	return func(d *Disk) {
 		d.policy = p
 		d.refreshThreshold()
+	}
+}
+
+// WithScope attaches an observability scope: spin-up/spin-down counters and
+// events, and a histogram of sleep durations. A nil scope is free.
+func WithScope(sc *obs.Scope) Option {
+	return func(d *Disk) {
+		d.sc = sc
+		d.evName = d.Name()
+		d.cSpinUps = sc.Counter("disk.spin_ups")
+		d.cSpinDowns = sc.Counter("disk.spin_downs")
+		d.cOps = sc.Counter("disk.ops")
+		d.hSleepMs = sc.Histogram("disk.sleep_ms", obs.LogBuckets(1e-3, 1e7))
 	}
 }
 
@@ -117,6 +140,9 @@ func (d *Disk) Params() device.DiskParams { return d.p }
 
 // SpinUps returns the number of spin-ups performed.
 func (d *Disk) SpinUps() int64 { return d.spinUps }
+
+// SpinDowns returns the number of spin-downs performed.
+func (d *Disk) SpinDowns() int64 { return d.spinDowns }
 
 // Spinning reports whether the platters are spinning at the given instant,
 // assuming no intervening operations. Used by the SRAM write buffer for
@@ -204,6 +230,7 @@ func (d *Disk) Access(req device.Request) units.Time {
 	d.lastFile = req.File
 	d.hasLastFile = true
 	d.ops++
+	d.cOps.Inc()
 	return completion
 }
 
@@ -216,6 +243,11 @@ func (d *Disk) wake(at units.Time) {
 	slept := at - d.sleepStart
 	if slept < 0 {
 		slept = 0
+	}
+	d.cSpinUps.Inc()
+	d.hSleepMs.Observe(slept.Milliseconds())
+	if d.sc.Tracing() {
+		d.sc.Emit(obs.Event{T: int64(at), Kind: obs.EvDiskSpinUp, Dev: d.evName, Dur: int64(slept)})
 	}
 	d.policy.OnSpinUp(slept)
 	d.refreshThreshold()
@@ -254,6 +286,11 @@ func (d *Disk) advance(now units.Time) {
 				d.meter.Accrue(energy.StateSleep, d.p.SleepW, now-downAt)
 				d.st = sleeping
 				d.sleepStart = downAt
+				d.spinDowns++
+				d.cSpinDowns.Inc()
+				if d.sc.Tracing() {
+					d.sc.Emit(obs.Event{T: int64(downAt), Kind: obs.EvDiskSpinDown, Dev: d.evName, Dur: int64(d.spinDown)})
+				}
 				d.lastUpdate = now
 				return
 			}

@@ -87,9 +87,17 @@ func (m *Meter) ByState() map[State]float64 {
 // StateJ returns the energy attributed to one state.
 func (m *Meter) StateJ(s State) float64 { return m.joules[s] }
 
-// Merge adds all of other's energy into m.
+// Merge adds all of other's energy into m. States are merged in sorted
+// order: float addition is order-sensitive in the last ulp, and map
+// iteration order would make merged totals vary between identical runs.
 func (m *Meter) Merge(other *Meter) {
-	for k, v := range other.joules {
+	states := make([]State, 0, len(other.joules))
+	for k := range other.joules {
+		states = append(states, k)
+	}
+	sort.Slice(states, func(i, j int) bool { return states[i] < states[j] })
+	for _, k := range states {
+		v := other.joules[k]
 		m.joules[k] += v
 		m.total += v
 	}

@@ -129,6 +129,42 @@ func WriteCSVs(dir string, seed int64) ([]string, error) {
 		}
 	}
 
+	// Table 4 with the observability counters: one row per device per trace,
+	// so spin-up/erase/cleaning activity can be plotted alongside energy.
+	{
+		var rows [][]string
+		for _, traceName := range []string{"mac", "dos"} {
+			t4, err := Table4(traceName, seed)
+			if err != nil {
+				return nil, err
+			}
+			for _, r := range t4 {
+				res := r.Result
+				rows = append(rows, []string{
+					traceName, r.Device.Name, string(r.Device.Source),
+					ff(r.EnergyJ), ff(r.ReadMean), ff(r.WriteMean),
+					strconv.FormatInt(res.SpinUps, 10),
+					strconv.FormatInt(res.SpinDowns, 10),
+					strconv.FormatInt(res.Erases, 10),
+					strconv.FormatInt(res.CopiedBlocks, 10),
+					strconv.FormatInt(res.HostBlocks, 10),
+					strconv.FormatInt(res.WriteStalls, 10),
+					strconv.FormatInt(res.SRAMFlushes, 10),
+					strconv.FormatInt(res.SRAMStalledWrites, 10),
+					strconv.FormatInt(res.CacheHits, 10),
+					strconv.FormatInt(res.CacheMisses, 10),
+				})
+			}
+		}
+		if err := emit("table4.csv",
+			[]string{"trace", "device", "source", "energy_j", "read_mean_ms", "write_mean_ms",
+				"spin_ups", "spin_downs", "erases", "copied_blocks", "host_blocks",
+				"write_stalls", "sram_flushes", "sram_stalled_writes", "cache_hits", "cache_misses"},
+			rows); err != nil {
+			return nil, err
+		}
+	}
+
 	// Figure 5.
 	fig5, err := Fig5(seed)
 	if err != nil {

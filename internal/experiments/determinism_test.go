@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"runtime"
+	"testing"
+)
+
+// TestPmapOrderDeterminism runs the same pmap workload serially
+// (GOMAXPROCS=1) and fully parallel, requiring identical output: pmap's
+// contract is that each worker writes only its own index, so scheduling must
+// never leak into results or row order.
+func TestPmapOrderDeterminism(t *testing.T) {
+	build := func() []int {
+		out := make([]int, 64)
+		pmap(len(out), func(i int) { out[i] = i * i })
+		return out
+	}
+	old := runtime.GOMAXPROCS(1)
+	serial := build()
+	runtime.GOMAXPROCS(old)
+	parallel := build()
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Fatalf("index %d: serial %d vs parallel %d", i, serial[i], parallel[i])
+		}
+	}
+}
+
+// TestTable4Determinism is the experiment-level determinism lock: the full
+// Table 4 sweep must produce bit-identical results whether the seven device
+// simulations run serially or concurrently, and across repeated runs with
+// the same seed.
+func TestTable4Determinism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full trace simulation")
+	}
+	const seed = 3
+	run := func() []Table4Row {
+		rows, err := Table4("synth", seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rows
+	}
+	old := runtime.GOMAXPROCS(1)
+	serial := run()
+	runtime.GOMAXPROCS(old)
+	parallel := run()
+	again := run()
+
+	compare := func(label string, a, b []Table4Row) {
+		if len(a) != len(b) {
+			t.Fatalf("%s: %d vs %d rows", label, len(a), len(b))
+		}
+		for i := range a {
+			ra, rb := a[i], b[i]
+			if ra.Device != rb.Device {
+				t.Fatalf("%s row %d: device order differs: %v vs %v", label, i, ra.Device, rb.Device)
+			}
+			if ra.EnergyJ != rb.EnergyJ || ra.ReadMean != rb.ReadMean || ra.WriteMean != rb.WriteMean ||
+				ra.ReadMax != rb.ReadMax || ra.WriteMax != rb.WriteMax {
+				t.Errorf("%s row %d (%v): results differ: %+v vs %+v", label, i, ra.Device, ra, rb)
+			}
+			if ra.Result.EndTime != rb.Result.EndTime || ra.Result.Erases != rb.Result.Erases ||
+				ra.Result.SpinUps != rb.Result.SpinUps {
+				t.Errorf("%s row %d (%v): counters differ", label, i, ra.Device)
+			}
+		}
+	}
+	compare("serial-vs-parallel", serial, parallel)
+	compare("repeat", parallel, again)
+}

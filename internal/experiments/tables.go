@@ -194,5 +194,25 @@ func RenderTable4(traceName string, rows []Table4Row) string {
 			f2(r.ReadMean), f1(r.ReadMax), f1(r.ReadSD),
 			f2(r.WriteMean), f1(r.WriteMax), f1(r.WriteSD))
 	}
-	return fmt.Sprintf("Table 4 (%s): energy and response time (ms)\n", traceName) + t.String()
+	return fmt.Sprintf("Table 4 (%s): energy and response time (ms)\n", traceName) + t.String() +
+		"\n" + renderTable4Counters(traceName, rows)
+}
+
+// renderTable4Counters is the observability companion to Table 4: the
+// device-activity counters behind each energy number.
+func renderTable4Counters(traceName string, rows []Table4Row) string {
+	t := &table{header: []string{"Device", "Params", "Spin-ups", "Erases",
+		"Copied", "Host blks", "Stalls", "SRAM flushes", "Cache hit%"}}
+	for _, r := range rows {
+		res := r.Result
+		if res == nil {
+			continue
+		}
+		t.addRow(r.Device.Name, string(r.Device.Source),
+			fmt.Sprintf("%d", res.SpinUps), fmt.Sprintf("%d", res.Erases),
+			fmt.Sprintf("%d", res.CopiedBlocks), fmt.Sprintf("%d", res.HostBlocks),
+			fmt.Sprintf("%d", res.WriteStalls), fmt.Sprintf("%d", res.SRAMFlushes),
+			f1(res.HitRate()*100))
+	}
+	return fmt.Sprintf("Table 4 (%s) device activity\n", traceName) + t.String()
 }

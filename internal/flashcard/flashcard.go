@@ -26,6 +26,7 @@ import (
 
 	"mobilestorage/internal/device"
 	"mobilestorage/internal/energy"
+	"mobilestorage/internal/obs"
 	"mobilestorage/internal/trace"
 	"mobilestorage/internal/units"
 )
@@ -112,6 +113,16 @@ type Card struct {
 	cleanTime     units.Time // cumulative copy+erase time
 	hostTime      units.Time // cumulative host transfer time
 	prefilled     bool
+
+	// Observability (nil-safe no-ops without a scope).
+	sc        *obs.Scope
+	evName    string
+	cErases   *obs.Counter
+	cCleans   *obs.Counter
+	cCopied   *obs.Counter
+	cHostBlks *obs.Counter
+	cStalls   *obs.Counter
+	hCleanMs  *obs.Histogram
 }
 
 // cleanJob is an in-progress cleaning of one victim segment.
@@ -120,6 +131,7 @@ type Card struct {
 type cleanJob struct {
 	victim    int32
 	remaining units.Time
+	total     units.Time // full job cost, for event reporting
 }
 
 // Option configures a Card.
@@ -147,6 +159,20 @@ func WithOnDemandCleaning() Option {
 // writes. Costs extra copies; bounds the wear spread.
 func WithWearLeveling(threshold int64) Option {
 	return func(c *Card) { c.wearLevel = threshold }
+}
+
+// WithScope attaches an observability scope: erase/clean/copy/stall
+// counters and events. A nil scope is free.
+func WithScope(sc *obs.Scope) Option {
+	return func(c *Card) {
+		c.sc = sc
+		c.cErases = sc.Counter("flashcard.erases")
+		c.cCleans = sc.Counter("flashcard.cleans")
+		c.cCopied = sc.Counter("flashcard.copied_blocks")
+		c.cHostBlks = sc.Counter("flashcard.host_blocks")
+		c.cStalls = sc.Counter("flashcard.stalls")
+		c.hCleanMs = sc.Histogram("flashcard.clean_ms", obs.LogBuckets(1e-3, 1e7))
+	}
 }
 
 // New builds a flash card with the given capacity and logical block size.
@@ -192,6 +218,7 @@ func New(p device.FlashCardParams, capacity units.Bytes, blockSize units.Bytes, 
 	for _, o := range opts {
 		o(c)
 	}
+	c.evName = c.Name()
 	return c, nil
 }
 
@@ -318,7 +345,7 @@ func (c *Card) Access(req device.Request) units.Time {
 		c.meter.Accrue(energy.StateActive, c.p.ActiveW, service)
 		c.hostTime += service
 	case trace.Write:
-		service = c.write(req.Addr, req.Size)
+		service = c.write(req.Addr, req.Size, start)
 	}
 	completion := start + service
 	// A background operation may already have advanced the energy clock
@@ -347,7 +374,7 @@ func (c *Card) Background(req device.Request) units.Time {
 		service = units.TransferTime(req.Size, c.p.ReadKBs)
 		c.meter.Accrue(energy.StateActive, c.p.ActiveW, service)
 	case trace.Write:
-		service = c.write(req.Addr, req.Size)
+		service = c.write(req.Addr, req.Size, start)
 	}
 	completion := start + service
 	if completion > c.lastUpdate {
@@ -358,22 +385,28 @@ func (c *Card) Background(req device.Request) units.Time {
 }
 
 // write appends the blocks of [addr, addr+size) to the host log and returns
-// the service time, including any synchronous wait for erased space.
-func (c *Card) write(addr, size units.Bytes) units.Time {
+// the service time, including any synchronous wait for erased space. start
+// is the arrival instant, used to timestamp events.
+func (c *Card) write(addr, size units.Bytes, start units.Time) units.Time {
 	first := int64(addr / c.blockSize)
 	last := int64((addr + size - 1) / c.blockSize)
 	var stall units.Time
 	for b := first; b <= last; b++ {
-		stall += c.ensureSpace(hostHead)
+		stall += c.ensureSpace(hostHead, start+stall)
 		c.appendBlock(int32(b), hostHead)
 		c.hostWrites++
 	}
+	c.cHostBlks.Add(last - first + 1)
 	transfer := units.TransferTime(size, c.p.WriteKBs)
 	c.meter.Accrue(energy.StateActive, c.p.ActiveW, transfer)
 	c.hostTime += transfer // stall time is cleaning work, counted there
 	if stall > 0 {
 		c.stallTime += stall
 		c.stalls++
+		c.cStalls.Inc()
+		if c.sc.Tracing() {
+			c.sc.Emit(obs.Event{T: int64(start), Kind: obs.EvCardStall, Dev: c.evName, Dur: int64(stall)})
+		}
 	}
 	return stall + transfer
 }
@@ -382,7 +415,7 @@ func (c *Card) write(addr, size units.Bytes) units.Time {
 // returning any synchronous stall time incurred finishing cleans. A head
 // only opens a segment while another remains erased (or nothing is
 // cleanable), so cleaning relocations always have somewhere to land.
-func (c *Card) ensureSpace(h logHead) units.Time {
+func (c *Card) ensureSpace(h logHead, at units.Time) units.Time {
 	if c.active[h] != noSegment && c.activeFree[h] > 0 {
 		return 0
 	}
@@ -397,7 +430,7 @@ func (c *Card) ensureSpace(h logHead) units.Time {
 		stall += c.job.remaining
 		c.accrueJob(c.job.remaining)
 		c.job.remaining = 0
-		c.finishJob()
+		c.finishJob(at + stall)
 	}
 	// The cleaning relocations above may themselves have opened a fresh
 	// active segment for this head; use it rather than leaking it.
@@ -481,15 +514,15 @@ func (c *Card) advance(now units.Time) {
 	gap := now - c.lastUpdate
 	var spent units.Time
 	if !c.onDemand {
-		spent = c.runCleaner(gap)
+		spent = c.runCleaner(c.lastUpdate, gap)
 	}
 	c.meter.Accrue(energy.StateStandby, c.p.StandbyW, gap-spent)
 	c.lastUpdate = now
 }
 
-// runCleaner spends up to budget µs of idle time cleaning; returns time
-// actually spent.
-func (c *Card) runCleaner(budget units.Time) units.Time {
+// runCleaner spends up to budget µs of idle time cleaning, starting at the
+// given instant; returns time actually spent.
+func (c *Card) runCleaner(start, budget units.Time) units.Time {
 	var spent units.Time
 	for spent < budget {
 		if c.job == nil {
@@ -506,7 +539,7 @@ func (c *Card) runCleaner(budget units.Time) units.Time {
 		c.job.remaining -= step
 		spent += step
 		if c.job.remaining == 0 {
-			c.finishJob()
+			c.finishJob(start + spent)
 		}
 	}
 	return spent
@@ -552,7 +585,8 @@ func (c *Card) startJobFor(victim int32) {
 		copyKBs = c.p.WriteKBs
 	}
 	copyWork := units.TransferTime(copyBytes, c.p.ReadKBs) + units.TransferTime(copyBytes, copyKBs)
-	c.job = &cleanJob{victim: victim, remaining: copyWork + c.p.EraseTime}
+	total := copyWork + c.p.EraseTime
+	c.job = &cleanJob{victim: victim, remaining: total, total: total}
 }
 
 // wearLevelVictim returns the least-worn closed segment when the wear
@@ -611,19 +645,22 @@ func (c *Card) accrueJob(step units.Time) {
 	}
 }
 
-// finishJob applies the completed job's state changes: relocate the
-// victim's live blocks to the cleaner's log head, then mark the victim
-// erased.
-func (c *Card) finishJob() {
+// finishJob applies the completed job's state changes at the given instant:
+// relocate the victim's live blocks to the cleaner's log head, then mark the
+// victim erased.
+func (c *Card) finishJob(at units.Time) {
 	v := c.job.victim
+	total := c.job.total
 	c.job = nil
 	c.victimLiveSum += int64(c.segLive[v])
+	var copied int64
 	for _, b := range c.segBlocks[v] {
 		if c.blockSeg[b] == v {
 			c.segLive[v]--
 			c.blockSeg[b] = noSegment // avoid double-decrement in appendBlock
 			c.appendBlock(b, cleanHead)
 			c.copyWrites++
+			copied++
 		}
 	}
 	c.segBlocks[v] = c.segBlocks[v][:0]
@@ -634,6 +671,20 @@ func (c *Card) finishJob() {
 	c.totalErases++
 	c.segState[v] = segErased
 	c.erased = append(c.erased, v)
+	c.cCleans.Inc()
+	c.cErases.Inc()
+	c.cCopied.Add(copied)
+	c.hCleanMs.Observe(total.Milliseconds())
+	if c.sc.Tracing() {
+		c.sc.Emit(obs.Event{T: int64(at), Kind: obs.EvCardClean, Dev: c.evName,
+			Addr: int64(v), Size: copied, Dur: int64(total)})
+		if copied > 0 {
+			c.sc.Emit(obs.Event{T: int64(at), Kind: obs.EvCardCopy, Dev: c.evName,
+				Addr: int64(v), Size: copied})
+		}
+		c.sc.Emit(obs.Event{T: int64(at), Kind: obs.EvCardErase, Dev: c.evName,
+			Addr: int64(v), Size: c.segErases[v]})
+	}
 }
 
 var (

@@ -21,6 +21,7 @@ import (
 
 	"mobilestorage/internal/device"
 	"mobilestorage/internal/energy"
+	"mobilestorage/internal/obs"
 	"mobilestorage/internal/trace"
 	"mobilestorage/internal/units"
 )
@@ -50,6 +51,13 @@ type FlashDisk struct {
 	totalErases  int64
 	totalSectors int64
 	ops          int64
+
+	// Observability (nil-safe no-ops without a scope).
+	sc      *obs.Scope
+	evName  string
+	cErases *obs.Counter
+	cWrites *obs.Counter
+	cReads  *obs.Counter
 }
 
 // Option configures a FlashDisk.
@@ -60,6 +68,17 @@ type Option func(*FlashDisk)
 // bandwidths; New reports that.
 func WithAsyncErase() Option {
 	return func(f *FlashDisk) { f.asyncErase = true }
+}
+
+// WithScope attaches an observability scope: write/erase counters and
+// events. A nil scope is free.
+func WithScope(sc *obs.Scope) Option {
+	return func(f *FlashDisk) {
+		f.sc = sc
+		f.cErases = sc.Counter("flashdisk.erased_sectors")
+		f.cWrites = sc.Counter("flashdisk.writes")
+		f.cReads = sc.Counter("flashdisk.reads")
+	}
 }
 
 // spareSectors is the pool of spare sectors available for remapping under
@@ -86,6 +105,7 @@ func New(p device.FlashDiskParams, capacity units.Bytes, opts ...Option) (*Flash
 	for _, o := range opts {
 		o(f)
 	}
+	f.evName = f.Name()
 	if f.asyncErase {
 		if !p.SupportsAsyncErase() {
 			return nil, fmt.Errorf("flashdisk %s: part does not support asynchronous erasure", p.Name)
@@ -138,8 +158,14 @@ func (f *FlashDisk) Access(req device.Request) units.Time {
 	case trace.Read:
 		service = f.p.AccessLatency + units.TransferTime(req.Size, f.p.ReadKBs)
 		f.meter.Accrue(energy.StateActive, f.p.ActiveW, service)
+		f.cReads.Inc()
 	case trace.Write:
-		service = f.writeTime(req.Size)
+		service = f.writeTime(req.Size, start)
+		f.cWrites.Inc()
+		if f.sc.Tracing() {
+			f.sc.Emit(obs.Event{T: int64(start), Kind: obs.EvFlashDiskWrite, Dev: f.evName,
+				Addr: int64(req.Addr), Size: int64(req.Size), Dur: int64(service)})
+		}
 	}
 	completion := start + service
 	f.lastUpdate = completion
@@ -148,14 +174,15 @@ func (f *FlashDisk) Access(req device.Request) units.Time {
 	return completion
 }
 
-// writeTime computes and accounts the service time of a write.
-func (f *FlashDisk) writeTime(size units.Bytes) units.Time {
+// writeTime computes and accounts the service time of a write arriving at
+// start (the instant is only used for event timestamps).
+func (f *FlashDisk) writeTime(size units.Bytes, start units.Time) units.Time {
 	sectors := int64(units.CeilDiv(size, f.p.SectorSize))
 	if !f.asyncErase {
 		// Erase coupled with write at the low combined bandwidth.
 		t := f.p.AccessLatency + units.TransferTime(size, f.p.WriteCoupledKBs)
 		f.meter.Accrue(energy.StateActive, f.p.WriteW, t)
-		f.totalErases += sectors
+		f.recordErases(sectors, start, true)
 		return t
 	}
 	// Asynchronous discipline: use pre-erased sectors first, erase the
@@ -180,10 +207,25 @@ func (f *FlashDisk) writeTime(size units.Bytes) units.Time {
 	if slow > 0 {
 		b := units.Bytes(slow) * f.p.SectorSize
 		t += units.TransferTime(b, f.p.EraseKBs) + units.TransferTime(b, f.p.WritePreErasedKBs)
-		f.totalErases += slow
+		f.recordErases(slow, start, true)
 	}
 	f.meter.Accrue(energy.StateActive, f.p.WriteW, t)
 	return t
+}
+
+// recordErases accounts sector erasures for both the totals and the
+// observability layer. sync marks erasures performed on the write path.
+func (f *FlashDisk) recordErases(sectors int64, at units.Time, sync bool) {
+	f.totalErases += sectors
+	f.cErases.Add(sectors)
+	if f.sc.Tracing() {
+		var addr int64
+		if sync {
+			addr = 1
+		}
+		f.sc.Emit(obs.Event{T: int64(at), Kind: obs.EvFlashDiskErase, Dev: f.evName,
+			Addr: addr, Size: sectors})
+	}
 }
 
 // advance integrates standby energy and, in async mode, background erasure
@@ -210,7 +252,9 @@ func (f *FlashDisk) advance(now units.Time) {
 		}
 		f.stale -= erased
 		f.preErased += erased
-		f.totalErases += erased
+		if erased > 0 {
+			f.recordErases(erased, f.lastUpdate+spent, false)
+		}
 		f.meter.Accrue(energy.StateErase, f.p.WriteW, spent)
 	}
 	f.meter.Accrue(energy.StateStandby, f.p.StandbyW, gap-spent)

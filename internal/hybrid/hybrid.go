@@ -24,6 +24,7 @@ import (
 	"mobilestorage/internal/disk"
 	"mobilestorage/internal/energy"
 	"mobilestorage/internal/flashcard"
+	"mobilestorage/internal/obs"
 	"mobilestorage/internal/trace"
 	"mobilestorage/internal/units"
 )
@@ -58,6 +59,13 @@ type Cache struct {
 	hits, misses  int64
 	destageWrites int64
 	destages      int64
+
+	// Observability (nil-safe no-ops without a scope).
+	sc        *obs.Scope
+	evName    string
+	cHits     *obs.Counter
+	cMisses   *obs.Counter
+	cDestages *obs.Counter
 }
 
 // Config sizes the hybrid stack.
@@ -67,6 +75,9 @@ type Config struct {
 	Card      device.FlashCardParams
 	CacheSize units.Bytes
 	BlockSize units.Bytes
+	// Scope receives metrics and events from the hybrid layer and both
+	// underlying devices; nil disables observability.
+	Scope *obs.Scope
 }
 
 // New builds a hybrid device: a disk with a flash block cache in front.
@@ -78,7 +89,7 @@ func New(cfg Config) (*Cache, error) {
 	if capBlocks < 8 {
 		return nil, fmt.Errorf("hybrid: cache %v holds under 8 blocks", cfg.CacheSize)
 	}
-	d, err := disk.New(cfg.Disk, disk.WithSpinDown(cfg.SpinDown))
+	d, err := disk.New(cfg.Disk, disk.WithSpinDown(cfg.SpinDown), disk.WithScope(cfg.Scope))
 	if err != nil {
 		return nil, err
 	}
@@ -91,7 +102,7 @@ func New(cfg Config) (*Cache, error) {
 	if flashCapacity < minCapacity {
 		flashCapacity = minCapacity
 	}
-	card, err := flashcard.New(cfg.Card, flashCapacity, cfg.BlockSize)
+	card, err := flashcard.New(cfg.Card, flashCapacity, cfg.BlockSize, flashcard.WithScope(cfg.Scope))
 	if err != nil {
 		return nil, err
 	}
@@ -101,10 +112,15 @@ func New(cfg Config) (*Cache, error) {
 		blockSize: cfg.BlockSize,
 		capBlocks: capBlocks,
 		slots:     make(map[int64]*slot, capBlocks),
+		sc:        cfg.Scope,
+		cHits:     cfg.Scope.Counter("hybrid.hits"),
+		cMisses:   cfg.Scope.Counter("hybrid.misses"),
+		cDestages: cfg.Scope.Counter("hybrid.destages"),
 	}
 	for i := capBlocks - 1; i >= 0; i-- {
 		c.freeCache = append(c.freeCache, i)
 	}
+	c.evName = c.Name()
 	return c, nil
 }
 
@@ -181,6 +197,7 @@ func (c *Cache) read(req device.Request) units.Time {
 	}
 	if allCached {
 		c.hits++
+		c.cHits.Inc()
 		var completion units.Time
 		for b := first; b <= last; b++ {
 			s := c.slots[b]
@@ -193,6 +210,7 @@ func (c *Cache) read(req device.Request) units.Time {
 		return completion
 	}
 	c.misses++
+	c.cMisses.Inc()
 	completion := c.dsk.Access(req)
 	// Install the blocks into flash at disk-read completion: flash writes
 	// off the host's critical path (the host already has the data).
@@ -310,8 +328,13 @@ func (c *Cache) destage(at units.Time) {
 	for _, b := range blocks {
 		c.slots[b].dirty = false
 	}
-	c.dirtyCount = 0
 	c.destages++
+	c.cDestages.Inc()
+	if c.sc.Tracing() {
+		c.sc.Emit(obs.Event{T: int64(at), Kind: obs.EvHybridDestage, Dev: c.evName,
+			Size: c.dirtyCount, Dur: int64(completion - at)})
+	}
+	c.dirtyCount = 0
 	if completion > c.destageDoneAt {
 		c.destageDoneAt = completion
 	}

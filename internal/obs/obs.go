@@ -1,0 +1,365 @@
+// Package obs is the simulator's observability layer: a zero-dependency,
+// allocation-light metrics registry (counters, gauges, histograms with
+// fixed log-scale buckets) plus an optional structured event tracer that
+// devices emit into at state transitions (disk spin-up/spin-down, SRAM
+// flush, flash erase, segment clean, cache hit/miss).
+//
+// Instrumentation must never change simulation results, so the whole API is
+// nil-tolerant: a nil *Scope, nil *Counter, or nil *Histogram is a valid
+// no-op receiver, which keeps the un-instrumented hot path to a single nil
+// check per site. Metric primitives use atomic operations so a Scope shared
+// across parallel experiment workers stays race-free.
+//
+// See docs/OBSERVABILITY.md for the metric name and event schema reference.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing int64 metric. The nil Counter
+// discards increments and reads as zero.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n (n may be any non-negative amount; negative deltas are a
+// programming error but are not checked on the hot path).
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a last-value float64 metric. The nil Gauge discards sets and
+// reads as zero.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set records the current value.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Value returns the last value set.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// histBucketsPerDecade fixes the histogram resolution: five log-spaced
+// buckets per decade, matching the latency histograms the simulator already
+// reports.
+const histBucketsPerDecade = 5
+
+// Histogram is a fixed-bucket log-scale histogram over positive float64
+// samples. Bucket bounds are immutable after construction; observation is a
+// binary search plus one atomic increment. The nil Histogram discards
+// observations.
+type Histogram struct {
+	bounds   []float64 // inclusive upper edges, strictly ascending
+	counts   []atomic.Int64
+	overflow atomic.Int64
+}
+
+// LogBuckets returns log-spaced inclusive upper bounds covering [min, max]
+// at five buckets per decade. min and max must be positive with min < max.
+func LogBuckets(min, max float64) []float64 {
+	if !(min > 0 && max > min) {
+		panic(fmt.Sprintf("obs: bad bucket range [%g, %g]", min, max))
+	}
+	var bounds []float64
+	step := 1.0 / histBucketsPerDecade
+	for e := math.Log10(min); ; e += step {
+		v := math.Pow(10, e)
+		bounds = append(bounds, v)
+		if v >= max {
+			return bounds
+		}
+	}
+}
+
+// newHistogram builds a histogram from ascending bounds.
+func newHistogram(bounds []float64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("obs: histogram bounds must be strictly ascending")
+		}
+	}
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b))}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(x float64) {
+	if h == nil {
+		return
+	}
+	// Binary search for the first bound >= x.
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if h.bounds[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == len(h.bounds) {
+		h.overflow.Add(1)
+		return
+	}
+	h.counts[lo].Add(1)
+}
+
+// Count returns the total number of samples recorded.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	t := h.overflow.Load()
+	for i := range h.counts {
+		t += h.counts[i].Load()
+	}
+	return t
+}
+
+// Quantile returns an upper bound on the q-quantile using the bucket edges,
+// +Inf if it falls in the overflow bucket, and 0 with no samples.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.Count()
+	if total == 0 {
+		return 0
+	}
+	target := int64(math.Ceil(q * float64(total)))
+	if target < 1 {
+		target = 1
+	}
+	var seen int64
+	for i := range h.counts {
+		seen += h.counts[i].Load()
+		if seen >= target {
+			return h.bounds[i]
+		}
+	}
+	return math.Inf(1)
+}
+
+// HistogramSnapshot is an immutable copy of a histogram's state.
+type HistogramSnapshot struct {
+	Bounds   []float64
+	Counts   []int64
+	Overflow int64
+}
+
+// snapshot copies the histogram state.
+func (h *Histogram) snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds: append([]float64(nil), h.bounds...),
+		Counts: make([]int64, len(h.counts)),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	s.Overflow = h.overflow.Load()
+	return s
+}
+
+// Registry holds named metrics. Registration takes a lock; the returned
+// metric handles are lock-free, so callers resolve names once at
+// construction time and operate on handles in the hot path.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given bounds
+// on first use (later callers share the first registration's bounds).
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = newHistogram(bounds)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Counters returns a snapshot of every counter value, keyed by name.
+func (r *Registry) Counters() map[string]int64 {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]int64, len(r.counters))
+	for name, c := range r.counters {
+		out[name] = c.Value()
+	}
+	return out
+}
+
+// Gauges returns a snapshot of every gauge value, keyed by name.
+func (r *Registry) Gauges() map[string]float64 {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]float64, len(r.gauges))
+	for name, g := range r.gauges {
+		out[name] = g.Value()
+	}
+	return out
+}
+
+// Histograms returns a snapshot of every histogram, keyed by name.
+func (r *Registry) Histograms() map[string]HistogramSnapshot {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]HistogramSnapshot, len(r.hists))
+	for name, h := range r.hists {
+		out[name] = h.snapshot()
+	}
+	return out
+}
+
+// String renders every metric in sorted order, one per line — the
+// deterministic dump behind storagesim's -metrics flag.
+func (r *Registry) String() string {
+	if r == nil {
+		return ""
+	}
+	var b strings.Builder
+	counters := r.Counters()
+	names := make([]string, 0, len(counters))
+	for n := range counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(&b, "%-28s %d\n", n, counters[n])
+	}
+	gauges := r.Gauges()
+	names = names[:0]
+	for n := range gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(&b, "%-28s %g\n", n, gauges[n])
+	}
+	hists := r.Histograms()
+	names = names[:0]
+	for n := range hists {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		h := hists[n]
+		var total int64
+		for _, c := range h.Counts {
+			total += c
+		}
+		total += h.Overflow
+		fmt.Fprintf(&b, "%-28s n=%d p50≤%g p99≤%g\n", n, total,
+			snapshotQuantile(h, 0.50), snapshotQuantile(h, 0.99))
+	}
+	return b.String()
+}
+
+// snapshotQuantile mirrors Histogram.Quantile over a snapshot.
+func snapshotQuantile(h HistogramSnapshot, q float64) float64 {
+	var total int64
+	for _, c := range h.Counts {
+		total += c
+	}
+	total += h.Overflow
+	if total == 0 {
+		return 0
+	}
+	target := int64(math.Ceil(q * float64(total)))
+	if target < 1 {
+		target = 1
+	}
+	var seen int64
+	for i, c := range h.Counts {
+		seen += c
+		if seen >= target {
+			return h.Bounds[i]
+		}
+	}
+	return math.Inf(1)
+}

@@ -1,0 +1,187 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilSafety(t *testing.T) {
+	// Every operation on a nil scope or nil metric must be a no-op: this is
+	// the contract that lets devices instrument unconditionally.
+	var s *Scope
+	s.Counter("x").Inc()
+	s.Counter("x").Add(5)
+	s.Gauge("g").Set(1.5)
+	s.Histogram("h", LogBuckets(1, 10)).Observe(3)
+	s.Emit(Event{Kind: "anything"})
+	if s.Tracing() {
+		t.Error("nil scope reports tracing")
+	}
+	if s.Registry() != nil {
+		t.Error("nil scope has a registry")
+	}
+	if got := s.Counter("x").Value(); got != 0 {
+		t.Errorf("nil counter value = %d", got)
+	}
+	var h *Histogram
+	h.Observe(1)
+	if h.Count() != 0 || h.Quantile(0.5) != 0 {
+		t.Error("nil histogram not empty")
+	}
+	var g *Gauge
+	g.Set(2)
+	if g.Value() != 0 {
+		t.Error("nil gauge holds a value")
+	}
+	if NewScope(nil, nil) != nil {
+		t.Error("NewScope(nil, nil) should collapse to the nil scope")
+	}
+}
+
+func TestCounterAndGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("disk.spin_ups")
+	c.Inc()
+	c.Add(2)
+	if got := c.Value(); got != 3 {
+		t.Errorf("counter = %d, want 3", got)
+	}
+	if r.Counter("disk.spin_ups") != c {
+		t.Error("re-registration returned a different counter")
+	}
+	g := r.Gauge("util")
+	g.Set(0.8)
+	if got := g.Value(); got != 0.8 {
+		t.Errorf("gauge = %g", got)
+	}
+	snap := r.Counters()
+	if snap["disk.spin_ups"] != 3 {
+		t.Errorf("snapshot = %v", snap)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_ms", LogBuckets(1e-3, 1e3))
+	for _, v := range []float64{0.5, 0.5, 2, 10, 1e9} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 5 {
+		t.Errorf("count = %d, want 5", got)
+	}
+	// The 3rd of 5 samples is 2; its bucket's upper edge is ≈2.5.
+	p50 := h.Quantile(0.5)
+	if p50 < 2 || p50 > 4 {
+		t.Errorf("p50 = %g, want ≈2–4", p50)
+	}
+	if p40 := h.Quantile(0.4); p40 < 0.5 || p40 > 1 {
+		t.Errorf("p40 = %g, want ≈0.5–1", p40)
+	}
+	if !math.IsInf(h.Quantile(0.999), 1) {
+		t.Error("overflow sample should push the tail quantile to +Inf")
+	}
+	// Bounds must be log-spaced and ascending.
+	b := LogBuckets(1, 100)
+	if b[0] != 1 || b[len(b)-1] < 100 {
+		t.Errorf("LogBuckets(1,100) = %v", b)
+	}
+}
+
+func TestRingOrderAndWrap(t *testing.T) {
+	r := NewRing(4)
+	for i := 0; i < 6; i++ {
+		r.Emit(Event{T: int64(i)})
+	}
+	ev := r.Events()
+	if len(ev) != 4 {
+		t.Fatalf("len = %d", len(ev))
+	}
+	for i, e := range ev {
+		if e.T != int64(i+2) {
+			t.Errorf("event %d has T=%d, want %d (oldest-first order)", i, e.T, i+2)
+		}
+	}
+	if r.Total() != 6 {
+		t.Errorf("total = %d, want 6", r.Total())
+	}
+}
+
+func TestNDJSONSink(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewNDJSONSink(&buf)
+	s.Emit(Event{T: 42, Kind: EvDiskSpinUp, Dev: "cu140-datasheet", Dur: 1000})
+	s.Emit(Event{T: 43, Kind: EvCardErase, Dev: "intel", Addr: 7, Size: 3})
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d: %q", len(lines), buf.String())
+	}
+	// Each line must be valid JSON with the expected fields.
+	var m map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &m); err != nil {
+		t.Fatalf("line 0 not JSON: %v", err)
+	}
+	if m["kind"] != EvDiskSpinUp || m["t_us"] != float64(42) || m["dur_us"] != float64(1000) {
+		t.Errorf("line 0 = %v", m)
+	}
+	if _, ok := m["addr"]; ok {
+		t.Error("zero addr should be omitted")
+	}
+	if err := json.Unmarshal([]byte(lines[1]), &m); err != nil {
+		t.Fatalf("line 1 not JSON: %v", err)
+	}
+	if m["addr"] != float64(7) || m["size"] != float64(3) {
+		t.Errorf("line 1 = %v", m)
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	// Metric handles and tracers must be safe under concurrent emitters
+	// (parallel experiment sweeps share a scope). Run with -race.
+	reg := NewRegistry()
+	ring := NewRing(128)
+	sc := NewScope(reg, ring)
+	c := sc.Counter("shared")
+	h := sc.Histogram("h", LogBuckets(1, 1e6))
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				h.Observe(float64(i%100 + 1))
+				sc.Emit(Event{T: int64(i), Kind: "x"})
+				sc.Counter("shared").Add(0)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := c.Value(); got != 8000 {
+		t.Errorf("counter = %d, want 8000", got)
+	}
+	if ring.Total() != 8000 {
+		t.Errorf("ring total = %d", ring.Total())
+	}
+}
+
+func TestRegistryString(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b.second").Add(2)
+	r.Counter("a.first").Inc()
+	r.Gauge("z.gauge").Set(1.25)
+	out := r.String()
+	ia, ib := strings.Index(out, "a.first"), strings.Index(out, "b.second")
+	if ia < 0 || ib < 0 || ia > ib {
+		t.Errorf("counters not sorted:\n%s", out)
+	}
+	if !strings.Contains(out, "1.25") {
+		t.Errorf("gauge missing:\n%s", out)
+	}
+}

@@ -1,0 +1,243 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+	"sync"
+)
+
+// Event is one structured simulator event: a device state transition or a
+// notable occurrence on the storage path. The payload is three fixed int64
+// slots instead of a map so emitting an event never allocates; each Kind
+// documents how it uses them (see docs/OBSERVABILITY.md).
+type Event struct {
+	// T is the simulated time of the event in microseconds.
+	T int64
+	// Kind names the event ("disk.spinup", "flashcard.erase", ...).
+	Kind string
+	// Dev is the emitting device's name (may be empty for stack-level
+	// events such as cache hits).
+	Dev string
+	// Addr is an address-like payload: a byte address, segment index, or
+	// block number, per Kind.
+	Addr int64
+	// Size is a size-like payload: bytes, blocks, or sectors, per Kind.
+	Size int64
+	// Dur is a duration payload in microseconds, per Kind.
+	Dur int64
+}
+
+// Event kinds emitted by the storage stack.
+const (
+	// EvDiskSpinUp: the disk's platters start spinning. Dur = how long the
+	// disk had been asleep (µs).
+	EvDiskSpinUp = "disk.spinup"
+	// EvDiskSpinDown: the spin-down policy put the disk to sleep. Dur = the
+	// idle threshold that expired (µs).
+	EvDiskSpinDown = "disk.spindown"
+	// EvSRAMFlush: the SRAM write buffer drained to the device. Size =
+	// bytes flushed, Dur = drain duration (µs).
+	EvSRAMFlush = "sram.flush"
+	// EvSRAMStall: a write waited for buffer space. Dur = wait (µs).
+	EvSRAMStall = "sram.stall"
+	// EvFlashDiskWrite: a flash-disk write. Size = bytes, Dur = service (µs).
+	EvFlashDiskWrite = "flashdisk.write"
+	// EvFlashDiskErase: flash-disk sector erasure. Size = sectors erased,
+	// Addr = 1 if performed synchronously on the write path, 0 in background.
+	EvFlashDiskErase = "flashdisk.erase"
+	// EvCardClean: a flash-card cleaning job finished. Addr = victim
+	// segment, Size = live blocks copied out, Dur = total job time (µs).
+	EvCardClean = "flashcard.clean"
+	// EvCardErase: a flash-card segment erasure. Addr = segment, Size = the
+	// segment's cumulative erase count after this erasure.
+	EvCardErase = "flashcard.erase"
+	// EvCardCopy: the cleaner relocated live blocks. Addr = victim segment,
+	// Size = blocks copied.
+	EvCardCopy = "flashcard.copy"
+	// EvCardStall: a host write waited for erased space. Dur = stall (µs).
+	EvCardStall = "flashcard.stall"
+	// EvCacheHit / EvCacheMiss: DRAM buffer cache lookup outcome. Size =
+	// request bytes.
+	EvCacheHit  = "cache.hit"
+	EvCacheMiss = "cache.miss"
+	// EvHybridDestage: the flash cache destaged dirty blocks to disk.
+	// Size = blocks destaged, Dur = batch duration (µs).
+	EvHybridDestage = "hybrid.destage"
+)
+
+// Tracer receives simulator events. Implementations must tolerate
+// concurrent Emit calls (parallel experiments may share one tracer).
+type Tracer interface {
+	Emit(Event)
+}
+
+// Ring is a fixed-capacity ring-buffer Tracer that keeps the most recent
+// events. It is the cheap default for interactive debugging: attach a ring,
+// run, then inspect the tail.
+type Ring struct {
+	mu      sync.Mutex
+	buf     []Event
+	next    int
+	wrapped bool
+	total   int64
+}
+
+// NewRing returns a ring buffer holding up to n events.
+func NewRing(n int) *Ring {
+	if n < 1 {
+		n = 1
+	}
+	return &Ring{buf: make([]Event, n)}
+}
+
+// Emit implements Tracer.
+func (r *Ring) Emit(e Event) {
+	r.mu.Lock()
+	r.buf[r.next] = e
+	r.next++
+	r.total++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.wrapped = true
+	}
+	r.mu.Unlock()
+}
+
+// Events returns the buffered events in emission order (oldest first).
+func (r *Ring) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.wrapped {
+		return append([]Event(nil), r.buf[:r.next]...)
+	}
+	out := make([]Event, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// Total returns how many events were emitted over the ring's lifetime,
+// including ones the ring has since overwritten.
+func (r *Ring) Total() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// NDJSONSink is a Tracer that streams events as newline-delimited JSON.
+// Serialization is hand-rolled (no reflection) and zero-value fields are
+// omitted, so the format stays byte-deterministic for a deterministic
+// simulation — the property the determinism tests pin.
+type NDJSONSink struct {
+	mu sync.Mutex
+	w  *bufio.Writer
+}
+
+// NewNDJSONSink wraps w in a buffered NDJSON event writer. Call Flush when
+// the run completes.
+func NewNDJSONSink(w io.Writer) *NDJSONSink {
+	return &NDJSONSink{w: bufio.NewWriter(w)}
+}
+
+// Emit implements Tracer.
+func (s *NDJSONSink) Emit(e Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var buf [24]byte
+	b := s.w
+	b.WriteString(`{"t_us":`)
+	b.Write(strconv.AppendInt(buf[:0], e.T, 10))
+	b.WriteString(`,"kind":"`)
+	b.WriteString(e.Kind) // kinds are fixed identifiers, no escaping needed
+	b.WriteByte('"')
+	if e.Dev != "" {
+		b.WriteString(`,"dev":"`)
+		b.WriteString(e.Dev) // device names are catalog identifiers
+		b.WriteByte('"')
+	}
+	if e.Addr != 0 {
+		b.WriteString(`,"addr":`)
+		b.Write(strconv.AppendInt(buf[:0], e.Addr, 10))
+	}
+	if e.Size != 0 {
+		b.WriteString(`,"size":`)
+		b.Write(strconv.AppendInt(buf[:0], e.Size, 10))
+	}
+	if e.Dur != 0 {
+		b.WriteString(`,"dur_us":`)
+		b.Write(strconv.AppendInt(buf[:0], e.Dur, 10))
+	}
+	b.WriteString("}\n")
+}
+
+// Flush drains the buffer and returns the first write error encountered
+// (bufio retains the first error and discards subsequent writes).
+func (s *NDJSONSink) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.Flush()
+}
+
+// Scope bundles a metrics registry and a tracer for one simulation run and
+// is what gets threaded through the storage stack. The nil Scope is fully
+// functional and free: every method no-ops or returns a nil (no-op) metric
+// handle, so un-instrumented runs pay one nil check per site.
+type Scope struct {
+	reg *Registry
+	tr  Tracer
+}
+
+// NewScope builds a scope; either argument may be nil.
+func NewScope(reg *Registry, tr Tracer) *Scope {
+	if reg == nil && tr == nil {
+		return nil
+	}
+	return &Scope{reg: reg, tr: tr}
+}
+
+// Registry returns the scope's registry (nil for a nil scope).
+func (s *Scope) Registry() *Registry {
+	if s == nil {
+		return nil
+	}
+	return s.reg
+}
+
+// Counter resolves a named counter; nil-safe.
+func (s *Scope) Counter(name string) *Counter {
+	if s == nil {
+		return nil
+	}
+	return s.reg.Counter(name)
+}
+
+// Gauge resolves a named gauge; nil-safe.
+func (s *Scope) Gauge(name string) *Gauge {
+	if s == nil {
+		return nil
+	}
+	return s.reg.Gauge(name)
+}
+
+// Histogram resolves a named histogram; nil-safe.
+func (s *Scope) Histogram(name string, bounds []float64) *Histogram {
+	if s == nil {
+		return nil
+	}
+	return s.reg.Histogram(name, bounds)
+}
+
+// Tracing reports whether events will be recorded; devices use it to skip
+// event construction entirely on un-traced runs.
+func (s *Scope) Tracing() bool {
+	return s != nil && s.tr != nil
+}
+
+// Emit records an event if a tracer is attached.
+func (s *Scope) Emit(e Event) {
+	if s == nil || s.tr == nil {
+		return
+	}
+	s.tr.Emit(e)
+}

@@ -21,6 +21,7 @@ import (
 
 	"mobilestorage/internal/device"
 	"mobilestorage/internal/energy"
+	"mobilestorage/internal/obs"
 	"mobilestorage/internal/trace"
 	"mobilestorage/internal/units"
 )
@@ -69,17 +70,38 @@ type Buffer struct {
 	flushes       int64
 	overflowStall units.Time
 	stalledWrites int64
+
+	// Observability (nil-safe no-ops without a scope).
+	sc           *obs.Scope
+	evName       string
+	cFlushes     *obs.Counter
+	cFlushedBlks *obs.Counter
+	cStalls      *obs.Counter
+}
+
+// Option configures a Buffer.
+type Option func(*Buffer)
+
+// WithScope attaches an observability scope: flush/stall counters and
+// events. A nil scope is free.
+func WithScope(sc *obs.Scope) Option {
+	return func(b *Buffer) {
+		b.sc = sc
+		b.cFlushes = sc.Counter("sram.flushes")
+		b.cFlushedBlks = sc.Counter("sram.flushed_blocks")
+		b.cStalls = sc.Counter("sram.stalled_writes")
+	}
 }
 
 // New wraps inner with an SRAM write buffer of the given size.
-func New(params device.MemoryParams, size, blockSize units.Bytes, inner device.Device) (*Buffer, error) {
+func New(params device.MemoryParams, size, blockSize units.Bytes, inner device.Device, opts ...Option) (*Buffer, error) {
 	if blockSize <= 0 {
 		return nil, fmt.Errorf("sram: block size must be positive")
 	}
 	if size < blockSize {
 		return nil, fmt.Errorf("sram: buffer size %v below one %v block", size, blockSize)
 	}
-	return &Buffer{
+	b := &Buffer{
 		params:    params,
 		size:      size,
 		blockSize: blockSize,
@@ -87,7 +109,12 @@ func New(params device.MemoryParams, size, blockSize units.Bytes, inner device.D
 		inner:     inner,
 		meter:     energy.NewMeter(),
 		dirty:     make(map[int64]struct{}),
-	}, nil
+	}
+	for _, o := range opts {
+		o(b)
+	}
+	b.evName = b.Name()
+	return b, nil
 }
 
 // Name implements device.Device.
@@ -207,6 +234,11 @@ func (b *Buffer) write(req device.Request) units.Time {
 			// faster than the device absorbs them): the write must wait.
 			b.overflowStall += b.drainDoneAt - start
 			b.stalledWrites++
+			b.cStalls.Inc()
+			if b.sc.Tracing() {
+				b.sc.Emit(obs.Event{T: int64(start), Kind: obs.EvSRAMStall, Dev: b.evName,
+					Dur: int64(b.drainDoneAt - start)})
+			}
 			start = b.drainDoneAt
 		}
 	}
@@ -292,6 +324,12 @@ func (b *Buffer) flushBlocks(now units.Time, blocks []int64) units.Time {
 		delete(b.dirty, blk)
 	}
 	b.flushes++
+	b.cFlushes.Inc()
+	b.cFlushedBlks.Add(int64(len(blocks)))
+	if b.sc.Tracing() {
+		b.sc.Emit(obs.Event{T: int64(now), Kind: obs.EvSRAMFlush, Dev: b.evName,
+			Size: int64(units.Bytes(len(blocks)) * b.blockSize), Dur: int64(completion - now)})
+	}
 	if completion > b.drainDoneAt {
 		b.drainDoneAt = completion
 	}
