@@ -1,12 +1,19 @@
 GO ?= go
 
-.PHONY: build vet test race bench fuzz-smoke golden-update check
+.PHONY: build vet fmt-check test race bench bench-smoke fuzz-smoke golden-update check
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# Fail when any file is not gofmt-clean.
+fmt-check:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
 
 test:
 	$(GO) test ./...
@@ -20,6 +27,11 @@ race:
 bench:
 	$(GO) test -run='^$$' -bench=. -benchmem ./...
 
+# One iteration of every benchmark: catches benchmarks that stop
+# compiling or crash, without measuring anything.
+bench-smoke:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
+
 # Short coverage-guided fuzz burst over the simulator core.
 fuzz-smoke:
 	MOBILESTORAGE_FUZZ_SMOKE=1 $(GO) test ./internal/core -run TestFuzzSmoke -v
@@ -29,4 +41,4 @@ fuzz-smoke:
 golden-update:
 	$(GO) test ./internal/core -run TestGolden -update
 
-check: vet test race
+check: fmt-check vet test race

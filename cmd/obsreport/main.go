@@ -1,0 +1,128 @@
+// Command obsreport computes derived reports from a simulator event stream
+// (the NDJSON file written by storagesim -events).
+//
+// Usage:
+//
+//	obsreport <report> [flags]
+//
+// Reports:
+//
+//	timeline   per-device spin-state history and idle-time distribution
+//	latency    per-event-kind duration quantiles (p50/p90/p99/max)
+//	wear       per-segment flash erase counts and wear spread
+//	energy     cumulative energy over time per component (needs -sample)
+//	cleaning   flash-card cleaner work and live-blocks-per-clean
+//
+// Examples:
+//
+//	storagesim -trace mac -device cu140 -events ev.ndjson
+//	obsreport timeline -in ev.ndjson
+//	obsreport latency -in ev.ndjson -format csv -out lat.csv
+//	obsreport wear -in ev.ndjson -format json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"mobilestorage/internal/obs"
+	"mobilestorage/internal/obsreport"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "obsreport:", err)
+		os.Exit(1)
+	}
+}
+
+// reports maps each subcommand to its renderer.
+var reports = map[string]func(io.Writer, []obs.Event, obsreport.Format) error{
+	"timeline": func(w io.Writer, ev []obs.Event, f obsreport.Format) error {
+		return obsreport.WriteTimelines(w, obsreport.StateTimelines(ev), f)
+	},
+	"latency": func(w io.Writer, ev []obs.Event, f obsreport.Format) error {
+		return obsreport.WriteLatency(w, obsreport.Latency(ev), f)
+	},
+	"wear": func(w io.Writer, ev []obs.Event, f obsreport.Format) error {
+		return obsreport.WriteWear(w, obsreport.Wear(ev), f)
+	},
+	"energy": func(w io.Writer, ev []obs.Event, f obsreport.Format) error {
+		return obsreport.WriteEnergy(w, obsreport.Energy(ev), f)
+	},
+	"cleaning": func(w io.Writer, ev []obs.Event, f obsreport.Format) error {
+		return obsreport.WriteCleaning(w, obsreport.Cleaning(ev), f)
+	},
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	if len(args) < 1 {
+		return usageError(stderr)
+	}
+	name := args[0]
+	render, ok := reports[name]
+	if !ok {
+		fmt.Fprintf(stderr, "unknown report %q\n", name)
+		return usageError(stderr)
+	}
+
+	fs := flag.NewFlagSet("obsreport "+name, flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		in      = fs.String("in", "-", "NDJSON event stream to read (- for stdin)")
+		format  = fs.String("format", "text", "output format: text, csv, json")
+		out     = fs.String("out", "-", "output file (- for stdout)")
+		lenient = fs.Bool("lenient", false, "skip malformed lines instead of aborting")
+	)
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+	f, err := obsreport.ParseFormat(*format)
+	if err != nil {
+		return err
+	}
+
+	var r io.Reader = os.Stdin
+	if *in != "-" {
+		file, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer file.Close()
+		r = file
+	}
+	var events []obs.Event
+	if *lenient {
+		var skipped int
+		events, skipped, err = obsreport.ReadEventsLenient(r)
+		if err == nil && skipped > 0 {
+			fmt.Fprintf(stderr, "obsreport: skipped %d malformed lines\n", skipped)
+		}
+	} else {
+		events, err = obsreport.ReadEvents(r)
+	}
+	if err != nil {
+		return err
+	}
+
+	w := stdout
+	if *out != "-" {
+		file, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		if err := render(file, events, f); err != nil {
+			file.Close()
+			return err
+		}
+		return file.Close()
+	}
+	return render(w, events, f)
+}
+
+func usageError(w io.Writer) error {
+	fmt.Fprintln(w, "usage: obsreport <timeline|latency|wear|energy|cleaning> [-in events.ndjson] [-format text|csv|json] [-out file] [-lenient]")
+	return fmt.Errorf("missing or unknown report")
+}

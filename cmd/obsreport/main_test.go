@@ -1,0 +1,166 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mobilestorage/internal/core"
+	"mobilestorage/internal/device"
+	"mobilestorage/internal/obs"
+	"mobilestorage/internal/units"
+	"mobilestorage/internal/workload"
+)
+
+// writeEventFile runs a sampled flash-card simulation and captures its
+// event stream to an NDJSON file, the same way storagesim -events does.
+func writeEventFile(t *testing.T) string {
+	t.Helper()
+	tr, err := workload.Synth(workload.SynthConfig{Seed: 11, Ops: 3000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	sink := obs.NewNDJSONSink(&buf)
+	cfg := core.Config{
+		Trace:           tr,
+		Kind:            core.FlashCard,
+		FlashCardParams: device.IntelSeries2Datasheet(),
+		DRAMBytes:       256 * units.KB,
+		SampleEvery:     units.FromSeconds(20),
+		Scope:           obs.NewScope(obs.NewRegistry(), sink),
+	}
+	if _, err := core.Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "events.ndjson")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func runCLI(t *testing.T, args ...string) (string, string, error) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	err := run(args, &stdout, &stderr)
+	return stdout.String(), stderr.String(), err
+}
+
+// The acceptance bar: the CLI reproduces at least three derived reports
+// from one stream, deterministically across repeated invocations.
+func TestReportsDeterministic(t *testing.T) {
+	path := writeEventFile(t)
+	for _, report := range []string{"latency", "wear", "energy", "cleaning"} {
+		for _, format := range []string{"text", "csv", "json"} {
+			first, _, err := runCLI(t, report, "-in", path, "-format", format)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", report, format, err)
+			}
+			if first == "" {
+				t.Fatalf("%s/%s: empty output", report, format)
+			}
+			second, _, err := runCLI(t, report, "-in", path, "-format", format)
+			if err != nil {
+				t.Fatalf("%s/%s rerun: %v", report, format, err)
+			}
+			if first != second {
+				t.Errorf("%s/%s: output differs between runs", report, format)
+			}
+		}
+	}
+}
+
+func TestReportContent(t *testing.T) {
+	path := writeEventFile(t)
+
+	out, _, err := runCLI(t, "wear", "-in", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "erases across") {
+		t.Errorf("wear output: %q", out)
+	}
+
+	out, _, err = runCLI(t, "energy", "-in", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "total") || !strings.Contains(out, "storage") {
+		t.Errorf("energy output missing components: %q", out)
+	}
+
+	out, _, err = runCLI(t, "cleaning", "-in", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "cleans relocated") {
+		t.Errorf("cleaning output: %q", out)
+	}
+
+	// timeline on a flash-card stream: no spin events, graceful message.
+	out, _, err = runCLI(t, "timeline", "-in", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "no spin-state events") {
+		t.Errorf("timeline output: %q", out)
+	}
+}
+
+func TestOutFileAndErrors(t *testing.T) {
+	path := writeEventFile(t)
+	outPath := filepath.Join(t.TempDir(), "wear.json")
+	if _, _, err := runCLI(t, "wear", "-in", path, "-format", "json", "-out", outPath); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "total_erases") {
+		t.Errorf("out file content: %.80s", data)
+	}
+
+	if _, _, err := runCLI(t); err == nil {
+		t.Error("no args accepted")
+	}
+	if _, _, err := runCLI(t, "bogus"); err == nil {
+		t.Error("unknown report accepted")
+	}
+	if _, _, err := runCLI(t, "wear", "-in", path, "-format", "xml"); err == nil {
+		t.Error("unknown format accepted")
+	}
+	if _, _, err := runCLI(t, "wear", "-in", "/nonexistent/events"); err == nil {
+		t.Error("missing input accepted")
+	}
+}
+
+func TestLenientFlag(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.ndjson")
+	content := `{"t_us":1,"kind":"flashcard.erase","addr":1,"size":1}` + "\n" +
+		"garbage\n" +
+		`{"t_us":2,"kind":"flashcard.erase","addr":2,"size":1}` + "\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := runCLI(t, "wear", "-in", path); err == nil {
+		t.Error("strict mode accepted a malformed stream")
+	}
+	out, errOut, err := runCLI(t, "wear", "-in", path, "-lenient")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "2 erases") {
+		t.Errorf("lenient wear output: %q", out)
+	}
+	if !strings.Contains(errOut, "skipped 1") {
+		t.Errorf("stderr: %q", errOut)
+	}
+}

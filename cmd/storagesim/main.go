@@ -13,6 +13,7 @@ package main
 import (
 	"bytes"
 	"encoding/csv"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -22,6 +23,7 @@ import (
 	"mobilestorage/internal/core"
 	"mobilestorage/internal/device"
 	"mobilestorage/internal/obs"
+	"mobilestorage/internal/obsreport"
 	"mobilestorage/internal/trace"
 	"mobilestorage/internal/units"
 	"mobilestorage/internal/workload"
@@ -34,7 +36,7 @@ func main() {
 	}
 }
 
-func run() error {
+func run() (err error) {
 	var (
 		traceName = flag.String("trace", "mac", "built-in workload: mac, dos, hp, synth")
 		traceFile = flag.String("tracefile", "", "trace file to replay (overrides -trace)")
@@ -55,11 +57,13 @@ func run() error {
 		opLog     = flag.String("oplog", "", "write a per-operation CSV log to this file")
 		events    = flag.String("events", "", "write structured simulator events (NDJSON) to this file")
 		metrics   = flag.Bool("metrics", false, "print the observability counter registry after the run")
+		sample    = flag.Float64("sample", 0, "snapshot metrics every N simulated seconds (0 = off)")
+		timeline  = flag.String("timeline", "", "write the sampled metric timeline as CSV to this file (requires -sample)")
+		serve     = flag.String("serve", "", "serve /metrics, /healthz, and /debug/pprof on this address during the run")
 	)
 	flag.Parse()
 
 	var t *trace.Trace
-	var err error
 	if *traceFile != "" {
 		t, err = readTrace(*traceFile)
 		if err != nil {
@@ -106,13 +110,31 @@ func run() error {
 		cfg.SRAMBytes = 32 * units.KB
 	}
 
-	var logClose func() error
+	if *timeline != "" && *sample <= 0 {
+		return errors.New("-timeline requires -sample")
+	}
+	cfg.SampleEvery = units.FromSeconds(*sample)
+
+	// Output files are closed through deferred closers so a failure partway
+	// through the run still flushes what was written and reports every
+	// close error, not just the first exit path's.
+	var closers []func() error
+	defer func() {
+		for i := len(closers) - 1; i >= 0; i-- {
+			err = errors.Join(err, closers[i]())
+		}
+	}()
+
 	if *opLog != "" {
 		f, err := os.Create(*opLog)
 		if err != nil {
 			return err
 		}
 		w := csv.NewWriter(f)
+		closers = append(closers, func() error {
+			w.Flush()
+			return errors.Join(w.Error(), f.Close())
+		})
 		if err := w.Write([]string{"index", "arrival_us", "response_us", "op", "cache_hit", "size_bytes"}); err != nil {
 			return err
 		}
@@ -126,53 +148,47 @@ func run() error {
 				strconv.FormatInt(int64(o.Size), 10),
 			})
 		}
-		logClose = func() error {
-			w.Flush()
-			if err := w.Error(); err != nil {
-				f.Close()
-				return err
-			}
-			return f.Close()
-		}
 	}
 
+	// The sampler and the /metrics endpoint both need a live registry.
 	var reg *obs.Registry
-	if *metrics {
+	if *metrics || *sample > 0 || *serve != "" {
 		reg = obs.NewRegistry()
 	}
-	var sink *obs.NDJSONSink
-	var eventsClose func() error
+	var tr obs.Tracer
 	if *events != "" {
 		f, err := os.Create(*events)
 		if err != nil {
 			return err
 		}
-		sink = obs.NewNDJSONSink(f)
-		eventsClose = func() error {
-			if err := sink.Flush(); err != nil {
-				f.Close()
-				return err
-			}
-			return f.Close()
-		}
-	}
-	var tr obs.Tracer
-	if sink != nil {
+		sink := obs.NewNDJSONSink(f)
+		closers = append(closers, func() error {
+			return errors.Join(sink.Flush(), f.Close())
+		})
 		tr = sink
 	}
 	cfg.Scope = obs.NewScope(reg, tr)
+
+	if *serve != "" {
+		shutdown, addr, err := startServer(*serve, reg)
+		if err != nil {
+			return err
+		}
+		closers = append(closers, shutdown)
+		fmt.Fprintf(os.Stderr, "storagesim: serving metrics on http://%s/metrics\n", addr)
+	}
 
 	res, err := core.Run(cfg)
 	if err != nil {
 		return err
 	}
-	if logClose != nil {
-		if err := logClose(); err != nil {
+	if *timeline != "" {
+		f, err := os.Create(*timeline)
+		if err != nil {
 			return err
 		}
-	}
-	if eventsClose != nil {
-		if err := eventsClose(); err != nil {
+		closers = append(closers, f.Close)
+		if err := obsreport.WriteTimelineCSV(f, res.Timeline); err != nil {
 			return err
 		}
 	}

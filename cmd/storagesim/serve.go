@@ -1,0 +1,63 @@
+package main
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"mobilestorage/internal/obs"
+)
+
+// promNamespace prefixes every exposed metric name.
+const promNamespace = "storagesim"
+
+// newMux builds the telemetry handler: Prometheus text exposition of the
+// live registry at /metrics, a liveness probe at /healthz, and the standard
+// pprof endpoints. A dedicated mux (not http.DefaultServeMux) keeps the
+// surface explicit.
+func newMux(reg *obs.Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := obs.WritePrometheus(w, reg, promNamespace); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// startServer listens on addr and serves the telemetry mux in the
+// background. It returns a shutdown func (drains in-flight scrapes, then
+// closes) and the bound address — useful when addr ends in :0.
+func startServer(addr string, reg *obs.Registry) (shutdown func() error, bound string, err error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", err
+	}
+	srv := &http.Server{Handler: newMux(reg)}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	shutdown = func() error {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			return err
+		}
+		if err := <-done; err != nil && err != http.ErrServerClosed {
+			return err
+		}
+		return nil
+	}
+	return shutdown, ln.Addr().String(), nil
+}

@@ -1,0 +1,105 @@
+package main
+
+import (
+	"io"
+	"net/http"
+	"regexp"
+	"strings"
+	"testing"
+
+	"mobilestorage/internal/obs"
+)
+
+func getBody(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestServeEndpoints(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("cache.hits").Add(42)
+	reg.Gauge("energy.total_j").Set(3.5)
+
+	shutdown, addr, err := startServer("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := shutdown(); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	}()
+	base := "http://" + addr
+
+	code, body := getBody(t, base+"/healthz")
+	if code != http.StatusOK || body != "ok\n" {
+		t.Errorf("/healthz: %d %q", code, body)
+	}
+
+	code, body = getBody(t, base+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics: %d", code)
+	}
+	for _, want := range []string{
+		"# TYPE storagesim_cache_hits_total counter",
+		"storagesim_cache_hits_total 42",
+		"storagesim_energy_total_j 3.5",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q in:\n%s", want, body)
+		}
+	}
+	// Live registry: a scrape after more activity sees the new value.
+	reg.Counter("cache.hits").Add(8)
+	_, body = getBody(t, base+"/metrics")
+	if !strings.Contains(body, "storagesim_cache_hits_total 50") {
+		t.Error("second scrape did not observe the counter increment")
+	}
+
+	code, body = getBody(t, base+"/debug/pprof/")
+	if code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/: %d", code)
+	}
+	code, _ = getBody(t, base+"/debug/pprof/cmdline")
+	if code != http.StatusOK {
+		t.Errorf("/debug/pprof/cmdline: %d", code)
+	}
+
+	code, _ = getBody(t, base+"/nope")
+	if code != http.StatusNotFound {
+		t.Errorf("unknown path: %d, want 404", code)
+	}
+}
+
+// Every exposed line must match the Prometheus text format grammar.
+func TestServeMetricsGrammar(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("a.b").Add(1)
+	reg.Gauge("g").Set(-0.25)
+	h := reg.Histogram("lat", obs.LogBuckets(1, 100))
+	h.Observe(3)
+	h.Observe(5000)
+
+	shutdown, addr, err := startServer("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown()
+
+	_, body := getBody(t, "http://"+addr+"/metrics")
+	lineRE := regexp.MustCompile(`^(# (HELP|TYPE) [a-zA-Z_][a-zA-Z0-9_]* .*|[a-zA-Z_][a-zA-Z0-9_]*(\{[^}]*\})? (-?[0-9.e+-]+|\+Inf|NaN))$`)
+	for _, line := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
+		if !lineRE.MatchString(line) {
+			t.Errorf("bad exposition line: %q", line)
+		}
+	}
+}

@@ -128,6 +128,14 @@ type Config struct {
 	// strictly read-only: attaching a scope never changes simulation
 	// results. Nil disables observability at zero cost.
 	Scope *obs.Scope
+
+	// SampleEvery, when positive, snapshots Scope's registry every
+	// SampleEvery of simulated time into Result.Timeline, adding derived
+	// energy gauges (energy.total_j and per-component) at each point and —
+	// when Scope carries a tracer — sample.energy events into the stream.
+	// Requires a Scope with a registry; zero disables sampling at the cost
+	// of one nil check per trace record.
+	SampleEvery units.Time
 }
 
 // OpObservation is one completed trace operation as seen by the simulator.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"mobilestorage/internal/obs"
 	"mobilestorage/internal/stats"
 	"mobilestorage/internal/units"
 )
@@ -62,6 +63,11 @@ type Result struct {
 	// Metrics is a snapshot of the observability counters at the end of the
 	// run, keyed by metric name. Nil unless Config.Scope carried a registry.
 	Metrics map[string]int64
+
+	// Timeline is the simulated-time sampler output: registry snapshots
+	// every Config.SampleEvery plus a final point at EndTime. Nil unless
+	// sampling was enabled. Its last point matches Metrics exactly.
+	Timeline *obs.Timeline
 }
 
 // ReadP returns an upper bound on the q-quantile of read response time in

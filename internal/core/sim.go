@@ -75,6 +75,7 @@ func Run(cfg Config) (*Result, error) {
 	}
 	sc := cfg.Scope
 	tracing := sc.Tracing()
+	smp := newSampler(cfg, sc, st, dram)
 
 	res := &Result{
 		TraceName:         t.Name,
@@ -92,6 +93,7 @@ func Run(cfg Config) (*Result, error) {
 	var lastCompletion units.Time
 	for i, rec := range t.Records {
 		st.top.Idle(rec.Time)
+		smp.Tick(int64(rec.Time))
 		if !snapshotTaken && i >= warmIdx {
 			if dram != nil {
 				dram.AccrueStandby(rec.Time)
@@ -194,6 +196,12 @@ func Run(cfg Config) (*Result, error) {
 	if dram != nil {
 		dram.AccrueStandby(end)
 	}
+
+	// The final sample lands after the device and cache wind-down above, so
+	// the timeline's last point carries the run's complete counter and
+	// energy state.
+	smp.Finish(int64(end))
+	res.Timeline = smp.Timeline()
 
 	res.EndTime = end
 	fillEnergy(res, st, dram, warmSnapshot)

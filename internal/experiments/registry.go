@@ -169,6 +169,20 @@ func Registry() map[string]Experiment {
 			}
 			return RenderSeeds(rows), nil
 		}},
+		{"energy-time", "cumulative energy over the mac trace (sampler timeline)", func(seed int64) (string, error) {
+			curves, err := EnergyOverTime(seed)
+			if err != nil {
+				return "", err
+			}
+			return RenderEnergyOverTime(curves), nil
+		}},
+		{"cleaning-efficiency", "cleaner work vs. utilization from the event stream (§5.3)", func(seed int64) (string, error) {
+			points, err := CleaningEfficiency(seed)
+			if err != nil {
+				return "", err
+			}
+			return RenderCleaningEfficiency(points), nil
+		}},
 	}
 	m := make(map[string]Experiment, len(exps))
 	for _, e := range exps {
@@ -206,7 +220,7 @@ func orderKey(id string) string {
 		"async": 11, "validate": 12, "wear": 13, "battery": 14,
 		"ablate-cleaner": 15, "ablate-flash-sram": 16, "ablate-series2plus": 17, "ablate-writeback": 18,
 		"ablate-spindown": 19, "ablate-wearlevel": 20, "hybrid": 21, "envy": 22,
-		"ablate-mffs": 23, "seeds": 24,
+		"ablate-mffs": 23, "seeds": 24, "energy-time": 25, "cleaning-efficiency": 26,
 	}
 	if n, ok := order[id]; ok {
 		return fmt.Sprintf("%02d", n)

@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestEnergyOverTime(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full mac-trace sweep")
+	}
+	curves, err := EnergyOverTime(DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curves) != 3 {
+		t.Fatalf("%d curves, want 3", len(curves))
+	}
+	byLabel := make(map[string]EnergyCurve)
+	for _, c := range curves {
+		byLabel[c.Label] = c
+		if len(c.Joules) < energySamples {
+			t.Errorf("%s: only %d points", c.Label, len(c.Joules))
+		}
+		for i := 1; i < len(c.Joules); i++ {
+			if c.Joules[i] < c.Joules[i-1] {
+				t.Errorf("%s: energy decreases at point %d (%g → %g)",
+					c.Label, i, c.Joules[i-1], c.Joules[i])
+			}
+			if c.TimesS[i] <= c.TimesS[i-1] {
+				t.Errorf("%s: time not increasing at point %d", c.Label, i)
+			}
+		}
+	}
+	// The paper's ordering: spinning the disk down saves energy, and the
+	// flash card beats both disk configurations on the mac trace.
+	spin := byLabel["cu140 spin-down 5s"].Final()
+	always := byLabel["cu140 always on"].Final()
+	flash := byLabel["intel flash card"].Final()
+	if spin <= 0 || always <= 0 || flash <= 0 {
+		t.Fatalf("non-positive finals: %g %g %g", spin, always, flash)
+	}
+	if spin >= always {
+		t.Errorf("spin-down %g J not below always-on %g J", spin, always)
+	}
+	if flash >= spin {
+		t.Errorf("flash card %g J not below spun-down disk %g J", flash, spin)
+	}
+
+	out := RenderEnergyOverTime(curves)
+	if !strings.Contains(out, "final") || !strings.Contains(out, "t (s)") {
+		t.Errorf("render output:\n%s", out)
+	}
+}
+
+func TestCleaningEfficiency(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full dos-trace sweep")
+	}
+	points, err := CleaningEfficiency(DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 4 {
+		t.Fatalf("%d points, want 4", len(points))
+	}
+	for i, p := range points {
+		if p.Cleans <= 0 {
+			t.Errorf("util %.2f: no cleans", p.Utilization)
+		}
+		if i > 0 && p.LivePerClean < points[i-1].LivePerClean {
+			t.Errorf("live/clean fell from %.2f to %.2f as utilization rose %.2f → %.2f",
+				points[i-1].LivePerClean, p.LivePerClean,
+				points[i-1].Utilization, p.Utilization)
+		}
+	}
+	// At 95% utilization the cleaner must relocate strictly more per clean
+	// than at 80% — the §5.3 overhead effect.
+	if points[len(points)-1].LivePerClean <= points[0].LivePerClean {
+		t.Errorf("live/clean at 0.95 (%.2f) not above 0.80 (%.2f)",
+			points[len(points)-1].LivePerClean, points[0].LivePerClean)
+	}
+
+	out := RenderCleaningEfficiency(points)
+	if !strings.Contains(out, "live/clean") {
+		t.Errorf("render output:\n%s", out)
+	}
+}

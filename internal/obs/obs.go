@@ -83,6 +83,30 @@ type Histogram struct {
 	bounds   []float64 // inclusive upper edges, strictly ascending
 	counts   []atomic.Int64
 	overflow atomic.Int64
+	sum      atomicFloat
+}
+
+// atomicFloat is a CAS-loop float64 accumulator. Concurrent adds may apply
+// in any order, so the low bits of the sum are not reproducible across
+// racing emitters; single-threaded simulation runs stay deterministic.
+type atomicFloat struct {
+	bits atomic.Uint64
+}
+
+// Add accumulates v.
+func (f *atomicFloat) Add(v float64) {
+	for {
+		old := f.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if f.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the accumulated sum.
+func (f *atomicFloat) Value() float64 {
+	return math.Float64frombits(f.bits.Load())
 }
 
 // LogBuckets returns log-spaced inclusive upper bounds covering [min, max]
@@ -131,9 +155,20 @@ func (h *Histogram) Observe(x float64) {
 	}
 	if lo == len(h.bounds) {
 		h.overflow.Add(1)
+		h.sum.Add(x)
 		return
 	}
 	h.counts[lo].Add(1)
+	h.sum.Add(x)
+}
+
+// Sum returns the total of all observed samples (used by the Prometheus
+// exposition's _sum series and mean estimation).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Value()
 }
 
 // Count returns the total number of samples recorded.
@@ -174,6 +209,7 @@ type HistogramSnapshot struct {
 	Bounds   []float64
 	Counts   []int64
 	Overflow int64
+	Sum      float64
 }
 
 // snapshot copies the histogram state.
@@ -186,6 +222,7 @@ func (h *Histogram) snapshot() HistogramSnapshot {
 		s.Counts[i] = h.counts[i].Load()
 	}
 	s.Overflow = h.overflow.Load()
+	s.Sum = h.sum.Value()
 	return s
 }
 

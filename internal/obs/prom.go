@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4), hand-rolled to keep the module dependency-free.
+// Metric names are namespaced and sanitized ("disk.spin_ups" with namespace
+// "storagesim" becomes "storagesim_disk_spin_ups_total"); counters gain the
+// conventional _total suffix, gauges are exposed as-is, and histograms emit
+// cumulative _bucket{le="..."} series plus _sum and _count. Families are
+// sorted by name so the output is deterministic.
+func WritePrometheus(w io.Writer, r *Registry, namespace string) error {
+	if r == nil {
+		return nil
+	}
+	var b strings.Builder
+
+	counters := r.Counters()
+	names := sortedKeys(counters)
+	for _, n := range names {
+		fam := promName(namespace, n) + "_total"
+		fmt.Fprintf(&b, "# TYPE %s counter\n%s %d\n", fam, fam, counters[n])
+	}
+
+	gauges := r.Gauges()
+	names = sortedKeys(gauges)
+	for _, n := range names {
+		fam := promName(namespace, n)
+		fmt.Fprintf(&b, "# TYPE %s gauge\n%s %s\n", fam, fam, promFloat(gauges[n]))
+	}
+
+	hists := r.Histograms()
+	names = sortedKeys(hists)
+	for _, n := range names {
+		h := hists[n]
+		fam := promName(namespace, n)
+		fmt.Fprintf(&b, "# TYPE %s histogram\n", fam)
+		var cum int64
+		for i, bound := range h.Bounds {
+			cum += h.Counts[i]
+			fmt.Fprintf(&b, "%s_bucket{le=%q} %d\n", fam, promFloat(bound), cum)
+		}
+		cum += h.Overflow
+		fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", fam, cum)
+		fmt.Fprintf(&b, "%s_sum %s\n", fam, promFloat(h.Sum))
+		fmt.Fprintf(&b, "%s_count %d\n", fam, cum)
+	}
+
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// promName sanitizes a dotted metric name into the Prometheus identifier
+// charset [a-zA-Z0-9_], prefixed with the namespace.
+func promName(namespace, name string) string {
+	var b strings.Builder
+	if namespace != "" {
+		b.WriteString(sanitize(namespace))
+		b.WriteByte('_')
+	}
+	b.WriteString(sanitize(name))
+	return b.String()
+}
+
+func sanitize(s string) string {
+	var b strings.Builder
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+			b.WriteRune(r)
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promFloat renders a float the way Prometheus expects: shortest exact
+// decimal, with +Inf/-Inf/NaN spelled out.
+func promFloat(v float64) string {
+	switch {
+	case math.IsInf(v, +1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	default:
+		return strconv.FormatFloat(v, 'g', -1, 64)
+	}
+}
+
+func sortedKeys[M ~map[string]V, V any](m M) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -64,6 +64,12 @@ const (
 	// EvHybridDestage: the flash cache destaged dirty blocks to disk.
 	// Size = blocks destaged, Dur = batch duration (µs).
 	EvHybridDestage = "hybrid.destage"
+	// EvEnergySample: a sampler snapshot of cumulative energy for one
+	// component. Dev = component ("total", "storage", "dram", "sram"),
+	// Size = cumulative energy in microjoules since the start of the run.
+	// Emitted only when Config.SampleEvery enables the simulated-time
+	// sampler; the obsreport energy report is built from these.
+	EvEnergySample = "sample.energy"
 )
 
 // Tracer receives simulator events. Implementations must tolerate
@@ -123,6 +129,39 @@ func (r *Ring) Total() int64 {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.total
+}
+
+// Collector is an unbounded in-memory Tracer: it appends every kept event
+// to a slice. Unlike Ring it never drops history, so analysis code
+// (internal/obsreport) can consume a complete stream without a file
+// round-trip; bound memory on long runs with a keep filter.
+type Collector struct {
+	mu     sync.Mutex
+	keep   func(Event) bool
+	events []Event
+}
+
+// NewCollector returns a collector retaining the events keep accepts; a nil
+// keep retains everything.
+func NewCollector(keep func(Event) bool) *Collector {
+	return &Collector{keep: keep}
+}
+
+// Emit implements Tracer.
+func (c *Collector) Emit(e Event) {
+	if c.keep != nil && !c.keep(e) {
+		return
+	}
+	c.mu.Lock()
+	c.events = append(c.events, e)
+	c.mu.Unlock()
+}
+
+// Events returns a copy of the collected events in emission order.
+func (c *Collector) Events() []Event {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Event(nil), c.events...)
 }
 
 // NDJSONSink is a Tracer that streams events as newline-delimited JSON.

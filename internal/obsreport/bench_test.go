@@ -1,0 +1,95 @@
+package obsreport
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"mobilestorage/internal/obs"
+)
+
+// benchStream synthesizes an n-event NDJSON stream mixing the kinds the
+// reports consume.
+func benchStream(n int) []byte {
+	var buf bytes.Buffer
+	sink := obs.NewNDJSONSink(&buf)
+	for i := 0; i < n; i++ {
+		switch i % 5 {
+		case 0:
+			sink.Emit(obs.Event{T: int64(i) * 1000, Kind: obs.EvCacheHit, Size: 4096})
+		case 1:
+			sink.Emit(obs.Event{T: int64(i) * 1000, Kind: obs.EvCardClean, Dev: "fc",
+				Addr: int64(i % 64), Size: int64(i % 90), Dur: 40_000})
+		case 2:
+			sink.Emit(obs.Event{T: int64(i) * 1000, Kind: obs.EvCardErase, Dev: "fc",
+				Addr: int64(i % 64), Size: int64(i/64 + 1)})
+		case 3:
+			sink.Emit(obs.Event{T: int64(i) * 1000, Kind: obs.EvSRAMFlush, Dev: "sram",
+				Size: 8192, Dur: int64(1000 + i%5000)})
+		default:
+			sink.Emit(obs.Event{T: int64(i) * 1000, Kind: obs.EvEnergySample, Dev: "total",
+				Size: int64(i) * 100})
+		}
+	}
+	sink.Flush()
+	return buf.Bytes()
+}
+
+func BenchmarkDecodeNDJSON(b *testing.B) {
+	data := benchStream(10_000)
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		events, err := ReadEvents(bytes.NewReader(data))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(events) != 10_000 {
+			b.Fatalf("%d events", len(events))
+		}
+	}
+}
+
+func BenchmarkReports(b *testing.B) {
+	events, err := ReadEvents(bytes.NewReader(benchStream(10_000)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = StateTimelines(events)
+		_ = Latency(events)
+		_ = Wear(events)
+		_ = Energy(events)
+		_ = Cleaning(events)
+	}
+}
+
+func BenchmarkQuantile(b *testing.B) {
+	h := NewHist(latencyBounds())
+	for i := 1; i <= 100_000; i++ {
+		h.Add(float64(i % 997))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = h.Quantile(0.50)
+		_ = h.Quantile(0.99)
+	}
+}
+
+func BenchmarkRenderText(b *testing.B) {
+	events, err := ReadEvents(bytes.NewReader(benchStream(10_000)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	lat := Latency(events)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := WriteLatency(io.Discard, lat, Text); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

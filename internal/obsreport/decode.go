@@ -1,0 +1,130 @@
+// Package obsreport is the analysis half of the observability stack: it
+// consumes the structured event stream emitted by internal/obs (from an
+// NDJSON file written with storagesim -events, or in-process from an
+// obs.Collector/obs.Ring) and computes the derived reports behind the
+// paper's time-dependent claims — per-device spin state timelines and
+// idle-time histograms (Table 5), energy-over-time series (Figures 2–4),
+// latency quantiles, per-segment wear distributions (§5.2), and cleaning
+// overhead (§5.3/eNVy).
+//
+// Everything here is deterministic: reports are pure functions of the
+// event slice, maps are rendered in sorted order, and quantiles come from
+// a reproducible bucket-interpolation estimator.
+package obsreport
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"mobilestorage/internal/obs"
+)
+
+// maxLineBytes bounds one NDJSON line; a simulator event serializes to well
+// under 200 bytes, so anything beyond this is a corrupt stream, reported as
+// an error rather than an unbounded allocation.
+const maxLineBytes = 1 << 20
+
+// DecodeError reports a malformed NDJSON line with its 1-based position.
+type DecodeError struct {
+	Line int
+	Err  error
+}
+
+func (e *DecodeError) Error() string {
+	return fmt.Sprintf("obsreport: line %d: %v", e.Line, e.Err)
+}
+
+func (e *DecodeError) Unwrap() error { return e.Err }
+
+// eventJSON mirrors the NDJSON field names of obs.NDJSONSink.
+type eventJSON struct {
+	T    int64  `json:"t_us"`
+	Kind string `json:"kind"`
+	Dev  string `json:"dev"`
+	Addr int64  `json:"addr"`
+	Size int64  `json:"size"`
+	Dur  int64  `json:"dur_us"`
+}
+
+// Decoder reads an NDJSON event stream line by line.
+type Decoder struct {
+	sc   *bufio.Scanner
+	line int
+}
+
+// NewDecoder returns a decoder over r.
+func NewDecoder(r io.Reader) *Decoder {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 4096), maxLineBytes)
+	return &Decoder{sc: sc}
+}
+
+// Next returns the next event. It returns io.EOF at end of stream and a
+// *DecodeError for malformed lines (the decoder stays usable: callers may
+// skip the bad line and continue). Blank lines are ignored. Unknown event
+// kinds are not an error — forward compatibility with future emitters.
+func (d *Decoder) Next() (obs.Event, error) {
+	for d.sc.Scan() {
+		d.line++
+		raw := d.sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var ej eventJSON
+		if err := json.Unmarshal(raw, &ej); err != nil {
+			return obs.Event{}, &DecodeError{Line: d.line, Err: err}
+		}
+		if ej.Kind == "" {
+			return obs.Event{}, &DecodeError{Line: d.line, Err: fmt.Errorf("missing event kind")}
+		}
+		return obs.Event{T: ej.T, Kind: ej.Kind, Dev: ej.Dev, Addr: ej.Addr, Size: ej.Size, Dur: ej.Dur}, nil
+	}
+	if err := d.sc.Err(); err != nil {
+		d.line++
+		return obs.Event{}, &DecodeError{Line: d.line, Err: err}
+	}
+	return obs.Event{}, io.EOF
+}
+
+// Line returns the number of lines consumed so far.
+func (d *Decoder) Line() int { return d.line }
+
+// ReadEvents decodes an entire NDJSON stream strictly: the first malformed
+// line aborts with a *DecodeError naming it.
+func ReadEvents(r io.Reader) ([]obs.Event, error) {
+	var out []obs.Event
+	d := NewDecoder(r)
+	for {
+		e, err := d.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, e)
+	}
+}
+
+// ReadEventsLenient decodes a stream, skipping malformed lines; it returns
+// the good events and how many lines were skipped. A scanner-level error
+// (line too long, read failure) still aborts: past it the framing is gone.
+func ReadEventsLenient(r io.Reader) (events []obs.Event, skipped int, err error) {
+	d := NewDecoder(r)
+	for {
+		e, nerr := d.Next()
+		if nerr == io.EOF {
+			return events, skipped, nil
+		}
+		if nerr != nil {
+			if d.sc.Err() == nil { // malformed line, framing intact
+				skipped++
+				continue
+			}
+			return events, skipped, nerr
+		}
+		events = append(events, e)
+	}
+}

@@ -1,0 +1,113 @@
+package obsreport
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+
+	"mobilestorage/internal/obs"
+)
+
+// Round trip: events emitted by the canonical NDJSON sink decode back to
+// the identical slice.
+func TestDecodeRoundTrip(t *testing.T) {
+	events := []obs.Event{
+		{T: 0, Kind: obs.EvDiskSpinDown, Dev: "cu140", Dur: 5_000_000},
+		{T: 51_234_000, Kind: obs.EvCardClean, Dev: "flashcard", Addr: 17, Size: 98, Dur: 1_742_318},
+		{T: 60_000_000, Kind: obs.EvCacheHit, Size: 4096},
+		{T: 61_000_000, Kind: obs.EvEnergySample, Dev: "total", Size: 123_456_789},
+	}
+	var buf bytes.Buffer
+	sink := obs.NewNDJSONSink(&buf)
+	for _, e := range events {
+		sink.Emit(e)
+	}
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := ReadEvents(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, events) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, events)
+	}
+}
+
+func TestDecodeMalformed(t *testing.T) {
+	cases := []string{
+		`{"t_us":1,"kind":"disk.spinup"` + "\n", // truncated object
+		`not json at all` + "\n",
+		`{"t_us":"twelve","kind":"x"}` + "\n", // wrong type
+		`{"t_us":1}` + "\n",                   // missing kind
+	}
+	for _, in := range cases {
+		_, err := ReadEvents(strings.NewReader(in))
+		var de *DecodeError
+		if !errors.As(err, &de) {
+			t.Errorf("input %q: error %v, want *DecodeError", in, err)
+			continue
+		}
+		if de.Line != 1 {
+			t.Errorf("input %q: line %d, want 1", in, de.Line)
+		}
+	}
+}
+
+func TestDecodeErrorReportsLine(t *testing.T) {
+	in := `{"t_us":1,"kind":"a"}` + "\n" + `{"t_us":2,"kind":"b"}` + "\n" + `broken` + "\n"
+	events, err := ReadEvents(strings.NewReader(in))
+	var de *DecodeError
+	if !errors.As(err, &de) || de.Line != 3 {
+		t.Fatalf("err %v, want DecodeError at line 3", err)
+	}
+	if len(events) != 2 {
+		t.Fatalf("%d events decoded before the error, want 2", len(events))
+	}
+}
+
+func TestDecodeLenient(t *testing.T) {
+	in := `{"t_us":1,"kind":"a"}` + "\n" +
+		`garbage` + "\n" +
+		"\n" + // blank lines are fine, not "skipped"
+		`{"t_us":3,"kind":"unknown.kind","addr":9}` + "\n" +
+		`{"no_kind":true}` + "\n"
+	events, skipped, err := ReadEventsLenient(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 2 {
+		t.Errorf("skipped %d, want 2", skipped)
+	}
+	if len(events) != 2 || events[1].Kind != "unknown.kind" || events[1].Addr != 9 {
+		t.Errorf("events %+v", events)
+	}
+}
+
+func TestDecodeOversizedLine(t *testing.T) {
+	long := strings.Repeat("x", maxLineBytes+1)
+	_, err := ReadEvents(strings.NewReader(long))
+	if err == nil {
+		t.Fatal("oversized line accepted")
+	}
+	// Lenient mode must also abort (framing is unrecoverable), not loop.
+	_, _, err = ReadEventsLenient(strings.NewReader(long))
+	if err == nil {
+		t.Fatal("lenient mode accepted an oversized line")
+	}
+}
+
+func TestDecoderNextEOF(t *testing.T) {
+	d := NewDecoder(strings.NewReader(""))
+	if _, err := d.Next(); err != io.EOF {
+		t.Fatalf("err %v, want io.EOF", err)
+	}
+	// Repeated calls stay at EOF.
+	if _, err := d.Next(); err != io.EOF {
+		t.Fatalf("second call: %v", err)
+	}
+}

@@ -1,0 +1,61 @@
+package obsreport
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode feeds arbitrary byte streams to both decoder modes. The
+// invariants: no panic, strict mode never returns events past the first
+// error line, and lenient mode accounts for every non-blank line as
+// either an event or a skip (so nothing is silently dropped).
+func FuzzDecode(f *testing.F) {
+	seeds := [][]byte{
+		[]byte(`{"t_us":1,"kind":"disk.spinup","dev":"cu140","dur_us":1000}` + "\n"),
+		[]byte(`{"t_us":2,"kind":"flashcard.erase","addr":7,"size":3}` + "\n" +
+			`{"t_us":3,"kind":"sample.energy","dev":"total","size":123456}` + "\n"),
+		[]byte(`{"t_us":1,"kind":"disk.spinup"` + "\n"), // truncated record
+		[]byte("not json\n"),
+		[]byte(`{"t_us":"x","kind":"y"}` + "\n"), // wrong field type
+		[]byte(`{"t_us":1}` + "\n"),              // missing kind
+		[]byte(`{"t_us":1,"kind":"some.future.kind","size":-9}` + "\n"),
+		[]byte("\n\n\n"),
+		[]byte("{}"),
+		[]byte("{\"kind\":\"\u0000\"}\n"),
+		{0xff, 0xfe, 0x00, '\n'},
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		events, err := ReadEvents(bytes.NewReader(data))
+		for _, e := range events {
+			if e.Kind == "" {
+				t.Fatalf("strict mode returned an event with empty kind: %+v", e)
+			}
+		}
+		_ = err
+
+		lenientEvents, skipped, lerr := ReadEventsLenient(bytes.NewReader(data))
+		if lerr == nil {
+			// Mirror bufio.ScanLines framing: split on \n, strip one
+			// trailing \r, and only zero-length lines are blank.
+			nonBlank := 0
+			for _, line := range bytes.Split(data, []byte("\n")) {
+				line = bytes.TrimSuffix(line, []byte("\r"))
+				if len(line) > 0 {
+					nonBlank++
+				}
+			}
+			if len(lenientEvents)+skipped != nonBlank {
+				t.Fatalf("lenient mode lost lines: %d events + %d skipped != %d non-blank",
+					len(lenientEvents), skipped, nonBlank)
+			}
+		}
+		// Lenient mode can only succeed where it recovers at least as many
+		// events as strict mode decoded before erroring.
+		if lerr == nil && len(lenientEvents) < len(events) {
+			t.Fatalf("lenient decoded %d events, strict decoded %d", len(lenientEvents), len(events))
+		}
+	})
+}

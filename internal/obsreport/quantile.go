@@ -1,0 +1,203 @@
+package obsreport
+
+import (
+	"math"
+
+	"mobilestorage/internal/obs"
+	"mobilestorage/internal/stats"
+)
+
+// Hist is obsreport's bucketed distribution: the same fixed log-spaced
+// bucket layout as the simulator's histograms, plus exact N, sum, and
+// min/max tracked alongside so the quantile estimator can interpolate
+// within a bucket and clamp to the observed range.
+//
+// The simulator's own histograms report quantiles as bucket upper bounds —
+// a conservative "p99 ≤ x" answer. For reports we want point estimates:
+// Quantile interpolates geometrically inside the winning bucket (the right
+// interpolation for log-spaced edges) and so lands within one bucket ratio
+// of the true value instead of always on the pessimistic edge.
+type Hist struct {
+	Bounds   []float64 `json:"bounds"`
+	Counts   []int64   `json:"counts"`
+	Overflow int64     `json:"overflow"`
+	N        int64     `json:"n"`
+	Sum      float64   `json:"sum"`
+	Min      float64   `json:"min"`
+	Max      float64   `json:"max"`
+}
+
+// NewHist builds an empty histogram over ascending bucket bounds.
+func NewHist(bounds []float64) *Hist {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("obsreport: histogram bounds must be strictly ascending")
+		}
+	}
+	return &Hist{
+		Bounds: append([]float64(nil), bounds...),
+		Counts: make([]int64, len(bounds)),
+	}
+}
+
+// latencyBounds covers 1 µs to ~1000 s in milliseconds at five buckets per
+// decade — the layout shared with stats.NewLatencyHistogram.
+func latencyBounds() []float64 {
+	return obs.LogBuckets(1e-3, 1e6)
+}
+
+// Add records one sample.
+func (h *Hist) Add(x float64) {
+	if h.N == 0 || x < h.Min {
+		h.Min = x
+	}
+	if h.N == 0 || x > h.Max {
+		h.Max = x
+	}
+	h.N++
+	h.Sum += x
+	for i, b := range h.Bounds {
+		if x <= b {
+			h.Counts[i]++
+			return
+		}
+	}
+	h.Overflow++
+}
+
+// Mean returns the exact sample mean, or 0 with no samples.
+func (h *Hist) Mean() float64 {
+	if h.N == 0 {
+		return 0
+	}
+	return h.Sum / float64(h.N)
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1). The winning bucket is
+// found by cumulative rank; the estimate interpolates geometrically between
+// the bucket's edges by the rank's position within it, then clamps to the
+// observed [Min, Max]. Overflow-bucket quantiles return Max when samples
+// were added directly, +Inf when the histogram came from a width-only
+// snapshot. Returns 0 with no samples.
+func (h *Hist) Quantile(q float64) float64 {
+	total := h.total()
+	if total == 0 {
+		return 0
+	}
+	// The extreme quantiles are the observed extremes, exactly, when known.
+	if h.Max > 0 {
+		if q <= 0 {
+			return h.Min
+		}
+		if q >= 1 {
+			return h.Max
+		}
+	}
+	target := int64(math.Ceil(q * float64(total)))
+	if target < 1 {
+		target = 1
+	}
+	var seen int64
+	for i, c := range h.Counts {
+		if c == 0 {
+			continue
+		}
+		if seen+c >= target {
+			frac := (float64(target-seen) - 0.5) / float64(c)
+			return h.clamp(interpolate(h.lower(i), h.Bounds[i], frac))
+		}
+		seen += c
+	}
+	// Overflow bucket.
+	if h.Max > 0 {
+		return h.Max
+	}
+	return math.Inf(1)
+}
+
+// total returns the number of recorded samples (bucket counts + overflow,
+// which equals N when built via Add).
+func (h *Hist) total() int64 {
+	t := h.Overflow
+	for _, c := range h.Counts {
+		t += c
+	}
+	return t
+}
+
+// lower returns the lower edge of bucket i: the previous bound, or for the
+// first bucket one bucket-ratio below it (log-spaced layouts have no zero
+// edge to interpolate toward).
+func (h *Hist) lower(i int) float64 {
+	if i > 0 {
+		return h.Bounds[i-1]
+	}
+	if len(h.Bounds) > 1 && h.Bounds[0] > 0 {
+		return h.Bounds[0] * h.Bounds[0] / h.Bounds[1]
+	}
+	return 0
+}
+
+// clamp limits an estimate to the observed sample range when it is known
+// (Max stays zero for snapshot-built histograms: extremes unknown).
+func (h *Hist) clamp(v float64) float64 {
+	if h.Max <= 0 {
+		return v
+	}
+	if v < h.Min {
+		return h.Min
+	}
+	if v > h.Max {
+		return h.Max
+	}
+	return v
+}
+
+// interpolate places frac ∈ [0,1] between lo and hi, geometrically when
+// both edges are positive (log-spaced buckets), linearly otherwise.
+func interpolate(lo, hi, frac float64) float64 {
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	if lo > 0 && hi > 0 {
+		return lo * math.Pow(hi/lo, frac)
+	}
+	return lo + (hi-lo)*frac
+}
+
+// FromSnapshot adapts an obs registry histogram snapshot (width-only: no
+// exact min/max) to the estimator.
+func FromSnapshot(s obs.HistogramSnapshot) *Hist {
+	h := &Hist{
+		Bounds:   append([]float64(nil), s.Bounds...),
+		Counts:   append([]int64(nil), s.Counts...),
+		Overflow: s.Overflow,
+		Sum:      s.Sum,
+	}
+	for _, c := range h.Counts {
+		h.N += c
+	}
+	h.N += h.Overflow
+	return h
+}
+
+// FromStats adapts one of the simulator's latency histograms (e.g.
+// core.Result.ReadHist) to the estimator.
+func FromStats(s *stats.Histogram) *Hist {
+	if s == nil {
+		return NewHist(latencyBounds())
+	}
+	h := &Hist{
+		Bounds:   append([]float64(nil), s.Bounds...),
+		Counts:   append([]int64(nil), s.Counts...),
+		Overflow: s.Overflow,
+	}
+	for _, c := range h.Counts {
+		h.N += c
+	}
+	h.N += h.Overflow
+	return h
+}

@@ -1,0 +1,296 @@
+package obsreport
+
+import (
+	"math"
+	"sort"
+
+	"mobilestorage/internal/obs"
+)
+
+// ---------------------------------------------------------------- timeline
+
+// Interval is one closed span of simulated time, in microseconds.
+type Interval struct {
+	StartUs int64 `json:"start_us"`
+	EndUs   int64 `json:"end_us"`
+}
+
+// DurationUs returns the interval length.
+func (iv Interval) DurationUs() int64 { return iv.EndUs - iv.StartUs }
+
+// DeviceTimeline reconstructs one device's power-state history from its
+// spin-up/spin-down events: every completed sleep interval, the histogram
+// of sleep durations (the idle-time distribution behind the paper's
+// spin-down analysis), and totals.
+type DeviceTimeline struct {
+	Dev       string     `json:"dev"`
+	SpinUps   int64      `json:"spin_ups"`
+	SpinDowns int64      `json:"spin_downs"`
+	Sleeps    []Interval `json:"sleeps"`
+	// SleepHist is the distribution of completed sleep durations in
+	// seconds.
+	SleepHist *Hist `json:"sleep_hist"`
+	// TotalSleepUs sums the completed sleep intervals.
+	TotalSleepUs int64 `json:"total_sleep_us"`
+	// OpenSleepUs is the start time of a trailing spin-down never followed
+	// by a spin-up (the device ended the run asleep); -1 if none.
+	OpenSleepUs int64 `json:"open_sleep_us"`
+}
+
+// sleepBounds covers sleep durations from 10 ms to ~28 h, in seconds.
+func sleepBounds() []float64 { return obs.LogBuckets(1e-2, 1e5) }
+
+// StateTimelines derives per-device spin timelines from the event stream.
+// Devices appear in sorted name order; events with an empty Dev field group
+// under the empty name. Spin-up events carry the sleep duration they ended
+// (Dur), so intervals are exact even if the stream starts mid-sleep.
+func StateTimelines(events []obs.Event) []*DeviceTimeline {
+	byDev := make(map[string]*DeviceTimeline)
+	get := func(dev string) *DeviceTimeline {
+		tl, ok := byDev[dev]
+		if !ok {
+			tl = &DeviceTimeline{Dev: dev, SleepHist: NewHist(sleepBounds()), OpenSleepUs: -1}
+			byDev[dev] = tl
+		}
+		return tl
+	}
+	for _, e := range events {
+		switch e.Kind {
+		case obs.EvDiskSpinDown:
+			tl := get(e.Dev)
+			tl.SpinDowns++
+			tl.OpenSleepUs = e.T
+		case obs.EvDiskSpinUp:
+			tl := get(e.Dev)
+			tl.SpinUps++
+			iv := Interval{StartUs: e.T - e.Dur, EndUs: e.T}
+			tl.Sleeps = append(tl.Sleeps, iv)
+			tl.SleepHist.Add(float64(e.Dur) / 1e6)
+			tl.TotalSleepUs += iv.DurationUs()
+			tl.OpenSleepUs = -1
+		}
+	}
+	out := make([]*DeviceTimeline, 0, len(byDev))
+	for _, tl := range byDev {
+		out = append(out, tl)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Dev < out[j].Dev })
+	return out
+}
+
+// ----------------------------------------------------------------- latency
+
+// latencyKinds maps the event kinds whose Dur payload is a latency-like
+// duration (service, drain, stall, or job time) — spin events carry sleep
+// durations instead and are excluded.
+var latencyKinds = map[string]bool{
+	obs.EvSRAMFlush:      true,
+	obs.EvSRAMStall:      true,
+	obs.EvFlashDiskWrite: true,
+	obs.EvCardClean:      true,
+	obs.EvCardStall:      true,
+	obs.EvHybridDestage:  true,
+}
+
+// KindLatency summarizes the durations of one event kind.
+type KindLatency struct {
+	Kind   string  `json:"kind"`
+	N      int64   `json:"n"`
+	MeanMs float64 `json:"mean_ms"`
+	P50Ms  float64 `json:"p50_ms"`
+	P90Ms  float64 `json:"p90_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	MaxMs  float64 `json:"max_ms"`
+	// Hist is the underlying log-bucket distribution in milliseconds.
+	Hist *Hist `json:"hist"`
+}
+
+// Latency aggregates per-kind duration distributions from the stream and
+// estimates p50/p90/p99 via bucket interpolation; mean and max are exact.
+// Kinds are sorted by name.
+func Latency(events []obs.Event) []KindLatency {
+	hists := make(map[string]*Hist)
+	for _, e := range events {
+		if !latencyKinds[e.Kind] || e.Dur <= 0 {
+			continue
+		}
+		h, ok := hists[e.Kind]
+		if !ok {
+			h = NewHist(latencyBounds())
+			hists[e.Kind] = h
+		}
+		h.Add(float64(e.Dur) / 1e3) // µs → ms
+	}
+	kinds := make([]string, 0, len(hists))
+	for k := range hists {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	out := make([]KindLatency, 0, len(kinds))
+	for _, k := range kinds {
+		h := hists[k]
+		out = append(out, KindLatency{
+			Kind:   k,
+			N:      h.N,
+			MeanMs: h.Mean(),
+			P50Ms:  h.Quantile(0.50),
+			P90Ms:  h.Quantile(0.90),
+			P99Ms:  h.Quantile(0.99),
+			MaxMs:  h.Max,
+			Hist:   h,
+		})
+	}
+	return out
+}
+
+// -------------------------------------------------------------------- wear
+
+// SegmentWear is one erase unit's final erase count.
+type SegmentWear struct {
+	Segment int64 `json:"segment"`
+	Erases  int64 `json:"erases"`
+}
+
+// WearReport is the per-segment erase/wear distribution from flashcard
+// erase events (§5.2 endurance). Each flashcard.erase event carries the
+// segment's cumulative count, so the final count per segment is the
+// maximum observed.
+type WearReport struct {
+	Segments    []SegmentWear `json:"segments"`
+	TotalErases int64         `json:"total_erases"`
+	MaxErase    int64         `json:"max_erase"`
+	MinErase    int64         `json:"min_erase"`
+	MeanErase   float64       `json:"mean_erase"`
+	// StdDevErase measures wear imbalance; Spread is max/mean (1.0 =
+	// perfectly level).
+	StdDevErase float64 `json:"stddev_erase"`
+	Spread      float64 `json:"spread"`
+}
+
+// Wear derives the wear distribution. Segments are sorted by index; the
+// report is zero-valued when the stream has no flashcard.erase events
+// (disk or flash-disk runs).
+func Wear(events []obs.Event) *WearReport {
+	counts := make(map[int64]int64)
+	var total int64
+	for _, e := range events {
+		if e.Kind != obs.EvCardErase {
+			continue
+		}
+		total++
+		if e.Size > counts[e.Addr] {
+			counts[e.Addr] = e.Size
+		}
+	}
+	r := &WearReport{TotalErases: total}
+	if len(counts) == 0 {
+		return r
+	}
+	segs := make([]int64, 0, len(counts))
+	for s := range counts {
+		segs = append(segs, s)
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i] < segs[j] })
+	var sum, sumSq float64
+	r.MinErase = math.MaxInt64
+	for _, s := range segs {
+		c := counts[s]
+		r.Segments = append(r.Segments, SegmentWear{Segment: s, Erases: c})
+		if c > r.MaxErase {
+			r.MaxErase = c
+		}
+		if c < r.MinErase {
+			r.MinErase = c
+		}
+		sum += float64(c)
+		sumSq += float64(c) * float64(c)
+	}
+	n := float64(len(segs))
+	r.MeanErase = sum / n
+	r.StdDevErase = math.Sqrt(sumSq/n - r.MeanErase*r.MeanErase)
+	if r.MeanErase > 0 {
+		r.Spread = float64(r.MaxErase) / r.MeanErase
+	}
+	return r
+}
+
+// ------------------------------------------------------------------ energy
+
+// EnergyPoint is one cumulative energy sample.
+type EnergyPoint struct {
+	TUs    int64   `json:"t_us"`
+	Joules float64 `json:"joules"`
+}
+
+// EnergySeries is one component's cumulative energy over simulated time.
+type EnergySeries struct {
+	Component string        `json:"component"`
+	Points    []EnergyPoint `json:"points"`
+}
+
+// Energy reconstructs per-component energy-over-time curves from the
+// sampler's sample.energy events (cumulative µJ payloads). Components are
+// sorted by name; the result is empty when the run was not sampled
+// (storagesim -sample enables it).
+func Energy(events []obs.Event) []EnergySeries {
+	byComp := make(map[string][]EnergyPoint)
+	for _, e := range events {
+		if e.Kind != obs.EvEnergySample {
+			continue
+		}
+		byComp[e.Dev] = append(byComp[e.Dev], EnergyPoint{TUs: e.T, Joules: float64(e.Size) / 1e6})
+	}
+	comps := make([]string, 0, len(byComp))
+	for c := range byComp {
+		comps = append(comps, c)
+	}
+	sort.Strings(comps)
+	out := make([]EnergySeries, 0, len(comps))
+	for _, c := range comps {
+		out = append(out, EnergySeries{Component: c, Points: byComp[c]})
+	}
+	return out
+}
+
+// ---------------------------------------------------------------- cleaning
+
+// CleaningReport summarizes the flash-card cleaner's work from
+// flashcard.clean/copy/erase/stall events: how often it ran, how much live
+// data it relocated (the §5.3 overhead that grows with utilization), and
+// the distribution of live blocks per victim segment (cleaning efficiency:
+// fewer live blocks per clean is better).
+type CleaningReport struct {
+	Cleans       int64 `json:"cleans"`
+	CopiedBlocks int64 `json:"copied_blocks"`
+	Stalls       int64 `json:"stalls"`
+	// LivePerClean is the distribution of live blocks copied out per
+	// cleaning job.
+	LivePerClean *Hist `json:"live_per_clean"`
+	// MeanLivePerClean is CopiedBlocks / Cleans.
+	MeanLivePerClean float64 `json:"mean_live_per_clean"`
+	// TotalCleanUs sums cleaning job durations.
+	TotalCleanUs int64 `json:"total_clean_us"`
+}
+
+// liveBounds covers live-blocks-per-clean from 1 to 100k.
+func liveBounds() []float64 { return obs.LogBuckets(1, 1e5) }
+
+// Cleaning derives the cleaning report from the stream.
+func Cleaning(events []obs.Event) *CleaningReport {
+	r := &CleaningReport{LivePerClean: NewHist(liveBounds())}
+	for _, e := range events {
+		switch e.Kind {
+		case obs.EvCardClean:
+			r.Cleans++
+			r.CopiedBlocks += e.Size
+			r.TotalCleanUs += e.Dur
+			r.LivePerClean.Add(float64(e.Size))
+		case obs.EvCardStall:
+			r.Stalls++
+		}
+	}
+	if r.Cleans > 0 {
+		r.MeanLivePerClean = float64(r.CopiedBlocks) / float64(r.Cleans)
+	}
+	return r
+}
