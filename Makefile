@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet fmt-check test race bench bench-smoke fuzz-smoke golden-update check
+.PHONY: build vet fmt-check test race bench bench-smoke bench-gate bench-gate-update fuzz-smoke golden-update check
 
 build:
 	$(GO) build ./...
@@ -31,6 +31,20 @@ bench:
 # compiling or crash, without measuring anything.
 bench-smoke:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
+
+# Regression gate: re-measure the obsreport benchmarks and fail when any
+# gets >30% slower or allocation-heavier than the committed baseline.
+# benchdiff keeps the best of the -count runs, which damps scheduler noise
+# on shared runners.
+bench-gate:
+	$(GO) test -run='^$$' -bench=. -benchmem -benchtime=1s -count=3 ./internal/obsreport/ \
+		| $(GO) run ./cmd/benchdiff -baseline BENCH_obsreport.json
+
+# Refresh the committed baseline after an intentional perf change; review
+# the diff before committing.
+bench-gate-update:
+	$(GO) test -run='^$$' -bench=. -benchmem -benchtime=1s -count=3 ./internal/obsreport/ \
+		| $(GO) run ./cmd/benchdiff -baseline BENCH_obsreport.json -update
 
 # Short coverage-guided fuzz burst over the simulator core.
 fuzz-smoke:

@@ -1,0 +1,308 @@
+// Command benchdiff gates benchmark regressions: it parses `go test -bench`
+// output, compares it against a committed JSON baseline, and exits non-zero
+// when any baseline benchmark got more than a threshold slower (ns/op) or
+// more allocation-heavy (allocs/op). Faster-is-fine: improvements are
+// reported but never fail the gate, so the baseline only needs refreshing
+// when the code actually gets better.
+//
+// Usage:
+//
+//	go test -run='^$' -bench=. -benchmem ./internal/obsreport/ \
+//	    | benchdiff -baseline BENCH_obsreport.json
+//
+// Flags:
+//
+//	-baseline file   committed baseline JSON (required)
+//	-in file         bench output to read (- for stdin, the default)
+//	-threshold f     allowed fractional regression, default 0.30 (30%)
+//	-update          rewrite the baseline from the measured run and exit
+//
+// With -count > 1 runs, the best (minimum) ns/op and allocs/op per
+// benchmark are compared, which damps scheduler noise on shared CI runners.
+// A small absolute slack on allocs/op keeps near-zero baselines from
+// failing on a single incidental allocation.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// allocSlack is the absolute allocs/op increase tolerated regardless of the
+// fractional threshold: a 0-alloc baseline must not fail on noise like a
+// one-time sync.Pool fill.
+const allocSlack = 8
+
+// baselineFile mirrors the committed BENCH_*.json schema.
+type baselineFile struct {
+	Package    string      `json:"package"`
+	Recorded   string      `json:"recorded"`
+	Go         string      `json:"go"`
+	CPU        string      `json:"cpu"`
+	Note       string      `json:"note"`
+	Benchmarks []benchLine `json:"benchmarks"`
+}
+
+type benchLine struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	MBPerS      float64 `json:"mb_per_s,omitempty"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// result holds one benchmark's best measurements from the run under test.
+type result struct {
+	ns, mbps, bytes, allocs float64
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	var (
+		baseline  = fs.String("baseline", "", "baseline JSON file to compare against")
+		in        = fs.String("in", "-", "go test -bench output to read (- for stdin)")
+		threshold = fs.Float64("threshold", 0.30, "allowed fractional regression")
+		update    = fs.Bool("update", false, "rewrite the baseline from this run instead of comparing")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *baseline == "" {
+		return fmt.Errorf("-baseline is required")
+	}
+	if *threshold < 0 {
+		return fmt.Errorf("-threshold must be >= 0, got %g", *threshold)
+	}
+
+	r := stdin
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	results, cpu, err := parseBench(r)
+	if err != nil {
+		return err
+	}
+	if len(results) == 0 {
+		return fmt.Errorf("no benchmark lines found in input")
+	}
+
+	base, err := readBaseline(*baseline)
+	if err != nil {
+		return err
+	}
+	if *update {
+		return writeBaseline(*baseline, base, results, cpu)
+	}
+	return compare(stdout, base, results, *threshold)
+}
+
+// parseBench extracts per-benchmark measurements (best-of when a benchmark
+// appears more than once) and the host CPU from go test -bench output.
+func parseBench(r io.Reader) (map[string]result, string, error) {
+	results := make(map[string]result)
+	var cpu string
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "cpu:") {
+			cpu = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := trimProcSuffix(fields[0])
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			continue // not an iteration count: some other Benchmark-prefixed text
+		}
+		var res result
+		ok := false
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				res.ns, ok = v, true
+			case "MB/s":
+				res.mbps = v
+			case "B/op":
+				res.bytes = v
+			case "allocs/op":
+				res.allocs = v
+			}
+		}
+		if !ok {
+			continue
+		}
+		if prev, seen := results[name]; seen {
+			if prev.ns <= res.ns {
+				res.ns = prev.ns
+			}
+			if prev.allocs <= res.allocs {
+				res.allocs = prev.allocs
+			}
+			if prev.mbps > res.mbps {
+				res.mbps = prev.mbps
+			}
+			if prev.bytes < res.bytes {
+				res.bytes = prev.bytes
+			}
+		}
+		results[name] = res
+	}
+	return results, cpu, sc.Err()
+}
+
+// trimProcSuffix drops go test's -GOMAXPROCS suffix: BenchmarkFoo-4 → BenchmarkFoo.
+func trimProcSuffix(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i <= 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+func readBaseline(path string) (*baselineFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b baselineFile
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(b.Benchmarks) == 0 {
+		return nil, fmt.Errorf("%s: baseline has no benchmarks", path)
+	}
+	return &b, nil
+}
+
+// compare prints a per-benchmark delta table and fails on any regression
+// past the threshold. Benchmarks present in the run but absent from the
+// baseline are listed as new (refresh with -update to start gating them);
+// baseline benchmarks missing from the run are hard failures, so a deleted
+// or broken benchmark cannot silently drop out of the gate.
+func compare(w io.Writer, base *baselineFile, results map[string]result, threshold float64) error {
+	var failures []string
+	for _, b := range base.Benchmarks {
+		r, ok := results[b.Name]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: in baseline but not in this run", b.Name))
+			continue
+		}
+		nsDelta := ratio(r.ns, b.NsPerOp)
+		allocDelta := ratio(r.allocs, b.AllocsPerOp)
+		fmt.Fprintf(w, "%-32s ns/op %12.0f -> %12.0f (%+6.1f%%)   allocs/op %8.0f -> %8.0f (%+6.1f%%)\n",
+			b.Name, b.NsPerOp, r.ns, 100*nsDelta, b.AllocsPerOp, r.allocs, 100*allocDelta)
+		if nsDelta > threshold {
+			failures = append(failures, fmt.Sprintf("%s: ns/op regressed %.1f%% (%.0f -> %.0f, limit %.0f%%)",
+				b.Name, 100*nsDelta, b.NsPerOp, r.ns, 100*threshold))
+		}
+		if allocDelta > threshold && r.allocs-b.AllocsPerOp > allocSlack {
+			failures = append(failures, fmt.Sprintf("%s: allocs/op regressed %.1f%% (%.0f -> %.0f, limit %.0f%%)",
+				b.Name, 100*allocDelta, b.AllocsPerOp, r.allocs, 100*threshold))
+		}
+	}
+	known := make(map[string]bool, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		known[b.Name] = true
+	}
+	var fresh []string
+	for name := range results {
+		if !known[name] {
+			fresh = append(fresh, name)
+		}
+	}
+	sort.Strings(fresh)
+	for _, name := range fresh {
+		fmt.Fprintf(w, "%-32s new benchmark (not gated; add with -update)\n", name)
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("%d benchmark regression(s):\n  %s",
+			len(failures), strings.Join(failures, "\n  "))
+	}
+	fmt.Fprintf(w, "ok: %d benchmark(s) within %.0f%% of baseline\n", len(base.Benchmarks), 100*threshold)
+	return nil
+}
+
+// ratio returns (got-want)/want, treating a zero baseline as regressed only
+// when the measurement is nonzero.
+func ratio(got, want float64) float64 {
+	if want == 0 {
+		if got == 0 {
+			return 0
+		}
+		return 1
+	}
+	return (got - want) / want
+}
+
+// writeBaseline rewrites the baseline file from this run's measurements,
+// preserving the package/note metadata and keeping existing benchmark order
+// (new benchmarks append alphabetically).
+func writeBaseline(path string, base *baselineFile, results map[string]result, cpu string) error {
+	out := *base
+	out.Recorded = time.Now().UTC().Format("2006-01-02")
+	out.Go = runtime.Version() + " " + runtime.GOOS + "/" + runtime.GOARCH
+	if cpu != "" {
+		out.CPU = cpu
+	}
+	out.Benchmarks = nil
+	seen := make(map[string]bool)
+	for _, b := range base.Benchmarks {
+		r, ok := results[b.Name]
+		if !ok {
+			continue // benchmark deleted: drop it from the refreshed baseline
+		}
+		seen[b.Name] = true
+		out.Benchmarks = append(out.Benchmarks, toLine(b.Name, r))
+	}
+	var fresh []string
+	for name := range results {
+		if !seen[name] {
+			fresh = append(fresh, name)
+		}
+	}
+	sort.Strings(fresh)
+	for _, name := range fresh {
+		out.Benchmarks = append(out.Benchmarks, toLine(name, results[name]))
+	}
+	data, err := json.MarshalIndent(&out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func toLine(name string, r result) benchLine {
+	return benchLine{Name: name, NsPerOp: r.ns, MBPerS: r.mbps, BytesPerOp: r.bytes, AllocsPerOp: r.allocs}
+}

@@ -1,0 +1,230 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: mobilestorage/internal/obsreport
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkDecodeNDJSON-4   	     380	   3100000 ns/op	 225.00 MB/s	 2871207 B/op	      33 allocs/op
+BenchmarkReports-4        	    2716	    431284 ns/op	  132272 B/op	      69 allocs/op
+BenchmarkQuantile-4       	 5308966	     225.7 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	mobilestorage/internal/obsreport	5.080s
+`
+
+func writeBaselineFile(t *testing.T, benches []benchLine) string {
+	t.Helper()
+	b := baselineFile{
+		Package:    "mobilestorage/internal/obsreport",
+		Recorded:   "2026-01-01",
+		Go:         "go1.24.0 linux/amd64",
+		CPU:        "test",
+		Note:       "test baseline",
+		Benchmarks: benches,
+	}
+	data, err := json.Marshal(&b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func runDiff(t *testing.T, baseline, input string, extra ...string) (string, error) {
+	t.Helper()
+	var out bytes.Buffer
+	args := append([]string{"-baseline", baseline}, extra...)
+	err := run(args, strings.NewReader(input), &out)
+	return out.String(), err
+}
+
+func TestParseBench(t *testing.T) {
+	results, cpu, err := parseBench(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cpu != "Intel(R) Xeon(R) Processor @ 2.10GHz" {
+		t.Errorf("cpu = %q", cpu)
+	}
+	d, ok := results["BenchmarkDecodeNDJSON"]
+	if !ok {
+		t.Fatalf("DecodeNDJSON missing from %v", results)
+	}
+	if d.ns != 3100000 || d.mbps != 225 || d.bytes != 2871207 || d.allocs != 33 {
+		t.Errorf("DecodeNDJSON parsed as %+v", d)
+	}
+	if q := results["BenchmarkQuantile"]; q.ns != 225.7 || q.allocs != 0 {
+		t.Errorf("Quantile parsed as %+v", q)
+	}
+	if len(results) != 3 {
+		t.Errorf("parsed %d benchmarks, want 3", len(results))
+	}
+}
+
+// Repeated benchmarks (go test -count) keep the best measurement per metric.
+func TestParseBenchBestOf(t *testing.T) {
+	input := "BenchmarkX-4 100 2000 ns/op 50 allocs/op\n" +
+		"BenchmarkX-4 100 1500 ns/op 60 allocs/op\n"
+	results, _, err := parseBench(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x := results["BenchmarkX"]; x.ns != 1500 || x.allocs != 50 {
+		t.Errorf("best-of = %+v, want ns 1500 / allocs 50", x)
+	}
+}
+
+func TestTrimProcSuffix(t *testing.T) {
+	cases := map[string]string{
+		"BenchmarkDecodeNDJSON-4":  "BenchmarkDecodeNDJSON",
+		"BenchmarkDecodeNDJSON-16": "BenchmarkDecodeNDJSON",
+		"BenchmarkDecodeNDJSON":    "BenchmarkDecodeNDJSON",
+		"BenchmarkP99-latency-8":   "BenchmarkP99-latency",
+	}
+	for in, want := range cases {
+		if got := trimProcSuffix(in); got != want {
+			t.Errorf("trimProcSuffix(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestComparePass(t *testing.T) {
+	baseline := writeBaselineFile(t, []benchLine{
+		{Name: "BenchmarkDecodeNDJSON", NsPerOp: 3200000, MBPerS: 220, BytesPerOp: 2871207, AllocsPerOp: 33},
+		{Name: "BenchmarkReports", NsPerOp: 431284, BytesPerOp: 132272, AllocsPerOp: 69},
+		{Name: "BenchmarkQuantile", NsPerOp: 225.7},
+	})
+	out, err := runDiff(t, baseline, sampleBench)
+	if err != nil {
+		t.Fatalf("gate failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "ok: 3 benchmark(s)") {
+		t.Errorf("output: %s", out)
+	}
+}
+
+func TestCompareFailsOnNsRegression(t *testing.T) {
+	baseline := writeBaselineFile(t, []benchLine{
+		// Measured 3100000 ns/op is a 55% regression over this.
+		{Name: "BenchmarkDecodeNDJSON", NsPerOp: 2000000, AllocsPerOp: 33},
+	})
+	out, err := runDiff(t, baseline, sampleBench)
+	if err == nil || !strings.Contains(err.Error(), "ns/op regressed") {
+		t.Errorf("err = %v\n%s", err, out)
+	}
+	// A looser threshold lets the same run pass.
+	if out, err := runDiff(t, baseline, sampleBench, "-threshold", "0.6"); err != nil {
+		t.Errorf("60%% threshold should pass: %v\n%s", err, out)
+	}
+}
+
+func TestCompareFailsOnAllocRegression(t *testing.T) {
+	baseline := writeBaselineFile(t, []benchLine{
+		// Measured 33 allocs/op: over 30% and past the absolute slack.
+		{Name: "BenchmarkDecodeNDJSON", NsPerOp: 3200000, AllocsPerOp: 20},
+	})
+	if out, err := runDiff(t, baseline, sampleBench); err == nil || !strings.Contains(err.Error(), "allocs/op regressed") {
+		t.Errorf("err = %v\n%s", err, out)
+	}
+	// Within the absolute slack: 2 -> 8 allocs/op is a 300% ratio, but the
+	// +6 absolute increase stays under the slack, so tiny baselines never
+	// fail on an incidental allocation.
+	slack := writeBaselineFile(t, []benchLine{
+		{Name: "BenchmarkTiny", NsPerOp: 100, AllocsPerOp: 2},
+	})
+	input := "BenchmarkTiny-4 100 100 ns/op 8 allocs/op\n"
+	if out, err := runDiff(t, slack, input); err != nil {
+		t.Errorf("within-slack run failed: %v\n%s", err, out)
+	}
+}
+
+func TestCompareFailsOnMissingBenchmark(t *testing.T) {
+	baseline := writeBaselineFile(t, []benchLine{
+		{Name: "BenchmarkDecodeNDJSON", NsPerOp: 3200000, AllocsPerOp: 33},
+		{Name: "BenchmarkGone", NsPerOp: 100, AllocsPerOp: 1},
+	})
+	if _, err := runDiff(t, baseline, sampleBench); err == nil || !strings.Contains(err.Error(), "BenchmarkGone") {
+		t.Errorf("err = %v, want missing-benchmark failure", err)
+	}
+}
+
+func TestCompareReportsNewBenchmarks(t *testing.T) {
+	baseline := writeBaselineFile(t, []benchLine{
+		{Name: "BenchmarkDecodeNDJSON", NsPerOp: 3200000, AllocsPerOp: 33},
+	})
+	out, err := runDiff(t, baseline, sampleBench)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if !strings.Contains(out, "BenchmarkReports") || !strings.Contains(out, "new benchmark") {
+		t.Errorf("new benchmarks not reported:\n%s", out)
+	}
+}
+
+func TestUpdateRewritesBaseline(t *testing.T) {
+	baseline := writeBaselineFile(t, []benchLine{
+		{Name: "BenchmarkQuantile", NsPerOp: 999, AllocsPerOp: 5},
+		{Name: "BenchmarkGone", NsPerOp: 100},
+	})
+	if _, err := runDiff(t, baseline, sampleBench, "-update"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readBaseline(baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Package != "mobilestorage/internal/obsreport" || got.Note != "test baseline" {
+		t.Errorf("metadata not preserved: %+v", got)
+	}
+	if got.CPU != "Intel(R) Xeon(R) Processor @ 2.10GHz" {
+		t.Errorf("cpu not taken from run: %q", got.CPU)
+	}
+	byName := make(map[string]benchLine)
+	for _, b := range got.Benchmarks {
+		byName[b.Name] = b
+	}
+	if byName["BenchmarkQuantile"].NsPerOp != 225.7 {
+		t.Errorf("Quantile not refreshed: %+v", byName["BenchmarkQuantile"])
+	}
+	if _, ok := byName["BenchmarkGone"]; ok {
+		t.Error("deleted benchmark kept in refreshed baseline")
+	}
+	if _, ok := byName["BenchmarkReports"]; !ok {
+		t.Error("new benchmark not added on -update")
+	}
+	// Existing order first (Quantile), then new ones alphabetically.
+	if got.Benchmarks[0].Name != "BenchmarkQuantile" {
+		t.Errorf("order: %v", got.Benchmarks)
+	}
+	// The refreshed file must itself pass the gate against the same run.
+	if out, err := runDiff(t, baseline, sampleBench); err != nil {
+		t.Errorf("refreshed baseline fails its own run: %v\n%s", err, out)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	if _, err := runDiff(t, "", sampleBench); err == nil {
+		t.Error("missing -baseline accepted")
+	}
+	baseline := writeBaselineFile(t, []benchLine{{Name: "BenchmarkX", NsPerOp: 1}})
+	if _, err := runDiff(t, baseline, "no benchmarks here\n"); err == nil {
+		t.Error("input without benchmark lines accepted")
+	}
+	if _, err := runDiff(t, baseline, sampleBench, "-threshold", "-1"); err == nil {
+		t.Error("negative threshold accepted")
+	}
+	if _, err := runDiff(t, filepath.Join(t.TempDir(), "missing.json"), sampleBench); err == nil {
+		t.Error("missing baseline file accepted")
+	}
+}

@@ -13,12 +13,19 @@
 //	energy     cumulative energy over time per component (needs -sample)
 //	cleaning   flash-card cleaner work and live-blocks-per-clean
 //
+// Ingestion is streaming: events flow from the input straight into the
+// report builder, so multi-gigabyte captures — including ones piped on
+// stdin — process at constant memory. -in may be repeated; the shards are
+// decoded in parallel but always aggregated in argument order, so the
+// output is identical to concatenating the files first.
+//
 // Examples:
 //
 //	storagesim -trace mac -device cu140 -events ev.ndjson
 //	obsreport timeline -in ev.ndjson
 //	obsreport latency -in ev.ndjson -format csv -out lat.csv
-//	obsreport wear -in ev.ndjson -format json
+//	obsreport wear -in sweep-a.ndjson -in sweep-b.ndjson -format json
+//	zcat huge.ndjson.gz | obsreport cleaning -in -
 package main
 
 import (
@@ -27,42 +34,60 @@ import (
 	"io"
 	"os"
 
-	"mobilestorage/internal/obs"
 	"mobilestorage/internal/obsreport"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "obsreport:", err)
 		os.Exit(1)
 	}
 }
 
-// reports maps each subcommand to its renderer.
-var reports = map[string]func(io.Writer, []obs.Event, obsreport.Format) error{
-	"timeline": func(w io.Writer, ev []obs.Event, f obsreport.Format) error {
-		return obsreport.WriteTimelines(w, obsreport.StateTimelines(ev), f)
+// renderFunc renders a finished builder to w.
+type renderFunc func(w io.Writer, f obsreport.Format) error
+
+// reports maps each subcommand to a factory returning the streaming
+// reporter and a renderer bound to it.
+var reports = map[string]func() (obsreport.Reporter, renderFunc){
+	"timeline": func() (obsreport.Reporter, renderFunc) {
+		b := obsreport.NewTimelineBuilder()
+		return b, func(w io.Writer, f obsreport.Format) error { return obsreport.WriteTimelines(w, b.Finish(), f) }
 	},
-	"latency": func(w io.Writer, ev []obs.Event, f obsreport.Format) error {
-		return obsreport.WriteLatency(w, obsreport.Latency(ev), f)
+	"latency": func() (obsreport.Reporter, renderFunc) {
+		b := obsreport.NewLatencyBuilder()
+		return b, func(w io.Writer, f obsreport.Format) error { return obsreport.WriteLatency(w, b.Finish(), f) }
 	},
-	"wear": func(w io.Writer, ev []obs.Event, f obsreport.Format) error {
-		return obsreport.WriteWear(w, obsreport.Wear(ev), f)
+	"wear": func() (obsreport.Reporter, renderFunc) {
+		b := obsreport.NewWearBuilder()
+		return b, func(w io.Writer, f obsreport.Format) error { return obsreport.WriteWear(w, b.Finish(), f) }
 	},
-	"energy": func(w io.Writer, ev []obs.Event, f obsreport.Format) error {
-		return obsreport.WriteEnergy(w, obsreport.Energy(ev), f)
+	"energy": func() (obsreport.Reporter, renderFunc) {
+		b := obsreport.NewEnergyBuilder()
+		return b, func(w io.Writer, f obsreport.Format) error { return obsreport.WriteEnergy(w, b.Finish(), f) }
 	},
-	"cleaning": func(w io.Writer, ev []obs.Event, f obsreport.Format) error {
-		return obsreport.WriteCleaning(w, obsreport.Cleaning(ev), f)
+	"cleaning": func() (obsreport.Reporter, renderFunc) {
+		b := obsreport.NewCleaningBuilder()
+		return b, func(w io.Writer, f obsreport.Format) error { return obsreport.WriteCleaning(w, b.Finish(), f) }
 	},
 }
 
-func run(args []string, stdout, stderr io.Writer) error {
+// inputList collects repeated -in flags.
+type inputList []string
+
+func (l *inputList) String() string { return fmt.Sprint([]string(*l)) }
+
+func (l *inputList) Set(v string) error {
+	*l = append(*l, v)
+	return nil
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	if len(args) < 1 {
 		return usageError(stderr)
 	}
 	name := args[0]
-	render, ok := reports[name]
+	newReport, ok := reports[name]
 	if !ok {
 		fmt.Fprintf(stderr, "unknown report %q\n", name)
 		return usageError(stderr)
@@ -70,11 +95,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 
 	fs := flag.NewFlagSet("obsreport "+name, flag.ContinueOnError)
 	fs.SetOutput(stderr)
+	var ins inputList
+	fs.Var(&ins, "in", "NDJSON event stream to read (- for stdin); repeat to aggregate shards")
 	var (
-		in      = fs.String("in", "-", "NDJSON event stream to read (- for stdin)")
 		format  = fs.String("format", "text", "output format: text, csv, json")
 		out     = fs.String("out", "-", "output file (- for stdout)")
 		lenient = fs.Bool("lenient", false, "skip malformed lines instead of aborting")
+		workers = fs.Int("workers", 0, "parallel decode workers for multi-file input (0 = all cores)")
 	)
 	if err := fs.Parse(args[1:]); err != nil {
 		return err
@@ -83,46 +110,50 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
+	if len(ins) == 0 {
+		ins = inputList{"-"}
+	}
+	stdins := 0
+	for _, in := range ins {
+		if in == "-" {
+			stdins++
+		}
+	}
+	if stdins > 1 {
+		return fmt.Errorf("-in - (stdin) may be given at most once")
+	}
+	if *workers < 0 {
+		return fmt.Errorf("-workers must be >= 0, got %d", *workers)
+	}
 
-	var r io.Reader = os.Stdin
-	if *in != "-" {
-		file, err := os.Open(*in)
-		if err != nil {
-			return err
-		}
-		defer file.Close()
-		r = file
-	}
-	var events []obs.Event
-	if *lenient {
-		var skipped int
-		events, skipped, err = obsreport.ReadEventsLenient(r)
-		if err == nil && skipped > 0 {
-			fmt.Fprintf(stderr, "obsreport: skipped %d malformed lines\n", skipped)
-		}
-	} else {
-		events, err = obsreport.ReadEvents(r)
-	}
+	reporter, render := newReport()
+	stats, err := obsreport.StreamFiles(ins, obsreport.StreamOptions{
+		Lenient: *lenient,
+		Workers: *workers,
+		Stdin:   stdin,
+	}, reporter)
 	if err != nil {
 		return err
 	}
+	if stats.Skipped > 0 {
+		fmt.Fprintf(stderr, "obsreport: skipped %d malformed lines\n", stats.Skipped)
+	}
 
-	w := stdout
 	if *out != "-" {
 		file, err := os.Create(*out)
 		if err != nil {
 			return err
 		}
-		if err := render(file, events, f); err != nil {
+		if err := render(file, f); err != nil {
 			file.Close()
 			return err
 		}
 		return file.Close()
 	}
-	return render(w, events, f)
+	return render(stdout, f)
 }
 
 func usageError(w io.Writer) error {
-	fmt.Fprintln(w, "usage: obsreport <timeline|latency|wear|energy|cleaning> [-in events.ndjson] [-format text|csv|json] [-out file] [-lenient]")
+	fmt.Fprintln(w, "usage: obsreport <timeline|latency|wear|energy|cleaning> [-in events.ndjson ...] [-format text|csv|json] [-out file] [-lenient] [-workers n]")
 	return fmt.Errorf("missing or unknown report")
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -47,8 +48,13 @@ func writeEventFile(t *testing.T) string {
 
 func runCLI(t *testing.T, args ...string) (string, string, error) {
 	t.Helper()
+	return runCLIStdin(t, strings.NewReader(""), args...)
+}
+
+func runCLIStdin(t *testing.T, stdin io.Reader, args ...string) (string, string, error) {
+	t.Helper()
 	var stdout, stderr bytes.Buffer
-	err := run(args, &stdout, &stderr)
+	err := run(args, stdin, &stdout, &stderr)
 	return stdout.String(), stderr.String(), err
 }
 
@@ -138,6 +144,94 @@ func TestOutFileAndErrors(t *testing.T) {
 	}
 	if _, _, err := runCLI(t, "wear", "-in", "/nonexistent/events"); err == nil {
 		t.Error("missing input accepted")
+	}
+}
+
+// Reading from stdin via -in - (and via the default when -in is absent)
+// must match reading the same bytes from a file.
+func TestStdinInput(t *testing.T) {
+	path := writeEventFile(t)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromFile, _, err := runCLI(t, "wear", "-in", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromStdin, _, err := runCLIStdin(t, bytes.NewReader(data), "wear", "-in", "-")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fromStdin != fromFile {
+		t.Errorf("stdin render differs from file render")
+	}
+	fromDefault, _, err := runCLIStdin(t, bytes.NewReader(data), "wear")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fromDefault != fromFile {
+		t.Errorf("default-input render differs from file render")
+	}
+}
+
+// Repeated -in aggregates shards in argument order; the result matches the
+// concatenated stream, and stdin may ride along as one shard.
+func TestMultipleInputs(t *testing.T) {
+	path := writeEventFile(t)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Split at a line boundary near the middle.
+	cut := bytes.Index(data[len(data)/2:], []byte("\n")) + len(data)/2 + 1
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.ndjson")
+	b := filepath.Join(dir, "b.ndjson")
+	if err := os.WriteFile(a, data[:cut], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(b, data[cut:], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	whole, _, err := runCLI(t, "wear", "-in", path, "-format", "json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	split, _, err := runCLI(t, "wear", "-in", a, "-in", b, "-format", "json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if split != whole {
+		t.Errorf("sharded render differs from whole-file render")
+	}
+	withStdin, _, err := runCLIStdin(t, bytes.NewReader(data[cut:]), "wear", "-in", a, "-in", "-", "-format", "json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withStdin != whole {
+		t.Errorf("file+stdin shard render differs from whole-file render")
+	}
+	bounded, _, err := runCLI(t, "wear", "-in", a, "-in", b, "-format", "json", "-workers", "1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bounded != whole {
+		t.Errorf("-workers 1 render differs from whole-file render")
+	}
+}
+
+func TestConflictingFlagCombinations(t *testing.T) {
+	path := writeEventFile(t)
+	if _, _, err := runCLI(t, "wear", "-in", "-", "-in", "-"); err == nil {
+		t.Error("stdin given twice accepted")
+	}
+	if _, _, err := runCLI(t, "wear", "-in", path, "-workers", "-3"); err == nil {
+		t.Error("negative -workers accepted")
+	}
+	if _, _, err := runCLI(t, "wear", "-in", path, "-in", "-", "-in", "-"); err == nil {
+		t.Error("mixed files with repeated stdin accepted")
 	}
 }
 

@@ -84,6 +84,10 @@ type Histogram struct {
 	counts   []atomic.Int64
 	overflow atomic.Int64
 	sum      atomicFloat
+	// minBits/maxBits track the exact observed extremes (float64 bits,
+	// CAS-updated), seeded to ±Inf so the first sample always wins.
+	minBits atomic.Uint64
+	maxBits atomic.Uint64
 }
 
 // atomicFloat is a CAS-loop float64 accumulator. Concurrent adds may apply
@@ -135,7 +139,36 @@ func newHistogram(bounds []float64) *Histogram {
 	}
 	b := make([]float64, len(bounds))
 	copy(b, bounds)
-	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b))}
+	h := &Histogram{bounds: b, counts: make([]atomic.Int64, len(b))}
+	h.minBits.Store(math.Float64bits(math.Inf(1)))
+	h.maxBits.Store(math.Float64bits(math.Inf(-1)))
+	return h
+}
+
+// casMin lowers the stored extreme to v if v is smaller.
+func casMin(bits *atomic.Uint64, v float64) {
+	for {
+		old := bits.Load()
+		if math.Float64frombits(old) <= v {
+			return
+		}
+		if bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// casMax raises the stored extreme to v if v is larger.
+func casMax(bits *atomic.Uint64, v float64) {
+	for {
+		old := bits.Load()
+		if math.Float64frombits(old) >= v {
+			return
+		}
+		if bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
 }
 
 // Observe records one sample.
@@ -155,11 +188,32 @@ func (h *Histogram) Observe(x float64) {
 	}
 	if lo == len(h.bounds) {
 		h.overflow.Add(1)
-		h.sum.Add(x)
-		return
+	} else {
+		h.counts[lo].Add(1)
 	}
-	h.counts[lo].Add(1)
 	h.sum.Add(x)
+	casMin(&h.minBits, x)
+	casMax(&h.maxBits, x)
+}
+
+// Min returns the smallest observed sample, or 0 with no samples. Unlike
+// quantiles it is exact: the value is tracked per observation, not derived
+// from bucket edges.
+func (h *Histogram) Min() float64 {
+	if h == nil || h.Count() == 0 {
+		return 0
+	}
+	return math.Float64frombits(h.minBits.Load())
+}
+
+// Max returns the largest observed sample, or 0 with no samples. Exact even
+// for samples in the overflow bucket, where the edges say only "> last
+// bound".
+func (h *Histogram) Max() float64 {
+	if h == nil || h.Count() == 0 {
+		return 0
+	}
+	return math.Float64frombits(h.maxBits.Load())
 }
 
 // Sum returns the total of all observed samples (used by the Prometheus
@@ -204,12 +258,16 @@ func (h *Histogram) Quantile(q float64) float64 {
 	return math.Inf(1)
 }
 
-// HistogramSnapshot is an immutable copy of a histogram's state.
+// HistogramSnapshot is an immutable copy of a histogram's state. Min and
+// Max are the exact observed extremes (both 0 when the snapshot holds no
+// samples).
 type HistogramSnapshot struct {
 	Bounds   []float64
 	Counts   []int64
 	Overflow int64
 	Sum      float64
+	Min      float64
+	Max      float64
 }
 
 // snapshot copies the histogram state.
@@ -218,11 +276,17 @@ func (h *Histogram) snapshot() HistogramSnapshot {
 		Bounds: append([]float64(nil), h.bounds...),
 		Counts: make([]int64, len(h.counts)),
 	}
+	var total int64
 	for i := range h.counts {
 		s.Counts[i] = h.counts[i].Load()
+		total += s.Counts[i]
 	}
 	s.Overflow = h.overflow.Load()
 	s.Sum = h.sum.Value()
+	if total+s.Overflow > 0 {
+		s.Min = math.Float64frombits(h.minBits.Load())
+		s.Max = math.Float64frombits(h.maxBits.Load())
+	}
 	return s
 }
 

@@ -91,6 +91,58 @@ func TestHistogram(t *testing.T) {
 	}
 }
 
+func TestHistogramMinMax(t *testing.T) {
+	var nilH *Histogram
+	if nilH.Min() != 0 || nilH.Max() != 0 {
+		t.Error("nil histogram extremes should read 0")
+	}
+	r := NewRegistry()
+	h := r.Histogram("lat_ms", LogBuckets(1e-3, 1e3))
+	if h.Min() != 0 || h.Max() != 0 {
+		t.Errorf("empty extremes [%g, %g], want [0, 0]", h.Min(), h.Max())
+	}
+	for _, v := range []float64{42, 0.25, 1e9, 7} {
+		h.Observe(v)
+	}
+	// Exact, not bucket edges — 1e9 landed in the overflow bucket.
+	if h.Min() != 0.25 || h.Max() != 1e9 {
+		t.Errorf("extremes [%g, %g], want [0.25, 1e9]", h.Min(), h.Max())
+	}
+	snap := r.Histograms()["lat_ms"]
+	if snap.Min != 0.25 || snap.Max != 1e9 {
+		t.Errorf("snapshot extremes [%g, %g], want [0.25, 1e9]", snap.Min, snap.Max)
+	}
+	if empty := r.Histogram("none", LogBuckets(1, 10)); true {
+		s := r.Histograms()["none"]
+		if s.Min != 0 || s.Max != 0 || empty.Min() != 0 {
+			t.Errorf("empty snapshot extremes [%g, %g], want [0, 0]", s.Min, s.Max)
+		}
+	}
+}
+
+// Concurrent observers must agree on the exact extremes: the CAS loops may
+// race but never lose the winning sample.
+func TestHistogramMinMaxConcurrent(t *testing.T) {
+	h := NewRegistry().Histogram("c", LogBuckets(1, 1e6))
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 1; i <= 1000; i++ {
+				h.Observe(float64(g*1000 + i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if h.Min() != 1 || h.Max() != 8000 {
+		t.Errorf("extremes [%g, %g], want [1, 8000]", h.Min(), h.Max())
+	}
+	if h.Count() != 8000 {
+		t.Errorf("count %d, want 8000", h.Count())
+	}
+}
+
 func TestRingOrderAndWrap(t *testing.T) {
 	r := NewRing(4)
 	for i := 0; i < 6; i++ {

@@ -14,8 +14,11 @@ import (
 // Metric names are namespaced and sanitized ("disk.spin_ups" with namespace
 // "storagesim" becomes "storagesim_disk_spin_ups_total"); counters gain the
 // conventional _total suffix, gauges are exposed as-is, and histograms emit
-// cumulative _bucket{le="..."} series plus _sum and _count. Families are
-// sorted by name so the output is deterministic.
+// cumulative _bucket{le="..."} series plus _sum and _count. Histograms with
+// at least one sample also expose their exact observed extremes as _min and
+// _max gauge families — information the bucket edges cannot recover,
+// especially for overflow samples. Families are sorted by name so the
+// output is deterministic.
 func WritePrometheus(w io.Writer, r *Registry, namespace string) error {
 	if r == nil {
 		return nil
@@ -51,6 +54,10 @@ func WritePrometheus(w io.Writer, r *Registry, namespace string) error {
 		fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", fam, cum)
 		fmt.Fprintf(&b, "%s_sum %s\n", fam, promFloat(h.Sum))
 		fmt.Fprintf(&b, "%s_count %d\n", fam, cum)
+		if cum > 0 {
+			fmt.Fprintf(&b, "# TYPE %s_min gauge\n%s_min %s\n", fam, fam, promFloat(h.Min))
+			fmt.Fprintf(&b, "# TYPE %s_max gauge\n%s_max %s\n", fam, fam, promFloat(h.Max))
+		}
 	}
 
 	_, err := io.WriteString(w, b.String())

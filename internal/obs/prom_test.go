@@ -14,7 +14,8 @@ func TestWritePrometheus(t *testing.T) {
 	h := reg.Histogram("flashcard.clean_ms", []float64{1, 10, 100})
 	h.Observe(0.5)
 	h.Observe(5)
-	h.Observe(5000) // overflow
+	h.Observe(5000)                                  // overflow
+	reg.Histogram("idle.empty_ms", []float64{1, 10}) // never observed
 
 	var b strings.Builder
 	if err := WritePrometheus(&b, reg, "storagesim"); err != nil {
@@ -33,9 +34,22 @@ func TestWritePrometheus(t *testing.T) {
 		`storagesim_flashcard_clean_ms_bucket{le="+Inf"} 3`,
 		"storagesim_flashcard_clean_ms_sum 5005.5",
 		"storagesim_flashcard_clean_ms_count 3",
+		// Exact extremes ride along as gauges: 5000 lives in the overflow
+		// bucket, where le edges alone could only say "> 100".
+		"# TYPE storagesim_flashcard_clean_ms_min gauge\nstoragesim_flashcard_clean_ms_min 0.5\n",
+		"# TYPE storagesim_flashcard_clean_ms_max gauge\nstoragesim_flashcard_clean_ms_max 5000\n",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	// A histogram with no samples has no meaningful extremes to expose.
+	for _, reject := range []string{
+		"storagesim_idle_empty_ms_min",
+		"storagesim_idle_empty_ms_max",
+	} {
+		if strings.Contains(out, reject) {
+			t.Errorf("unexpected %q in:\n%s", reject, out)
 		}
 	}
 

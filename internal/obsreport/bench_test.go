@@ -51,6 +51,54 @@ func BenchmarkDecodeNDJSON(b *testing.B) {
 	}
 }
 
+// BenchmarkDecodeNDJSONFallback forces every line through the encoding/json
+// path the fast scanner bails to — the cost of a stream the scanner cannot
+// handle, and the denominator of the fast path's speedup.
+func BenchmarkDecodeNDJSONFallback(b *testing.B) {
+	data := benchStream(10_000)
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := NewDecoder(bytes.NewReader(data))
+		d.noFast = true
+		n := 0
+		for {
+			_, err := d.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+			n++
+		}
+		if n != 10_000 {
+			b.Fatalf("%d events", n)
+		}
+	}
+}
+
+// BenchmarkStreamWear measures the full constant-memory pipeline: scanner →
+// batches → wear builder, with no event slice ever materialized.
+func BenchmarkStreamWear(b *testing.B) {
+	data := benchStream(10_000)
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		wb := NewWearBuilder()
+		stats, err := StreamFiles([]string{"-"},
+			StreamOptions{Stdin: bytes.NewReader(data)}, wb)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if stats.Events != 10_000 {
+			b.Fatalf("%d events", stats.Events)
+		}
+	}
+}
+
 func BenchmarkReports(b *testing.B) {
 	events, err := ReadEvents(bytes.NewReader(benchStream(10_000)))
 	if err != nil {

@@ -48,10 +48,22 @@ type eventJSON struct {
 	Dur  int64  `json:"dur_us"`
 }
 
-// Decoder reads an NDJSON event stream line by line.
+// Decoder reads an NDJSON event stream line by line. Each line is first
+// parsed by the hand-rolled fast scanner (scan.go), which handles the
+// canonical emitter shape with zero allocations per event; lines outside
+// the fast grammar — escape sequences, non-ASCII strings, floats, unknown
+// JSON features — fall back to encoding/json, which is also where every
+// malformed-line error comes from. FuzzScanDifferential pins the two paths
+// to byte-for-byte agreement.
 type Decoder struct {
 	sc   *bufio.Scanner
 	line int
+	// noFast disables the hand-rolled scanner so every line goes through
+	// encoding/json — the reference path the differential fuzz target and
+	// benchmarks compare against.
+	noFast bool
+	// strs interns Kind/Dev strings across lines (see Decoder.intern).
+	strs map[string]string
 }
 
 // NewDecoder returns a decoder over r.
@@ -72,14 +84,21 @@ func (d *Decoder) Next() (obs.Event, error) {
 		if len(raw) == 0 {
 			continue
 		}
-		var ej eventJSON
-		if err := json.Unmarshal(raw, &ej); err != nil {
-			return obs.Event{}, &DecodeError{Line: d.line, Err: err}
+		ev, ok := obs.Event{}, false
+		if !d.noFast {
+			ev, ok = d.scanEvent(raw)
 		}
-		if ej.Kind == "" {
+		if !ok {
+			var ej eventJSON
+			if err := json.Unmarshal(raw, &ej); err != nil {
+				return obs.Event{}, &DecodeError{Line: d.line, Err: err}
+			}
+			ev = obs.Event{T: ej.T, Kind: ej.Kind, Dev: ej.Dev, Addr: ej.Addr, Size: ej.Size, Dur: ej.Dur}
+		}
+		if ev.Kind == "" {
 			return obs.Event{}, &DecodeError{Line: d.line, Err: fmt.Errorf("missing event kind")}
 		}
-		return obs.Event{T: ej.T, Kind: ej.Kind, Dev: ej.Dev, Addr: ej.Addr, Size: ej.Size, Dur: ej.Dur}, nil
+		return ev, nil
 	}
 	if err := d.sc.Err(); err != nil {
 		d.line++

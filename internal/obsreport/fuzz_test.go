@@ -2,7 +2,10 @@ package obsreport
 
 import (
 	"bytes"
+	"io"
 	"testing"
+
+	"mobilestorage/internal/obs"
 )
 
 // FuzzDecode feeds arbitrary byte streams to both decoder modes. The
@@ -56,6 +59,79 @@ func FuzzDecode(f *testing.F) {
 		// events as strict mode decoded before erroring.
 		if lerr == nil && len(lenientEvents) < len(events) {
 			t.Fatalf("lenient decoded %d events, strict decoded %d", len(lenientEvents), len(events))
+		}
+	})
+}
+
+// readAllMode drains a stream through the decoder with the fast scanner on
+// or off, collecting events until the first error.
+func readAllMode(data []byte, noFast bool) (events []obs.Event, line int, err error) {
+	d := NewDecoder(bytes.NewReader(data))
+	d.noFast = noFast
+	for {
+		e, nerr := d.Next()
+		if nerr == io.EOF {
+			return events, d.line, nil
+		}
+		if nerr != nil {
+			return events, d.line, nerr
+		}
+		events = append(events, e)
+	}
+}
+
+// FuzzScanDifferential pins the hand-rolled fast scanner to the
+// encoding/json reference path: for ANY byte stream, decoding with the
+// fast path enabled must yield the same events, consume the same number of
+// lines, and fail (or not) on the same line with the same message. The
+// fast scanner is allowed to bail to the fallback, never to disagree.
+func FuzzScanDifferential(f *testing.F) {
+	seeds := [][]byte{
+		// The canonical emitter shape.
+		[]byte(`{"t_us":1,"kind":"disk.spinup","dev":"cu140","dur_us":1000}` + "\n"),
+		// Escaped strings: force the fallback for captured and skipped values.
+		[]byte(`{"t_us":1,"kind":"disk.spinup","dev":"cu\"140"}` + "\n"),
+		[]byte(`{"kind":"k","note":"tab\there é 😀"}` + "\n"),
+		// Huge numbers: int64 edges, overflow, floats, exponents.
+		[]byte(`{"t_us":9223372036854775807,"kind":"k","addr":-9223372036854775808}` + "\n" +
+			`{"t_us":9223372036854775808,"kind":"k"}` + "\n" +
+			`{"t_us":1e308,"kind":"k","size":0.5}` + "\n" +
+			`{"kind":"k","x":123456789012345678901234567890}` + "\n"),
+		// Duplicate keys, including case-folded duplicates.
+		[]byte(`{"kind":"a","kind":"b","KIND":"c","t_us":1,"t_us":2}` + "\n"),
+		// CRLF line endings.
+		[]byte("{\"t_us\":1,\"kind\":\"a\"}\r\n{\"t_us\":2,\"kind\":\"b\"}\r\n"),
+		// Null fields, unknown nested values, odd whitespace.
+		[]byte("{ \"kind\" : \"k\" , \"dev\" : null , \"extra\" : [ {\"a\": [1,2,{}]} , null ] }\n"),
+		// Malformed tails and non-objects.
+		[]byte(`{"kind":"k"} trailing` + "\n" + `[]` + "\n" + `{"kind":"k"` + "\n"),
+		// Invalid UTF-8 inside strings (reference replaces with U+FFFD).
+		[]byte("{\"kind\":\"k\",\"dev\":\"\xff\xfe\"}\n"),
+		[]byte("{\"kind\":\"\xc3\x28\"}\n"),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fastEvents, fastLine, fastErr := readAllMode(data, false)
+		refEvents, refLine, refErr := readAllMode(data, true)
+
+		if len(fastEvents) != len(refEvents) {
+			t.Fatalf("fast decoded %d events, reference %d", len(fastEvents), len(refEvents))
+		}
+		for i := range fastEvents {
+			if fastEvents[i] != refEvents[i] {
+				t.Fatalf("event %d: fast %+v != reference %+v", i, fastEvents[i], refEvents[i])
+			}
+		}
+		if (fastErr == nil) != (refErr == nil) {
+			t.Fatalf("error disagreement: fast %v, reference %v", fastErr, refErr)
+		}
+		if fastLine != refLine {
+			t.Fatalf("line disagreement: fast consumed %d lines, reference %d", fastLine, refLine)
+		}
+		if fastErr != nil && fastErr.Error() != refErr.Error() {
+			t.Fatalf("error text disagreement:\n fast %v\n  ref %v", fastErr, refErr)
 		}
 	})
 }

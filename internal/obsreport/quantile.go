@@ -76,9 +76,9 @@ func (h *Hist) Mean() float64 {
 // Quantile estimates the q-quantile (0 ≤ q ≤ 1). The winning bucket is
 // found by cumulative rank; the estimate interpolates geometrically between
 // the bucket's edges by the rank's position within it, then clamps to the
-// observed [Min, Max]. Overflow-bucket quantiles return Max when samples
-// were added directly, +Inf when the histogram came from a width-only
-// snapshot. Returns 0 with no samples.
+// observed [Min, Max]. Overflow-bucket quantiles return Max when the
+// extremes are known (built via Add or FromSnapshot), +Inf when they are
+// not (FromStats: width-only source). Returns 0 with no samples.
 func (h *Hist) Quantile(q float64) float64 {
 	total := h.total()
 	if total == 0 {
@@ -139,7 +139,7 @@ func (h *Hist) lower(i int) float64 {
 }
 
 // clamp limits an estimate to the observed sample range when it is known
-// (Max stays zero for snapshot-built histograms: extremes unknown).
+// (Max stays zero for stats-built histograms: extremes unknown).
 func (h *Hist) clamp(v float64) float64 {
 	if h.Max <= 0 {
 		return v
@@ -168,14 +168,17 @@ func interpolate(lo, hi, frac float64) float64 {
 	return lo + (hi-lo)*frac
 }
 
-// FromSnapshot adapts an obs registry histogram snapshot (width-only: no
-// exact min/max) to the estimator.
+// FromSnapshot adapts an obs registry histogram snapshot to the estimator.
+// Registry histograms track exact extremes, so the adapted Hist clamps its
+// estimates to the observed [Min, Max] just like one built via Add.
 func FromSnapshot(s obs.HistogramSnapshot) *Hist {
 	h := &Hist{
 		Bounds:   append([]float64(nil), s.Bounds...),
 		Counts:   append([]int64(nil), s.Counts...),
 		Overflow: s.Overflow,
 		Sum:      s.Sum,
+		Min:      s.Min,
+		Max:      s.Max,
 	}
 	for _, c := range h.Counts {
 		h.N += c

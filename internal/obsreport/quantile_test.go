@@ -136,8 +136,15 @@ func TestFromSnapshotAndFromStats(t *testing.T) {
 	if h.N != 100 {
 		t.Fatalf("snapshot N = %d", h.N)
 	}
+	// Registry snapshots carry exact extremes, so the estimator clamps and
+	// reports them exactly.
+	if h.Min != 1 || h.Max != 100 {
+		t.Errorf("snapshot extremes [%g, %g], want [1, 100]", h.Min, h.Max)
+	}
+	if got := h.Quantile(1); got != 100 {
+		t.Errorf("snapshot p100 = %g, want exactly 100", got)
+	}
 	if got := h.Quantile(0.5); relErr(got, 50) > 0.6 {
-		// Snapshot path has no min/max clamp, so tolerance is one bucket.
 		t.Errorf("snapshot p50 = %g, want ≈ 50", got)
 	}
 	if h.Sum != snap.Sum {

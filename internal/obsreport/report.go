@@ -7,6 +7,23 @@ import (
 	"mobilestorage/internal/obs"
 )
 
+// Reporter is the incremental face of a report: feed it one event at a
+// time. Builders implement it alongside a typed Finish method, so
+// cmd/obsreport can stream a multi-gigabyte NDJSON file (or stdin) through
+// a decoder at constant memory instead of materializing []obs.Event. The
+// slice-based report functions below are thin wrappers over the builders;
+// both paths produce identical results by construction.
+type Reporter interface {
+	Observe(obs.Event)
+}
+
+// observeAll replays a slice through a builder — the slice-based wrappers.
+func observeAll(r Reporter, events []obs.Event) {
+	for _, e := range events {
+		r.Observe(e)
+	}
+}
+
 // ---------------------------------------------------------------- timeline
 
 // Interval is one closed span of simulated time, in microseconds.
@@ -40,42 +57,62 @@ type DeviceTimeline struct {
 // sleepBounds covers sleep durations from 10 ms to ~28 h, in seconds.
 func sleepBounds() []float64 { return obs.LogBuckets(1e-2, 1e5) }
 
+// TimelineBuilder derives per-device spin timelines incrementally.
+type TimelineBuilder struct {
+	byDev map[string]*DeviceTimeline
+}
+
+// NewTimelineBuilder returns an empty timeline builder.
+func NewTimelineBuilder() *TimelineBuilder {
+	return &TimelineBuilder{byDev: make(map[string]*DeviceTimeline)}
+}
+
+func (b *TimelineBuilder) get(dev string) *DeviceTimeline {
+	tl, ok := b.byDev[dev]
+	if !ok {
+		tl = &DeviceTimeline{Dev: dev, SleepHist: NewHist(sleepBounds()), OpenSleepUs: -1}
+		b.byDev[dev] = tl
+	}
+	return tl
+}
+
+// Observe implements Reporter.
+func (b *TimelineBuilder) Observe(e obs.Event) {
+	switch e.Kind {
+	case obs.EvDiskSpinDown:
+		tl := b.get(e.Dev)
+		tl.SpinDowns++
+		tl.OpenSleepUs = e.T
+	case obs.EvDiskSpinUp:
+		tl := b.get(e.Dev)
+		tl.SpinUps++
+		iv := Interval{StartUs: e.T - e.Dur, EndUs: e.T}
+		tl.Sleeps = append(tl.Sleeps, iv)
+		tl.SleepHist.Add(float64(e.Dur) / 1e6)
+		tl.TotalSleepUs += iv.DurationUs()
+		tl.OpenSleepUs = -1
+	}
+}
+
+// Finish returns the timelines in sorted device order. The builder may keep
+// observing afterwards; Finish is a snapshot ordering, not a terminal state.
+func (b *TimelineBuilder) Finish() []*DeviceTimeline {
+	out := make([]*DeviceTimeline, 0, len(b.byDev))
+	for _, tl := range b.byDev {
+		out = append(out, tl)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Dev < out[j].Dev })
+	return out
+}
+
 // StateTimelines derives per-device spin timelines from the event stream.
 // Devices appear in sorted name order; events with an empty Dev field group
 // under the empty name. Spin-up events carry the sleep duration they ended
 // (Dur), so intervals are exact even if the stream starts mid-sleep.
 func StateTimelines(events []obs.Event) []*DeviceTimeline {
-	byDev := make(map[string]*DeviceTimeline)
-	get := func(dev string) *DeviceTimeline {
-		tl, ok := byDev[dev]
-		if !ok {
-			tl = &DeviceTimeline{Dev: dev, SleepHist: NewHist(sleepBounds()), OpenSleepUs: -1}
-			byDev[dev] = tl
-		}
-		return tl
-	}
-	for _, e := range events {
-		switch e.Kind {
-		case obs.EvDiskSpinDown:
-			tl := get(e.Dev)
-			tl.SpinDowns++
-			tl.OpenSleepUs = e.T
-		case obs.EvDiskSpinUp:
-			tl := get(e.Dev)
-			tl.SpinUps++
-			iv := Interval{StartUs: e.T - e.Dur, EndUs: e.T}
-			tl.Sleeps = append(tl.Sleeps, iv)
-			tl.SleepHist.Add(float64(e.Dur) / 1e6)
-			tl.TotalSleepUs += iv.DurationUs()
-			tl.OpenSleepUs = -1
-		}
-	}
-	out := make([]*DeviceTimeline, 0, len(byDev))
-	for _, tl := range byDev {
-		out = append(out, tl)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Dev < out[j].Dev })
-	return out
+	b := NewTimelineBuilder()
+	observeAll(b, events)
+	return b.Finish()
 }
 
 // ----------------------------------------------------------------- latency
@@ -105,30 +142,39 @@ type KindLatency struct {
 	Hist *Hist `json:"hist"`
 }
 
-// Latency aggregates per-kind duration distributions from the stream and
-// estimates p50/p90/p99 via bucket interpolation; mean and max are exact.
-// Kinds are sorted by name.
-func Latency(events []obs.Event) []KindLatency {
-	hists := make(map[string]*Hist)
-	for _, e := range events {
-		if !latencyKinds[e.Kind] || e.Dur <= 0 {
-			continue
-		}
-		h, ok := hists[e.Kind]
-		if !ok {
-			h = NewHist(latencyBounds())
-			hists[e.Kind] = h
-		}
-		h.Add(float64(e.Dur) / 1e3) // µs → ms
+// LatencyBuilder aggregates per-kind duration distributions incrementally.
+type LatencyBuilder struct {
+	hists map[string]*Hist
+}
+
+// NewLatencyBuilder returns an empty latency builder.
+func NewLatencyBuilder() *LatencyBuilder {
+	return &LatencyBuilder{hists: make(map[string]*Hist)}
+}
+
+// Observe implements Reporter.
+func (b *LatencyBuilder) Observe(e obs.Event) {
+	if !latencyKinds[e.Kind] || e.Dur <= 0 {
+		return
 	}
-	kinds := make([]string, 0, len(hists))
-	for k := range hists {
+	h, ok := b.hists[e.Kind]
+	if !ok {
+		h = NewHist(latencyBounds())
+		b.hists[e.Kind] = h
+	}
+	h.Add(float64(e.Dur) / 1e3) // µs → ms
+}
+
+// Finish summarizes the distributions, sorted by kind.
+func (b *LatencyBuilder) Finish() []KindLatency {
+	kinds := make([]string, 0, len(b.hists))
+	for k := range b.hists {
 		kinds = append(kinds, k)
 	}
 	sort.Strings(kinds)
 	out := make([]KindLatency, 0, len(kinds))
 	for _, k := range kinds {
-		h := hists[k]
+		h := b.hists[k]
 		out = append(out, KindLatency{
 			Kind:   k,
 			N:      h.N,
@@ -141,6 +187,15 @@ func Latency(events []obs.Event) []KindLatency {
 		})
 	}
 	return out
+}
+
+// Latency aggregates per-kind duration distributions from the stream and
+// estimates p50/p90/p99 via bucket interpolation; mean and max are exact.
+// Kinds are sorted by name.
+func Latency(events []obs.Event) []KindLatency {
+	b := NewLatencyBuilder()
+	observeAll(b, events)
+	return b.Finish()
 }
 
 // -------------------------------------------------------------------- wear
@@ -167,21 +222,31 @@ type WearReport struct {
 	Spread      float64 `json:"spread"`
 }
 
-// Wear derives the wear distribution. Segments are sorted by index; the
-// report is zero-valued when the stream has no flashcard.erase events
-// (disk or flash-disk runs).
-func Wear(events []obs.Event) *WearReport {
-	counts := make(map[int64]int64)
-	var total int64
-	for _, e := range events {
-		if e.Kind != obs.EvCardErase {
-			continue
-		}
-		total++
-		if e.Size > counts[e.Addr] {
-			counts[e.Addr] = e.Size
-		}
+// WearBuilder accumulates per-segment erase counts incrementally.
+type WearBuilder struct {
+	counts map[int64]int64
+	total  int64
+}
+
+// NewWearBuilder returns an empty wear builder.
+func NewWearBuilder() *WearBuilder {
+	return &WearBuilder{counts: make(map[int64]int64)}
+}
+
+// Observe implements Reporter.
+func (b *WearBuilder) Observe(e obs.Event) {
+	if e.Kind != obs.EvCardErase {
+		return
 	}
+	b.total++
+	if e.Size > b.counts[e.Addr] {
+		b.counts[e.Addr] = e.Size
+	}
+}
+
+// Finish computes the wear distribution, segments sorted by index.
+func (b *WearBuilder) Finish() *WearReport {
+	counts, total := b.counts, b.total
 	r := &WearReport{TotalErases: total}
 	if len(counts) == 0 {
 		return r
@@ -214,6 +279,15 @@ func Wear(events []obs.Event) *WearReport {
 	return r
 }
 
+// Wear derives the wear distribution. Segments are sorted by index; the
+// report is zero-valued when the stream has no flashcard.erase events
+// (disk or flash-disk runs).
+func Wear(events []obs.Event) *WearReport {
+	b := NewWearBuilder()
+	observeAll(b, events)
+	return b.Finish()
+}
+
 // ------------------------------------------------------------------ energy
 
 // EnergyPoint is one cumulative energy sample.
@@ -228,28 +302,50 @@ type EnergySeries struct {
 	Points    []EnergyPoint `json:"points"`
 }
 
-// Energy reconstructs per-component energy-over-time curves from the
-// sampler's sample.energy events (cumulative µJ payloads). Components are
-// sorted by name; the result is empty when the run was not sampled
-// (storagesim -sample enables it).
-func Energy(events []obs.Event) []EnergySeries {
-	byComp := make(map[string][]EnergyPoint)
-	for _, e := range events {
-		if e.Kind != obs.EvEnergySample {
-			continue
-		}
-		byComp[e.Dev] = append(byComp[e.Dev], EnergyPoint{TUs: e.T, Joules: float64(e.Size) / 1e6})
+// EnergyBuilder accumulates per-component energy samples incrementally.
+// Note: the energy report is the one reporter whose memory grows with the
+// stream — one point per sample — but samples are emitted at a fixed
+// simulated-time interval, so even week-long runs stay small next to the
+// raw event volume.
+type EnergyBuilder struct {
+	byComp map[string][]EnergyPoint
+}
+
+// NewEnergyBuilder returns an empty energy builder.
+func NewEnergyBuilder() *EnergyBuilder {
+	return &EnergyBuilder{byComp: make(map[string][]EnergyPoint)}
+}
+
+// Observe implements Reporter.
+func (b *EnergyBuilder) Observe(e obs.Event) {
+	if e.Kind != obs.EvEnergySample {
+		return
 	}
-	comps := make([]string, 0, len(byComp))
-	for c := range byComp {
+	b.byComp[e.Dev] = append(b.byComp[e.Dev], EnergyPoint{TUs: e.T, Joules: float64(e.Size) / 1e6})
+}
+
+// Finish returns the series in sorted component order.
+func (b *EnergyBuilder) Finish() []EnergySeries {
+	comps := make([]string, 0, len(b.byComp))
+	for c := range b.byComp {
 		comps = append(comps, c)
 	}
 	sort.Strings(comps)
 	out := make([]EnergySeries, 0, len(comps))
 	for _, c := range comps {
-		out = append(out, EnergySeries{Component: c, Points: byComp[c]})
+		out = append(out, EnergySeries{Component: c, Points: b.byComp[c]})
 	}
 	return out
+}
+
+// Energy reconstructs per-component energy-over-time curves from the
+// sampler's sample.energy events (cumulative µJ payloads). Components are
+// sorted by name; the result is empty when the run was not sampled
+// (storagesim -sample enables it).
+func Energy(events []obs.Event) []EnergySeries {
+	b := NewEnergyBuilder()
+	observeAll(b, events)
+	return b.Finish()
 }
 
 // ---------------------------------------------------------------- cleaning
@@ -275,22 +371,40 @@ type CleaningReport struct {
 // liveBounds covers live-blocks-per-clean from 1 to 100k.
 func liveBounds() []float64 { return obs.LogBuckets(1, 1e5) }
 
+// CleaningBuilder accumulates cleaner work incrementally.
+type CleaningBuilder struct {
+	r *CleaningReport
+}
+
+// NewCleaningBuilder returns an empty cleaning builder.
+func NewCleaningBuilder() *CleaningBuilder {
+	return &CleaningBuilder{r: &CleaningReport{LivePerClean: NewHist(liveBounds())}}
+}
+
+// Observe implements Reporter.
+func (b *CleaningBuilder) Observe(e obs.Event) {
+	switch e.Kind {
+	case obs.EvCardClean:
+		b.r.Cleans++
+		b.r.CopiedBlocks += e.Size
+		b.r.TotalCleanUs += e.Dur
+		b.r.LivePerClean.Add(float64(e.Size))
+	case obs.EvCardStall:
+		b.r.Stalls++
+	}
+}
+
+// Finish computes the derived mean and returns the report.
+func (b *CleaningBuilder) Finish() *CleaningReport {
+	if b.r.Cleans > 0 {
+		b.r.MeanLivePerClean = float64(b.r.CopiedBlocks) / float64(b.r.Cleans)
+	}
+	return b.r
+}
+
 // Cleaning derives the cleaning report from the stream.
 func Cleaning(events []obs.Event) *CleaningReport {
-	r := &CleaningReport{LivePerClean: NewHist(liveBounds())}
-	for _, e := range events {
-		switch e.Kind {
-		case obs.EvCardClean:
-			r.Cleans++
-			r.CopiedBlocks += e.Size
-			r.TotalCleanUs += e.Dur
-			r.LivePerClean.Add(float64(e.Size))
-		case obs.EvCardStall:
-			r.Stalls++
-		}
-	}
-	if r.Cleans > 0 {
-		r.MeanLivePerClean = float64(r.CopiedBlocks) / float64(r.Cleans)
-	}
-	return r
+	b := NewCleaningBuilder()
+	observeAll(b, events)
+	return b.Finish()
 }

@@ -1,0 +1,287 @@
+package obsreport
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+
+	"mobilestorage/internal/obs"
+)
+
+// writeStream splits data into n files in a temp dir, cutting only at line
+// boundaries, and returns their paths.
+func writeStream(t *testing.T, data []byte, n int) []string {
+	t.Helper()
+	dir := t.TempDir()
+	lines := bytes.SplitAfter(data, []byte("\n"))
+	per := (len(lines) + n - 1) / n
+	var paths []string
+	for i := 0; i < n; i++ {
+		lo := i * per
+		hi := lo + per
+		if lo > len(lines) {
+			lo = len(lines)
+		}
+		if hi > len(lines) {
+			hi = len(lines)
+		}
+		path := filepath.Join(dir, fmt.Sprintf("part%d.ndjson", i))
+		if err := os.WriteFile(path, bytes.Join(lines[lo:hi], nil), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		paths = append(paths, path)
+	}
+	return paths
+}
+
+// renderAll renders every report from a finished builder set.
+func renderAll(w io.Writer, tb *TimelineBuilder, lb *LatencyBuilder, wb *WearBuilder,
+	eb *EnergyBuilder, cb *CleaningBuilder, f Format) error {
+	if err := WriteTimelines(w, tb.Finish(), f); err != nil {
+		return err
+	}
+	if err := WriteLatency(w, lb.Finish(), f); err != nil {
+		return err
+	}
+	if err := WriteWear(w, wb.Finish(), f); err != nil {
+		return err
+	}
+	if err := WriteEnergy(w, eb.Finish(), f); err != nil {
+		return err
+	}
+	return WriteCleaning(w, cb.Finish(), f)
+}
+
+// The acceptance bar for the streaming refactor: feeding the builders via
+// StreamFiles renders byte-identical output to the slice-based functions,
+// across every report and format, for single and sharded inputs.
+func TestStreamingMatchesSliceRenders(t *testing.T) {
+	data := benchStream(5_000)
+	events, err := ReadEvents(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sliceRender := func(f Format) string {
+		var b bytes.Buffer
+		if err := WriteTimelines(&b, StateTimelines(events), f); err != nil {
+			t.Fatal(err)
+		}
+		if err := WriteLatency(&b, Latency(events), f); err != nil {
+			t.Fatal(err)
+		}
+		if err := WriteWear(&b, Wear(events), f); err != nil {
+			t.Fatal(err)
+		}
+		if err := WriteEnergy(&b, Energy(events), f); err != nil {
+			t.Fatal(err)
+		}
+		if err := WriteCleaning(&b, Cleaning(events), f); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	streamRender := func(paths []string, workers int, f Format) string {
+		tb, lb, wb, eb, cb := NewTimelineBuilder(), NewLatencyBuilder(), NewWearBuilder(),
+			NewEnergyBuilder(), NewCleaningBuilder()
+		stats, err := StreamFiles(paths, StreamOptions{Workers: workers}, tb, lb, wb, eb, cb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.Events != int64(len(events)) {
+			t.Fatalf("streamed %d events, want %d", stats.Events, len(events))
+		}
+		var b bytes.Buffer
+		if err := renderAll(&b, tb, lb, wb, eb, cb, f); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+
+	one := writeStream(t, data, 1)
+	four := writeStream(t, data, 4)
+	for _, f := range []Format{Text, CSV, JSON} {
+		want := sliceRender(f)
+		if got := streamRender(one, 1, f); got != want {
+			t.Errorf("%s: single-file streaming render differs from slice render", f)
+		}
+		for _, workers := range []int{1, 2, 8} {
+			if got := streamRender(four, workers, f); got != want {
+				t.Errorf("%s/workers=%d: sharded streaming render differs from slice render", f, workers)
+			}
+		}
+	}
+}
+
+// Sharded delivery order is file order then line order, regardless of
+// worker count or which shard finishes decoding first.
+func TestStreamFilesDeterministicOrder(t *testing.T) {
+	data := benchStream(3_000)
+	want, err := ReadEvents(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths := writeStream(t, data, 5)
+	for _, workers := range []int{1, 3, 16} {
+		var got []obs.Event
+		collect := reporterFunc(func(e obs.Event) { got = append(got, e) })
+		if _, err := StreamFiles(paths, StreamOptions{Workers: workers}, collect); err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d events, want %d", workers, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: event %d = %+v, want %+v", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// reporterFunc adapts a closure to the Reporter interface.
+type reporterFunc func(obs.Event)
+
+func (f reporterFunc) Observe(e obs.Event) { f(e) }
+
+func TestStreamFilesErrors(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.ndjson")
+	bad := filepath.Join(dir, "bad.ndjson")
+	os.WriteFile(good, []byte(`{"t_us":1,"kind":"cache.hit","size":1}`+"\n"), 0o644)
+	os.WriteFile(bad, []byte("{\"t_us\":1,\"kind\":\"cache.hit\"}\ngarbage\n"), 0o644)
+
+	// Strict mode: the error names the offending file.
+	var n int64
+	count := reporterFunc(func(obs.Event) { n++ })
+	_, err := StreamFiles([]string{good, bad}, StreamOptions{}, count)
+	if err == nil || !strings.Contains(err.Error(), "bad.ndjson") {
+		t.Errorf("error %v, want mention of bad.ndjson", err)
+	}
+
+	// Lenient mode: skipped lines are counted across shards.
+	stats, err := StreamFiles([]string{good, bad, good}, StreamOptions{Lenient: true}, count)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Events != 3 || stats.Skipped != 1 {
+		t.Errorf("stats %+v, want 3 events / 1 skipped", stats)
+	}
+
+	if _, err := StreamFiles([]string{filepath.Join(dir, "missing")}, StreamOptions{}, count); err == nil {
+		t.Error("missing file accepted")
+	}
+	if _, err := StreamFiles(nil, StreamOptions{}, count); err == nil {
+		t.Error("empty path list accepted")
+	}
+	if _, err := StreamFiles([]string{"-"}, StreamOptions{}, count); err == nil {
+		t.Error("\"-\" accepted without a stdin reader")
+	}
+}
+
+func TestStreamFilesStdin(t *testing.T) {
+	data := benchStream(100)
+	var n int64
+	count := reporterFunc(func(obs.Event) { n++ })
+	stats, err := StreamFiles([]string{"-"}, StreamOptions{Stdin: bytes.NewReader(data)}, count)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Events != 100 || n != 100 {
+		t.Errorf("stdin streamed %d events (observed %d), want 100", stats.Events, n)
+	}
+}
+
+// eventGen synthesizes an endless NDJSON stream on the fly: a reader that
+// never materializes the whole stream, so the constant-memory test can push
+// hundreds of megabytes through the pipeline from a few KB of state.
+type eventGen struct {
+	remaining int64 // events left to emit
+	seq       int64
+	buf       bytes.Buffer
+	bytesOut  int64
+}
+
+func (g *eventGen) Read(p []byte) (int, error) {
+	for g.buf.Len() < len(p) && g.remaining > 0 {
+		sink := obs.NewNDJSONSink(&g.buf)
+		for i := 0; i < 512 && g.remaining > 0; i++ {
+			g.seq++
+			g.remaining--
+			switch g.seq % 4 {
+			case 0:
+				sink.Emit(obs.Event{T: g.seq * 1000, Kind: obs.EvCardClean, Dev: "fc",
+					Addr: g.seq % 64, Size: g.seq % 90, Dur: 40_000})
+			case 1:
+				sink.Emit(obs.Event{T: g.seq * 1000, Kind: obs.EvCardErase, Dev: "fc",
+					Addr: g.seq % 64, Size: g.seq/64 + 1})
+			case 2:
+				sink.Emit(obs.Event{T: g.seq * 1000, Kind: obs.EvSRAMFlush, Dev: "sram",
+					Size: 8192, Dur: 1000 + g.seq%5000})
+			default:
+				sink.Emit(obs.Event{T: g.seq * 1000, Kind: obs.EvDiskSpinUp, Dev: "cu140",
+					Dur: g.seq % 900_000})
+			}
+		}
+		sink.Flush()
+	}
+	if g.buf.Len() == 0 {
+		return 0, io.EOF
+	}
+	n, err := g.buf.Read(p)
+	g.bytesOut += int64(n)
+	return n, err
+}
+
+// The constant-memory guarantee: a multi-hundred-MB stream flows through
+// the full pipeline (scanner → builders) while the live heap stays within
+// a small fixed bound, because no stage retains per-event state.
+func TestStreamConstantMemory(t *testing.T) {
+	events := int64(3_000_000) // ≈ 230 MB of NDJSON
+	if testing.Short() {
+		events = 400_000
+	}
+	gen := &eventGen{remaining: events}
+
+	runtime.GC()
+	var base runtime.MemStats
+	runtime.ReadMemStats(&base)
+
+	const heapBudget = 64 << 20 // far below the stream size, far above builder state
+	var peak uint64
+	var seen int64
+	tb, lb, wb, cb := NewTimelineBuilder(), NewLatencyBuilder(), NewWearBuilder(), NewCleaningBuilder()
+	watch := reporterFunc(func(obs.Event) {
+		seen++
+		if seen%500_000 == 0 {
+			var m runtime.MemStats
+			runtime.ReadMemStats(&m)
+			if m.HeapAlloc > peak {
+				peak = m.HeapAlloc
+			}
+		}
+	})
+	stats, err := StreamFiles([]string{"-"}, StreamOptions{Stdin: gen}, tb, lb, wb, cb, watch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Events != events {
+		t.Fatalf("streamed %d events, want %d", stats.Events, events)
+	}
+	if !testing.Short() && gen.bytesOut < 200<<20 {
+		t.Fatalf("stream was only %d MB, want a multi-hundred-MB input", gen.bytesOut>>20)
+	}
+	if peak > base.HeapAlloc+heapBudget {
+		t.Errorf("heap grew to %d MB while streaming %d MB (budget %d MB above the %d MB baseline)",
+			peak>>20, gen.bytesOut>>20, heapBudget>>20, base.HeapAlloc>>20)
+	}
+	// The reports themselves must be sane, proving events flowed through.
+	if wb.Finish().TotalErases != (events+2)/4 {
+		t.Errorf("wear erases %d, want %d", wb.Finish().TotalErases, (events+2)/4)
+	}
+}
