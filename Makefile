@@ -32,27 +32,38 @@ bench:
 bench-smoke:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
 
-# Regression gate: re-measure the obsreport benchmarks and fail when any
-# gets >30% slower or allocation-heavier than the committed baseline.
+# The repo-root figure benchmarks replay full paper simulations, so one
+# iteration is a whole run; best-of-3 with a wider threshold than the
+# obsreport microbenchmarks (single-iteration full runs jitter more).
+FIGURE_BENCH = ^(BenchmarkTable[1-4]|BenchmarkFig[1-4])
+
+# Regression gate: re-measure the obsreport benchmarks and the paper-figure
+# benchmarks and fail when any gets slower or allocation-heavier than the
+# committed baseline (30% for microbenchmarks, 50% for full-run figures).
 # benchdiff keeps the best of the -count runs, which damps scheduler noise
 # on shared runners.
 bench-gate:
 	$(GO) test -run='^$$' -bench=. -benchmem -benchtime=1s -count=3 ./internal/obsreport/ \
 		| $(GO) run ./cmd/benchdiff -baseline BENCH_obsreport.json
+	$(GO) test -run='^$$' -bench='$(FIGURE_BENCH)' -benchmem -benchtime=1x -count=3 . \
+		| $(GO) run ./cmd/benchdiff -baseline BENCH_figures.json -threshold 0.5
 
-# Refresh the committed baseline after an intentional perf change; review
+# Refresh the committed baselines after an intentional perf change; review
 # the diff before committing.
 bench-gate-update:
 	$(GO) test -run='^$$' -bench=. -benchmem -benchtime=1s -count=3 ./internal/obsreport/ \
 		| $(GO) run ./cmd/benchdiff -baseline BENCH_obsreport.json -update
+	$(GO) test -run='^$$' -bench='$(FIGURE_BENCH)' -benchmem -benchtime=1x -count=3 . \
+		| $(GO) run ./cmd/benchdiff -baseline BENCH_figures.json -update
 
 # Short coverage-guided fuzz burst over the simulator core.
 fuzz-smoke:
 	MOBILESTORAGE_FUZZ_SMOKE=1 $(GO) test ./internal/core -run TestFuzzSmoke -v
 
-# Regenerate the golden files after an intentional behavior change; review
-# the diff before committing.
+# Regenerate the golden files (core results and SVG figures) after an
+# intentional behavior change; review the diff before committing.
 golden-update:
 	$(GO) test ./internal/core -run TestGolden -update
+	$(GO) test ./internal/plot ./internal/obsreport -run TestGolden -update
 
 check: fmt-check vet test race

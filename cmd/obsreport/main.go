@@ -19,11 +19,19 @@
 // decoded in parallel but always aggregated in argument order, so the
 // output is identical to concatenating the files first.
 //
+// -format svg renders the report as a standalone SVG figure — the paper's
+// curves without external tooling. -vs run2.ndjson aggregates a second run
+// independently and compares the two: text/csv/json render a delta table
+// (run A, run B, B−A per quantity), svg overlays both runs' curves on one
+// chart.
+//
 // Examples:
 //
 //	storagesim -trace mac -device cu140 -events ev.ndjson
 //	obsreport timeline -in ev.ndjson
 //	obsreport latency -in ev.ndjson -format csv -out lat.csv
+//	obsreport energy -in ev.ndjson -format svg -out fig2.svg
+//	obsreport energy -in spindown.ndjson -vs alwayson.ndjson
 //	obsreport wear -in sweep-a.ndjson -in sweep-b.ndjson -format json
 //	zcat huge.ndjson.gz | obsreport cleaning -in -
 package main
@@ -33,8 +41,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 
 	"mobilestorage/internal/obsreport"
+	"mobilestorage/internal/plot"
 )
 
 func main() {
@@ -44,31 +54,74 @@ func main() {
 	}
 }
 
-// renderFunc renders a finished builder to w.
-type renderFunc func(w io.Writer, f obsreport.Format) error
+// handle is one report aggregation in flight: the streaming reporter plus
+// renderers bound to it. diff compares this handle's finished report
+// against another handle of the same kind (the -vs run).
+type handle struct {
+	reporter obsreport.Reporter
+	render   func(w io.Writer, f obsreport.Format) error
+	chart    func() *plot.Chart
+	diff     func(other *handle) []obsreport.DeltaRow
+}
 
-// reports maps each subcommand to a factory returning the streaming
-// reporter and a renderer bound to it.
-var reports = map[string]func() (obsreport.Reporter, renderFunc){
-	"timeline": func() (obsreport.Reporter, renderFunc) {
+// reports maps each subcommand to its handle factory. The diff closures
+// type-assert the other handle's reporter; -vs always builds both handles
+// from the same factory, so the assertion cannot fail.
+var reports = map[string]func() *handle{
+	"timeline": func() *handle {
 		b := obsreport.NewTimelineBuilder()
-		return b, func(w io.Writer, f obsreport.Format) error { return obsreport.WriteTimelines(w, b.Finish(), f) }
+		return &handle{
+			reporter: b,
+			render:   func(w io.Writer, f obsreport.Format) error { return obsreport.WriteTimelines(w, b.Finish(), f) },
+			chart:    func() *plot.Chart { return obsreport.TimelineChart(b.Finish()) },
+			diff: func(o *handle) []obsreport.DeltaRow {
+				return obsreport.DiffTimelines(b.Finish(), o.reporter.(*obsreport.TimelineBuilder).Finish())
+			},
+		}
 	},
-	"latency": func() (obsreport.Reporter, renderFunc) {
+	"latency": func() *handle {
 		b := obsreport.NewLatencyBuilder()
-		return b, func(w io.Writer, f obsreport.Format) error { return obsreport.WriteLatency(w, b.Finish(), f) }
+		return &handle{
+			reporter: b,
+			render:   func(w io.Writer, f obsreport.Format) error { return obsreport.WriteLatency(w, b.Finish(), f) },
+			chart:    func() *plot.Chart { return obsreport.LatencyChart(b.Finish()) },
+			diff: func(o *handle) []obsreport.DeltaRow {
+				return obsreport.DiffLatency(b.Finish(), o.reporter.(*obsreport.LatencyBuilder).Finish())
+			},
+		}
 	},
-	"wear": func() (obsreport.Reporter, renderFunc) {
+	"wear": func() *handle {
 		b := obsreport.NewWearBuilder()
-		return b, func(w io.Writer, f obsreport.Format) error { return obsreport.WriteWear(w, b.Finish(), f) }
+		return &handle{
+			reporter: b,
+			render:   func(w io.Writer, f obsreport.Format) error { return obsreport.WriteWear(w, b.Finish(), f) },
+			chart:    func() *plot.Chart { return obsreport.WearChart(b.Finish()) },
+			diff: func(o *handle) []obsreport.DeltaRow {
+				return obsreport.DiffWear(b.Finish(), o.reporter.(*obsreport.WearBuilder).Finish())
+			},
+		}
 	},
-	"energy": func() (obsreport.Reporter, renderFunc) {
+	"energy": func() *handle {
 		b := obsreport.NewEnergyBuilder()
-		return b, func(w io.Writer, f obsreport.Format) error { return obsreport.WriteEnergy(w, b.Finish(), f) }
+		return &handle{
+			reporter: b,
+			render:   func(w io.Writer, f obsreport.Format) error { return obsreport.WriteEnergy(w, b.Finish(), f) },
+			chart:    func() *plot.Chart { return obsreport.EnergyChart(b.Finish()) },
+			diff: func(o *handle) []obsreport.DeltaRow {
+				return obsreport.DiffEnergy(b.Finish(), o.reporter.(*obsreport.EnergyBuilder).Finish())
+			},
+		}
 	},
-	"cleaning": func() (obsreport.Reporter, renderFunc) {
+	"cleaning": func() *handle {
 		b := obsreport.NewCleaningBuilder()
-		return b, func(w io.Writer, f obsreport.Format) error { return obsreport.WriteCleaning(w, b.Finish(), f) }
+		return &handle{
+			reporter: b,
+			render:   func(w io.Writer, f obsreport.Format) error { return obsreport.WriteCleaning(w, b.Finish(), f) },
+			chart:    func() *plot.Chart { return obsreport.CleaningChart(b.Finish()) },
+			diff: func(o *handle) []obsreport.DeltaRow {
+				return obsreport.DiffCleaning(b.Finish(), o.reporter.(*obsreport.CleaningBuilder).Finish())
+			},
+		}
 	},
 }
 
@@ -87,7 +140,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		return usageError(stderr)
 	}
 	name := args[0]
-	newReport, ok := reports[name]
+	newHandle, ok := reports[name]
 	if !ok {
 		fmt.Fprintf(stderr, "unknown report %q\n", name)
 		return usageError(stderr)
@@ -98,10 +151,11 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	var ins inputList
 	fs.Var(&ins, "in", "NDJSON event stream to read (- for stdin); repeat to aggregate shards")
 	var (
-		format  = fs.String("format", "text", "output format: text, csv, json")
+		format  = fs.String("format", "text", "output format: text, csv, json, svg")
 		out     = fs.String("out", "-", "output file (- for stdout)")
 		lenient = fs.Bool("lenient", false, "skip malformed lines instead of aborting")
 		workers = fs.Int("workers", 0, "parallel decode workers for multi-file input (0 = all cores)")
+		vs      = fs.String("vs", "", "second run to compare against (NDJSON file, - for stdin)")
 	)
 	if err := fs.Parse(args[1:]); err != nil {
 		return err
@@ -119,24 +173,43 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 			stdins++
 		}
 	}
+	if *vs == "-" {
+		stdins++
+	}
 	if stdins > 1 {
-		return fmt.Errorf("-in - (stdin) may be given at most once")
+		return fmt.Errorf("stdin (-) may be given at most once across -in and -vs")
 	}
 	if *workers < 0 {
 		return fmt.Errorf("-workers must be >= 0, got %d", *workers)
 	}
 
-	reporter, render := newReport()
-	stats, err := obsreport.StreamFiles(ins, obsreport.StreamOptions{
-		Lenient: *lenient,
-		Workers: *workers,
-		Stdin:   stdin,
-	}, reporter)
+	opt := obsreport.StreamOptions{Lenient: *lenient, Workers: *workers, Stdin: stdin}
+	a := newHandle()
+	stats, err := obsreport.StreamFiles(ins, opt, a.reporter)
 	if err != nil {
 		return err
 	}
 	if stats.Skipped > 0 {
 		fmt.Fprintf(stderr, "obsreport: skipped %d malformed lines\n", stats.Skipped)
+	}
+
+	render := a.render
+	if *vs != "" {
+		b := newHandle()
+		vsStats, err := obsreport.StreamFiles([]string{*vs}, opt, b.reporter)
+		if err != nil {
+			return err
+		}
+		if vsStats.Skipped > 0 {
+			fmt.Fprintf(stderr, "obsreport: skipped %d malformed lines in -vs stream\n", vsStats.Skipped)
+		}
+		labelA, labelB := runLabels(ins[0], *vs)
+		render = func(w io.Writer, f obsreport.Format) error {
+			if f == obsreport.SVG {
+				return obsreport.MergeCharts(a.chart(), b.chart(), labelA, labelB).Render(w)
+			}
+			return obsreport.WriteDelta(w, a.diff(b), f)
+		}
 	}
 
 	if *out != "-" {
@@ -153,7 +226,23 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	return render(stdout, f)
 }
 
+// runLabels derives legend labels for a two-run comparison from the input
+// paths, disambiguating when both runs share a base name (e.g. self-diff).
+func runLabels(inPath, vsPath string) (string, string) {
+	name := func(p string) string {
+		if p == "-" {
+			return "stdin"
+		}
+		return filepath.Base(p)
+	}
+	a, b := name(inPath), name(vsPath)
+	if a == b {
+		return a + " (A)", b + " (B)"
+	}
+	return a, b
+}
+
 func usageError(w io.Writer) error {
-	fmt.Fprintln(w, "usage: obsreport <timeline|latency|wear|energy|cleaning> [-in events.ndjson ...] [-format text|csv|json] [-out file] [-lenient] [-workers n]")
+	fmt.Fprintln(w, "usage: obsreport <timeline|latency|wear|energy|cleaning> [-in events.ndjson ...] [-vs run2.ndjson] [-format text|csv|json|svg] [-out file] [-lenient] [-workers n]")
 	return fmt.Errorf("missing or unknown report")
 }

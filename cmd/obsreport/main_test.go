@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"encoding/xml"
 	"io"
 	"os"
 	"path/filepath"
@@ -18,8 +20,12 @@ import (
 // writeEventFile runs a sampled flash-card simulation and captures its
 // event stream to an NDJSON file, the same way storagesim -events does.
 func writeEventFile(t *testing.T) string {
+	return writeEventFileSeed(t, 11)
+}
+
+func writeEventFileSeed(t *testing.T, seed int64) string {
 	t.Helper()
-	tr, err := workload.Synth(workload.SynthConfig{Seed: 11, Ops: 3000})
+	tr, err := workload.Synth(workload.SynthConfig{Seed: seed, Ops: 3000})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -256,5 +262,167 @@ func TestLenientFlag(t *testing.T) {
 	}
 	if !strings.Contains(errOut, "skipped 1") {
 		t.Errorf("stderr: %q", errOut)
+	}
+}
+
+// xmlWellFormed fails the test unless doc parses cleanly as XML.
+func xmlWellFormed(t *testing.T, doc string) {
+	t.Helper()
+	dec := xml.NewDecoder(strings.NewReader(doc))
+	for {
+		if _, err := dec.Token(); err == io.EOF {
+			return
+		} else if err != nil {
+			t.Fatalf("output is not well-formed XML: %v\n%.300s", err, doc)
+		}
+	}
+}
+
+// Every report renders -format svg: a complete, well-formed, deterministic
+// SVG document.
+func TestSVGFormat(t *testing.T) {
+	path := writeEventFile(t)
+	for _, report := range []string{"timeline", "latency", "wear", "energy", "cleaning"} {
+		t.Run(report, func(t *testing.T) {
+			first, _, err := runCLI(t, report, "-in", path, "-format", "svg")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !strings.HasPrefix(first, "<svg") || !strings.Contains(first, "</svg>") {
+				t.Fatalf("not an SVG document: %.120s", first)
+			}
+			xmlWellFormed(t, first)
+			second, _, err := runCLI(t, report, "-in", path, "-format", "svg")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if first != second {
+				t.Error("svg output differs between runs")
+			}
+		})
+	}
+}
+
+// -vs against the same file must report all-zero deltas in every report —
+// the self-diff property the fuzz target generalizes.
+func TestVsSelfDiffZero(t *testing.T) {
+	path := writeEventFile(t)
+	for _, report := range []string{"timeline", "latency", "wear", "energy", "cleaning"} {
+		out, _, err := runCLI(t, report, "-in", path, "-vs", path, "-format", "json")
+		if err != nil {
+			t.Fatalf("%s: %v", report, err)
+		}
+		var rows []struct {
+			Name  string  `json:"name"`
+			Delta float64 `json:"delta"`
+		}
+		if err := json.Unmarshal([]byte(out), &rows); err != nil {
+			t.Fatalf("%s: %v in %q", report, err, out)
+		}
+		// The flash-card stream has no spin events, so the timeline diff is
+		// legitimately empty; every other report must produce rows.
+		if len(rows) == 0 && report != "timeline" {
+			t.Errorf("%s: self-diff produced no rows", report)
+		}
+		for _, r := range rows {
+			if r.Delta != 0 {
+				t.Errorf("%s: self-diff row %s has delta %g", report, r.Name, r.Delta)
+			}
+		}
+	}
+}
+
+// -vs of two different runs renders a delta table (text/csv) and a merged
+// two-run chart (svg).
+func TestVsTwoRuns(t *testing.T) {
+	a := writeEventFileSeed(t, 11)
+	b := writeEventFileSeed(t, 23)
+
+	out, _, err := runCLI(t, "energy", "-in", a, "-vs", b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "run A") || !strings.Contains(out, "total.final_j") {
+		t.Errorf("text delta table: %q", out)
+	}
+
+	out, _, err = runCLI(t, "wear", "-in", a, "-vs", b, "-format", "csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out, "name,a,b,delta\n") || !strings.Contains(out, "total_erases") {
+		t.Errorf("csv delta table: %q", out)
+	}
+
+	out, _, err = runCLI(t, "energy", "-in", a, "-vs", b, "-format", "svg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	xmlWellFormed(t, out)
+	if !strings.Contains(out, " vs ") || !strings.Contains(out, "[events.ndjson") {
+		t.Errorf("merged chart missing run labels: %.200s", out)
+	}
+
+	// Deterministic across repeated invocations.
+	again, _, err := runCLI(t, "energy", "-in", a, "-vs", b, "-format", "svg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != again {
+		t.Error("-vs svg output differs between runs")
+	}
+}
+
+// New-flag usage errors, table-driven.
+func TestNewFlagErrors(t *testing.T) {
+	path := writeEventFile(t)
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"vs with stdin twice", []string{"energy", "-in", "-", "-vs", "-"}},
+		{"vs stdin with in stdin default conflict", []string{"energy", "-vs", "-"}},
+		{"vs missing file", []string{"energy", "-in", path, "-vs", "/nonexistent/run2"}},
+		{"unknown format still rejected", []string{"energy", "-in", path, "-format", "png"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, _, err := runCLI(t, tc.args...); err == nil {
+				t.Errorf("args %v accepted", tc.args)
+			}
+		})
+	}
+}
+
+// -vs streams honor -lenient, and svg respects -out.
+func TestVsLenientAndOutFile(t *testing.T) {
+	path := writeEventFile(t)
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.ndjson")
+	content := `{"t_us":1,"kind":"flashcard.erase","addr":1,"size":1}` + "\ngarbage\n"
+	if err := os.WriteFile(bad, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := runCLI(t, "wear", "-in", path, "-vs", bad); err == nil {
+		t.Error("strict mode accepted a malformed -vs stream")
+	}
+	_, errOut, err := runCLI(t, "wear", "-in", path, "-vs", bad, "-lenient")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(errOut, "skipped 1 malformed lines in -vs stream") {
+		t.Errorf("stderr: %q", errOut)
+	}
+
+	svgPath := filepath.Join(dir, "fig.svg")
+	if _, _, err := runCLI(t, "energy", "-in", path, "-format", "svg", "-out", svgPath); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(svgPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "<svg") {
+		t.Errorf("svg out file content: %.80s", data)
 	}
 }

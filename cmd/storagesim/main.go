@@ -59,7 +59,7 @@ func run() (err error) {
 		metrics   = flag.Bool("metrics", false, "print the observability counter registry after the run")
 		sample    = flag.Float64("sample", 0, "snapshot metrics every N simulated seconds (0 = off)")
 		timeline  = flag.String("timeline", "", "write the sampled metric timeline as CSV to this file (requires -sample)")
-		serve     = flag.String("serve", "", "serve /metrics, /healthz, and /debug/pprof on this address during the run")
+		serve     = flag.String("serve", "", "serve /metrics, /healthz, /plot, and /debug/pprof on this address during the run")
 	)
 	flag.Parse()
 
@@ -167,15 +167,20 @@ func run() (err error) {
 		})
 		tr = sink
 	}
+	var live *livePlot
+	if *serve != "" {
+		live = newLivePlot()
+		tr = obs.Tee(tr, live)
+	}
 	cfg.Scope = obs.NewScope(reg, tr)
 
 	if *serve != "" {
-		shutdown, addr, err := startServer(*serve, reg)
+		shutdown, addr, err := startServer(*serve, reg, live)
 		if err != nil {
 			return err
 		}
 		closers = append(closers, shutdown)
-		fmt.Fprintf(os.Stderr, "storagesim: serving metrics on http://%s/metrics\n", addr)
+		fmt.Fprintf(os.Stderr, "storagesim: serving metrics on http://%s/metrics and a live figure on http://%s/plot\n", addr, addr)
 	}
 
 	res, err := core.Run(cfg)

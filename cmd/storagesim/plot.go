@@ -1,0 +1,45 @@
+package main
+
+import (
+	"bytes"
+	"sync"
+
+	"mobilestorage/internal/obs"
+	"mobilestorage/internal/obsreport"
+)
+
+// livePlot is a Tracer that keeps a live energy aggregation so the -serve
+// endpoint can render the run's cumulative-energy figure while the
+// simulation is still going. Emit runs on the simulation path and SVG on
+// HTTP handler goroutines, so both serialize on the mutex; the energy
+// builder only sees sample.energy events, so the lock is off the hot path
+// for everything else.
+type livePlot struct {
+	mu sync.Mutex
+	b  *obsreport.EnergyBuilder
+}
+
+func newLivePlot() *livePlot {
+	return &livePlot{b: obsreport.NewEnergyBuilder()}
+}
+
+// Emit implements obs.Tracer.
+func (p *livePlot) Emit(e obs.Event) {
+	if e.Kind != obs.EvEnergySample {
+		return
+	}
+	p.mu.Lock()
+	p.b.Observe(e)
+	p.mu.Unlock()
+}
+
+// SVG renders a snapshot of the energy chart from the samples seen so far.
+func (p *livePlot) SVG() ([]byte, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var buf bytes.Buffer
+	if err := obsreport.EnergyChart(p.b.Finish()).Render(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}

@@ -14,10 +14,11 @@ import (
 const promNamespace = "storagesim"
 
 // newMux builds the telemetry handler: Prometheus text exposition of the
-// live registry at /metrics, a liveness probe at /healthz, and the standard
-// pprof endpoints. A dedicated mux (not http.DefaultServeMux) keeps the
-// surface explicit.
-func newMux(reg *obs.Registry) *http.ServeMux {
+// live registry at /metrics, a liveness probe at /healthz, a live SVG of
+// the energy figure at /plot, and the standard pprof endpoints. A dedicated
+// mux (not http.DefaultServeMux) keeps the surface explicit. plot may be
+// nil, in which case /plot explains itself instead of rendering.
+func newMux(reg *obs.Registry, plot *livePlot) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -28,6 +29,19 @@ func newMux(reg *obs.Registry) *http.ServeMux {
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("/plot", func(w http.ResponseWriter, r *http.Request) {
+		if plot == nil {
+			http.Error(w, "no live plot attached to this server", http.StatusNotFound)
+			return
+		}
+		svg, err := plot.SVG()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "image/svg+xml")
+		w.Write(svg)
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -40,12 +54,12 @@ func newMux(reg *obs.Registry) *http.ServeMux {
 // startServer listens on addr and serves the telemetry mux in the
 // background. It returns a shutdown func (drains in-flight scrapes, then
 // closes) and the bound address — useful when addr ends in :0.
-func startServer(addr string, reg *obs.Registry) (shutdown func() error, bound string, err error) {
+func startServer(addr string, reg *obs.Registry, plot *livePlot) (shutdown func() error, bound string, err error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, "", err
 	}
-	srv := &http.Server{Handler: newMux(reg)}
+	srv := &http.Server{Handler: newMux(reg, plot)}
 	done := make(chan error, 1)
 	go func() { done <- srv.Serve(ln) }()
 	shutdown = func() error {

@@ -29,7 +29,7 @@ func TestServeEndpoints(t *testing.T) {
 	reg.Counter("cache.hits").Add(42)
 	reg.Gauge("energy.total_j").Set(3.5)
 
-	shutdown, addr, err := startServer("127.0.0.1:0", reg)
+	shutdown, addr, err := startServer("127.0.0.1:0", reg, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,6 +78,60 @@ func TestServeEndpoints(t *testing.T) {
 	if code != http.StatusNotFound {
 		t.Errorf("unknown path: %d, want 404", code)
 	}
+
+	// No livePlot attached: /plot exists but reports 404, not a panic.
+	code, _ = getBody(t, base+"/plot")
+	if code != http.StatusNotFound {
+		t.Errorf("/plot without a live plot: %d, want 404", code)
+	}
+}
+
+func TestServePlot(t *testing.T) {
+	plot := newLivePlot()
+	// Feed the tracer the way a run does: energy samples interleaved with
+	// events the plot must ignore.
+	plot.Emit(obs.Event{T: 1_000_000, Kind: obs.EvCacheHit, Size: 512})
+	plot.Emit(obs.Event{T: 1_000_000, Kind: obs.EvEnergySample, Dev: "total", Size: 2_000_000})
+	plot.Emit(obs.Event{T: 2_000_000, Kind: obs.EvEnergySample, Dev: "total", Size: 3_500_000})
+	plot.Emit(obs.Event{T: 2_000_000, Kind: obs.EvEnergySample, Dev: "storage", Size: 900_000})
+
+	shutdown, addr, err := startServer("127.0.0.1:0", obs.NewRegistry(), plot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown()
+
+	resp, err := http.Get("http://" + addr + "/plot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/plot: %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "image/svg+xml" {
+		t.Errorf("/plot content-type %q, want image/svg+xml", ct)
+	}
+	doc := string(body)
+	if !strings.HasPrefix(doc, "<svg") || !strings.Contains(doc, "</svg>") {
+		t.Errorf("/plot body is not an SVG document:\n%.300s", doc)
+	}
+	for _, want := range []string{"total", "storage", "Cumulative energy"} {
+		if !strings.Contains(doc, want) {
+			t.Errorf("/plot missing %q", want)
+		}
+	}
+
+	// The plot is live: more samples show up on the next fetch.
+	plot.Emit(obs.Event{T: 3_000_000, Kind: obs.EvEnergySample, Dev: "dram", Size: 400_000})
+	_, doc = getBody(t, "http://"+addr+"/plot")
+	if !strings.Contains(doc, "dram") {
+		t.Error("second fetch did not observe the new component")
+	}
 }
 
 // Every exposed line must match the Prometheus text format grammar.
@@ -89,7 +143,7 @@ func TestServeMetricsGrammar(t *testing.T) {
 	h.Observe(3)
 	h.Observe(5000)
 
-	shutdown, addr, err := startServer("127.0.0.1:0", reg)
+	shutdown, addr, err := startServer("127.0.0.1:0", reg, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

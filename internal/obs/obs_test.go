@@ -162,6 +162,30 @@ func TestRingOrderAndWrap(t *testing.T) {
 	}
 }
 
+func TestTee(t *testing.T) {
+	a := NewCollector(nil)
+	b := NewCollector(nil)
+	tr := Tee(nil, a, nil, b)
+	tr.Emit(Event{T: 1, Kind: EvCacheHit})
+	tr.Emit(Event{T: 2, Kind: EvCacheMiss})
+	for name, c := range map[string]*Collector{"a": a, "b": b} {
+		ev := c.Events()
+		if len(ev) != 2 || ev[0].T != 1 || ev[1].T != 2 {
+			t.Errorf("tee branch %s saw %v", name, ev)
+		}
+	}
+	if Tee() != nil || Tee(nil, nil) != nil {
+		t.Error("Tee with no live tracers should be nil (not tracing)")
+	}
+	if Tee(nil, a) != Tracer(a) {
+		t.Error("Tee with one live tracer should return it unwrapped")
+	}
+	// A nil Tee result plugged into a scope means tracing stays off.
+	if NewScope(NewRegistry(), Tee(nil)).Tracing() {
+		t.Error("scope with nil tee reports Tracing()")
+	}
+}
+
 func TestNDJSONSink(t *testing.T) {
 	var buf bytes.Buffer
 	s := NewNDJSONSink(&buf)

@@ -78,6 +78,35 @@ type Tracer interface {
 	Emit(Event)
 }
 
+// Tee fans one event stream out to several tracers, forwarding each event
+// in argument order. Nil entries are dropped, so callers can tee optional
+// sinks without branching; with zero live tracers Tee returns nil, which
+// Scope treats as "not tracing" (devices skip event construction).
+func Tee(tracers ...Tracer) Tracer {
+	live := make(tee, 0, len(tracers))
+	for _, t := range tracers {
+		if t != nil {
+			live = append(live, t)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return live
+}
+
+type tee []Tracer
+
+// Emit implements Tracer.
+func (t tee) Emit(e Event) {
+	for _, tr := range t {
+		tr.Emit(e)
+	}
+}
+
 // Ring is a fixed-capacity ring-buffer Tracer that keeps the most recent
 // events. It is the cheap default for interactive debugging: attach a ring,
 // run, then inspect the tail.

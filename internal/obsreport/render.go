@@ -19,15 +19,16 @@ const (
 	Text Format = "text"
 	CSV  Format = "csv"
 	JSON Format = "json"
+	SVG  Format = "svg"
 )
 
 // ParseFormat validates a -format flag value.
 func ParseFormat(s string) (Format, error) {
 	switch Format(s) {
-	case Text, CSV, JSON:
+	case Text, CSV, JSON, SVG:
 		return Format(s), nil
 	default:
-		return "", fmt.Errorf("obsreport: unknown format %q (want text, csv, or json)", s)
+		return "", fmt.Errorf("obsreport: unknown format %q (want text, csv, json, or svg)", s)
 	}
 }
 
@@ -43,6 +44,8 @@ func WriteTimelines(w io.Writer, tls []*DeviceTimeline, f Format) error {
 	switch f {
 	case JSON:
 		return writeJSON(w, tls)
+	case SVG:
+		return TimelineChart(tls).Render(w)
 	case CSV:
 		cw := csv.NewWriter(w)
 		if err := cw.Write([]string{"dev", "sleep_start_us", "sleep_end_us", "sleep_s"}); err != nil {
@@ -87,6 +90,8 @@ func WriteLatency(w io.Writer, kinds []KindLatency, f Format) error {
 	switch f {
 	case JSON:
 		return writeJSON(w, kinds)
+	case SVG:
+		return LatencyChart(kinds).Render(w)
 	case CSV:
 		cw := csv.NewWriter(w)
 		if err := cw.Write([]string{"kind", "n", "mean_ms", "p50_ms", "p90_ms", "p99_ms", "max_ms"}); err != nil {
@@ -118,6 +123,8 @@ func WriteWear(w io.Writer, r *WearReport, f Format) error {
 	switch f {
 	case JSON:
 		return writeJSON(w, r)
+	case SVG:
+		return WearChart(r).Render(w)
 	case CSV:
 		cw := csv.NewWriter(w)
 		if err := cw.Write([]string{"segment", "erases"}); err != nil {
@@ -155,6 +162,8 @@ func WriteEnergy(w io.Writer, series []EnergySeries, f Format) error {
 	switch f {
 	case JSON:
 		return writeJSON(w, series)
+	case SVG:
+		return EnergyChart(series).Render(w)
 	case CSV:
 		cw := csv.NewWriter(w)
 		if err := cw.Write([]string{"component", "t_us", "joules"}); err != nil {
@@ -210,6 +219,8 @@ func WriteCleaning(w io.Writer, r *CleaningReport, f Format) error {
 	switch f {
 	case JSON:
 		return writeJSON(w, r)
+	case SVG:
+		return CleaningChart(r).Render(w)
 	case CSV:
 		cw := csv.NewWriter(w)
 		if err := cw.Write([]string{"cleans", "copied_blocks", "stalls", "mean_live_per_clean", "total_clean_s"}); err != nil {

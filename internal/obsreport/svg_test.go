@@ -1,0 +1,227 @@
+package obsreport
+
+import (
+	"bytes"
+	"encoding/xml"
+	"flag"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mobilestorage/internal/obs"
+)
+
+var updateSVG = flag.Bool("update", false, "rewrite the golden SVG files under testdata")
+
+// figureEvents is a small hand-built stream exercising every report kind
+// deterministically: two spin cycles on two disks, latency-bearing events,
+// erases, cleans, and energy samples for two components.
+func figureEvents() []obs.Event {
+	return []obs.Event{
+		{T: 1_000_000, Kind: obs.EvDiskSpinDown, Dev: "cu140"},
+		{T: 4_000_000, Kind: obs.EvDiskSpinUp, Dev: "cu140", Dur: 3_000_000},
+		{T: 2_000_000, Kind: obs.EvDiskSpinDown, Dev: "kh"},
+		{T: 9_000_000, Kind: obs.EvDiskSpinUp, Dev: "kh", Dur: 7_000_000},
+		{T: 10_000_000, Kind: obs.EvDiskSpinDown, Dev: "cu140"},
+
+		{T: 3_000_000, Kind: obs.EvSRAMFlush, Size: 4096, Dur: 1500},
+		{T: 3_500_000, Kind: obs.EvSRAMFlush, Size: 8192, Dur: 2500},
+		{T: 5_000_000, Kind: obs.EvCardClean, Addr: 3, Size: 40, Dur: 120_000},
+		{T: 7_000_000, Kind: obs.EvCardClean, Addr: 5, Size: 25, Dur: 90_000},
+		{T: 7_100_000, Kind: obs.EvCardStall, Dur: 400},
+
+		{T: 5_000_001, Kind: obs.EvCardErase, Addr: 3, Size: 1},
+		{T: 7_000_001, Kind: obs.EvCardErase, Addr: 5, Size: 1},
+		{T: 8_000_000, Kind: obs.EvCardErase, Addr: 3, Size: 2},
+
+		{T: 2_000_000, Kind: obs.EvEnergySample, Dev: "total", Size: 1_500_000},
+		{T: 4_000_000, Kind: obs.EvEnergySample, Dev: "total", Size: 2_900_000},
+		{T: 8_000_000, Kind: obs.EvEnergySample, Dev: "total", Size: 6_100_000},
+		{T: 2_000_000, Kind: obs.EvEnergySample, Dev: "storage", Size: 700_000},
+		{T: 4_000_000, Kind: obs.EvEnergySample, Dev: "storage", Size: 1_200_000},
+		{T: 8_000_000, Kind: obs.EvEnergySample, Dev: "storage", Size: 2_600_000},
+	}
+}
+
+// renderReportSVG renders one report kind from an event slice.
+func renderReportSVG(t *testing.T, report string, events []obs.Event) string {
+	t.Helper()
+	var buf bytes.Buffer
+	var err error
+	switch report {
+	case "timeline":
+		err = WriteTimelines(&buf, StateTimelines(events), SVG)
+	case "latency":
+		err = WriteLatency(&buf, Latency(events), SVG)
+	case "wear":
+		err = WriteWear(&buf, Wear(events), SVG)
+	case "energy":
+		err = WriteEnergy(&buf, Energy(events), SVG)
+	case "cleaning":
+		err = WriteCleaning(&buf, Cleaning(events), SVG)
+	default:
+		t.Fatalf("unknown report %q", report)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+var svgReports = []string{"timeline", "latency", "wear", "energy", "cleaning"}
+
+// TestGoldenReportSVG pins every report's SVG rendering byte-for-byte.
+// Regenerate with `go test ./internal/obsreport -run TestGoldenReportSVG
+// -update` and review the diff.
+func TestGoldenReportSVG(t *testing.T) {
+	for _, report := range svgReports {
+		t.Run(report, func(t *testing.T) {
+			got := renderReportSVG(t, report, figureEvents())
+			path := filepath.Join("testdata", report+".svg")
+			if *updateSVG {
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("%v (run with -update to create)", err)
+			}
+			if got != string(want) {
+				t.Errorf("golden mismatch for %s SVG (regenerate with -update and review)", report)
+			}
+		})
+	}
+}
+
+// TestGoldenVsSVG pins the merged two-run chart (the -vs svg rendering).
+func TestGoldenVsSVG(t *testing.T) {
+	a := Energy(figureEvents())
+	// Run B: same shape, lower energy (a spun-down configuration).
+	var bEvents []obs.Event
+	for _, e := range figureEvents() {
+		if e.Kind == obs.EvEnergySample {
+			e.Size = e.Size / 2
+		}
+		bEvents = append(bEvents, e)
+	}
+	b := Energy(bEvents)
+	merged := MergeCharts(EnergyChart(a), EnergyChart(b), "always-on", "spin-down")
+	got := merged.SVG()
+
+	path := filepath.Join("testdata", "energy-vs.svg")
+	if *updateSVG {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if got != string(want) {
+		t.Error("golden mismatch for merged energy-vs SVG (regenerate with -update and review)")
+	}
+}
+
+func checkWellFormed(t *testing.T, doc string) {
+	t.Helper()
+	dec := xml.NewDecoder(strings.NewReader(doc))
+	for {
+		if _, err := dec.Token(); err == io.EOF {
+			return
+		} else if err != nil {
+			t.Fatalf("not well-formed XML: %v", err)
+		}
+	}
+}
+
+// Every report SVG — populated or empty — must parse as well-formed XML
+// and contain no non-finite coordinates.
+func TestReportSVGWellFormedAndFinite(t *testing.T) {
+	streams := map[string][]obs.Event{
+		"full":   figureEvents(),
+		"empty":  nil,
+		"single": {{T: 1, Kind: obs.EvEnergySample, Dev: "total", Size: 5}},
+	}
+	for sname, events := range streams {
+		for _, report := range svgReports {
+			t.Run(sname+"/"+report, func(t *testing.T) {
+				out := renderReportSVG(t, report, events)
+				checkWellFormed(t, out)
+				for _, bad := range []string{"NaN", "Inf"} {
+					if strings.Contains(out, bad) {
+						t.Errorf("%s/%s SVG contains %s", sname, report, bad)
+					}
+				}
+			})
+		}
+	}
+}
+
+// Builder maps must not leak iteration order into the rendering: observing
+// the same per-device/per-component event sequences interleaved differently
+// must render byte-identical SVG.
+func TestReportSVGIndependentOfInterleaving(t *testing.T) {
+	events := figureEvents()
+	rng := rand.New(rand.NewSource(7))
+	for _, report := range svgReports {
+		want := renderReportSVG(t, report, events)
+		for trial := 0; trial < 5; trial++ {
+			// Stable-partition the stream by device in a shuffled device
+			// order: per-device event order (the semantic order) is
+			// preserved, but map insertion order in the per-device and
+			// per-component builders changes.
+			groups := make(map[string][]obs.Event)
+			var keys []string
+			for _, e := range events {
+				k := e.Dev
+				if _, ok := groups[k]; !ok {
+					keys = append(keys, k)
+				}
+				groups[k] = append(groups[k], e)
+			}
+			rng.Shuffle(len(keys), func(i, j int) { keys[i], keys[j] = keys[j], keys[i] })
+			var shuffled []obs.Event
+			for _, k := range keys {
+				shuffled = append(shuffled, groups[k]...)
+			}
+			if got := renderReportSVG(t, report, shuffled); got != want {
+				t.Errorf("%s: trial %d rendered differently under shuffled group interleaving", report, trial)
+			}
+		}
+	}
+}
+
+// The latency chart must not depend on which kind appears first in the
+// stream (its builder map is keyed by kind, not device).
+func TestLatencySVGIndependentOfKindOrder(t *testing.T) {
+	forward := []obs.Event{
+		{T: 1, Kind: obs.EvSRAMFlush, Dur: 1500},
+		{T: 2, Kind: obs.EvCardClean, Dur: 90_000},
+		{T: 3, Kind: obs.EvSRAMFlush, Dur: 2500},
+		{T: 4, Kind: obs.EvHybridDestage, Dur: 7000},
+	}
+	reversed := []obs.Event{forward[3], forward[1], forward[0], forward[2]}
+	if renderReportSVG(t, "latency", forward) != renderReportSVG(t, "latency", reversed) {
+		t.Error("latency SVG depends on kind first-appearance order")
+	}
+}
+
+// Repeated rendering of the same finished builders is byte-identical (the
+// streaming /plot endpoint re-renders live builders on every scrape).
+func TestReportSVGRepeatableRendering(t *testing.T) {
+	for _, report := range svgReports {
+		first := renderReportSVG(t, report, figureEvents())
+		for i := 0; i < 3; i++ {
+			if got := renderReportSVG(t, report, figureEvents()); got != first {
+				t.Fatalf("%s: render %d differs", report, i+2)
+			}
+		}
+	}
+}

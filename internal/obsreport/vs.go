@@ -1,0 +1,211 @@
+package obsreport
+
+// Multi-run comparison: each report kind can diff two independently
+// aggregated runs (obsreport <report> -in a.ndjson -vs b.ndjson). The text,
+// CSV, and JSON renderings are delta tables — one row per compared quantity
+// with run-A value, run-B value, and B−A — while the SVG rendering overlays
+// both runs' curves on one chart. Diffing a run against itself yields
+// all-zero deltas by construction; the FuzzVsAggregation target pins that
+// property for arbitrary streams.
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+
+	"mobilestorage/internal/plot"
+)
+
+// DeltaRow compares one scalar quantity between two runs.
+type DeltaRow struct {
+	Name  string  `json:"name"`
+	A     float64 `json:"a"`
+	B     float64 `json:"b"`
+	Delta float64 `json:"delta"` // B − A
+}
+
+// row builds a DeltaRow, computing the delta.
+func row(name string, a, b float64) DeltaRow {
+	return DeltaRow{Name: name, A: a, B: b, Delta: b - a}
+}
+
+// DiffTimelines compares per-device spin activity. Devices present in only
+// one run read as zero on the other side.
+func DiffTimelines(a, b []*DeviceTimeline) []DeltaRow {
+	am := make(map[string]*DeviceTimeline, len(a))
+	bm := make(map[string]*DeviceTimeline, len(b))
+	for _, tl := range a {
+		am[tl.Dev] = tl
+	}
+	for _, tl := range b {
+		bm[tl.Dev] = tl
+	}
+	var rows []DeltaRow
+	for _, dev := range unionKeys(am, bm) {
+		at, bt := am[dev], bm[dev]
+		if at == nil {
+			at = &DeviceTimeline{}
+		}
+		if bt == nil {
+			bt = &DeviceTimeline{}
+		}
+		name := dev
+		if name == "" {
+			name = "(unnamed)"
+		}
+		rows = append(rows,
+			row(name+".spin_ups", float64(at.SpinUps), float64(bt.SpinUps)),
+			row(name+".spin_downs", float64(at.SpinDowns), float64(bt.SpinDowns)),
+			row(name+".sleep_s", float64(at.TotalSleepUs)/1e6, float64(bt.TotalSleepUs)/1e6),
+		)
+	}
+	return rows
+}
+
+// DiffLatency compares per-kind duration statistics.
+func DiffLatency(a, b []KindLatency) []DeltaRow {
+	am := make(map[string]KindLatency, len(a))
+	bm := make(map[string]KindLatency, len(b))
+	for _, k := range a {
+		am[k.Kind] = k
+	}
+	for _, k := range b {
+		bm[k.Kind] = k
+	}
+	var rows []DeltaRow
+	for _, kind := range unionKeys(am, bm) {
+		ak, bk := am[kind], bm[kind] // zero value when absent
+		rows = append(rows,
+			row(kind+".n", float64(ak.N), float64(bk.N)),
+			row(kind+".mean_ms", ak.MeanMs, bk.MeanMs),
+			row(kind+".p99_ms", ak.P99Ms, bk.P99Ms),
+			row(kind+".max_ms", ak.MaxMs, bk.MaxMs),
+		)
+	}
+	return rows
+}
+
+// DiffWear compares wear summaries (totals and balance, not per-segment
+// counts: segment indices are an implementation detail of each run's
+// allocation order).
+func DiffWear(a, b *WearReport) []DeltaRow {
+	return []DeltaRow{
+		row("total_erases", float64(a.TotalErases), float64(b.TotalErases)),
+		row("segments", float64(len(a.Segments)), float64(len(b.Segments))),
+		row("max_erase", float64(a.MaxErase), float64(b.MaxErase)),
+		row("mean_erase", a.MeanErase, b.MeanErase),
+		row("spread", a.Spread, b.Spread),
+	}
+}
+
+// DiffEnergy compares final cumulative energy per component — the paper's
+// headline spin-down vs. always-on comparison.
+func DiffEnergy(a, b []EnergySeries) []DeltaRow {
+	final := func(series []EnergySeries) map[string]float64 {
+		m := make(map[string]float64, len(series))
+		for _, s := range series {
+			if len(s.Points) > 0 {
+				m[s.Component] = s.Points[len(s.Points)-1].Joules
+			} else {
+				m[s.Component] = 0
+			}
+		}
+		return m
+	}
+	am, bm := final(a), final(b)
+	var rows []DeltaRow
+	for _, comp := range unionKeys(am, bm) {
+		rows = append(rows, row(comp+".final_j", am[comp], bm[comp]))
+	}
+	return rows
+}
+
+// DiffCleaning compares cleaner workloads.
+func DiffCleaning(a, b *CleaningReport) []DeltaRow {
+	return []DeltaRow{
+		row("cleans", float64(a.Cleans), float64(b.Cleans)),
+		row("copied_blocks", float64(a.CopiedBlocks), float64(b.CopiedBlocks)),
+		row("stalls", float64(a.Stalls), float64(b.Stalls)),
+		row("mean_live_per_clean", a.MeanLivePerClean, b.MeanLivePerClean),
+		row("total_clean_s", float64(a.TotalCleanUs)/1e6, float64(b.TotalCleanUs)/1e6),
+	}
+}
+
+// unionKeys returns the sorted union of two maps' keys.
+func unionKeys[V any](a, b map[string]V) []string {
+	set := make(map[string]bool, len(a)+len(b))
+	for k := range a {
+		set[k] = true
+	}
+	for k := range b {
+		set[k] = true
+	}
+	keys := make([]string, 0, len(set))
+	for k := range set {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// WriteDelta renders a delta table as text, CSV, or JSON. SVG is not a
+// delta-table format — the -vs SVG path overlays both runs' charts via
+// MergeCharts instead.
+func WriteDelta(w io.Writer, rows []DeltaRow, f Format) error {
+	switch f {
+	case JSON:
+		return writeJSON(w, rows)
+	case CSV:
+		cw := csv.NewWriter(w)
+		if err := cw.Write([]string{"name", "a", "b", "delta"}); err != nil {
+			return err
+		}
+		for _, r := range rows {
+			cw.Write([]string{r.Name, ftoa(r.A), ftoa(r.B), ftoa(r.Delta)})
+		}
+		cw.Flush()
+		return cw.Error()
+	case SVG:
+		return fmt.Errorf("obsreport: delta tables have no svg rendering (merge the runs' charts instead)")
+	default:
+		if len(rows) == 0 {
+			fmt.Fprintln(w, "nothing to compare in either stream")
+			return nil
+		}
+		fmt.Fprintf(w, "%-32s %14s %14s %14s\n", "quantity", "run A", "run B", "Δ (B−A)")
+		for _, r := range rows {
+			fmt.Fprintf(w, "%-32s %14.4g %14.4g %+14.4g\n", r.Name, r.A, r.B, r.Delta)
+		}
+		return nil
+	}
+}
+
+// MergeCharts overlays two runs' renderings of the same report on one
+// chart: run A's series first (suffixed with labelA), then run B's
+// (suffixed with labelB). Axis titles come from chart A.
+func MergeCharts(a, b *plot.Chart, labelA, labelB string) *plot.Chart {
+	out := &plot.Chart{
+		Title:  a.Title + " — " + labelA + " vs " + labelB,
+		XLabel: a.XLabel,
+		YLabel: a.YLabel,
+		LogX:   a.LogX,
+		LogY:   a.LogY,
+	}
+	appendRun := func(src *plot.Chart, label string) {
+		for _, s := range src.Series {
+			name := s.Name
+			if name == "" {
+				name = "series"
+			}
+			out.Series = append(out.Series, plot.Series{
+				Name:   name + " [" + label + "]",
+				Points: s.Points,
+				Step:   s.Step,
+			})
+		}
+	}
+	appendRun(a, labelA)
+	appendRun(b, labelB)
+	return out
+}

@@ -1,0 +1,391 @@
+// Package plot is a zero-dependency SVG chart renderer for the paper's
+// figure reproductions: energy vs. time (Fig. 2–3), response time and
+// cleaning overhead vs. utilization (Fig. 4–5), wear distributions, and
+// spin-state timelines.
+//
+// The renderer is deliberately small and deterministic rather than general:
+// given the same Chart it emits byte-identical SVG on every call, on every
+// platform, so rendered figures can be pinned by golden files and diffed
+// across runs exactly like the simulator's NDJSON event streams. All float
+// formatting goes through strconv with fixed precision, series render in
+// slice order, and no map is ever iterated during rendering.
+//
+// Non-finite input never reaches the output: NaN/Inf points are dropped
+// before layout, empty and single-point series render without dividing by
+// a zero range, and a chart with no drawable points still renders a valid
+// frame with a "no data" note. These properties are pinned by the package's
+// property tests.
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Point is one sample in data space.
+type Point struct {
+	X float64
+	Y float64
+}
+
+// Series is one named curve.
+type Series struct {
+	Name   string
+	Points []Point
+	// Step renders the series as a post-step line (the value holds until
+	// the next point) — the right shape for histogram outlines and state
+	// timelines. Default is a straight polyline.
+	Step bool
+}
+
+// Chart is a renderable line/step chart. The zero value plus at least a
+// title renders a sensible 720×405 figure.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	// Width and Height are the outer SVG dimensions in pixels; zero means
+	// the 720×405 default.
+	Width  int
+	Height int
+	// LogX / LogY switch an axis to log₁₀ scale. Points with a non-positive
+	// coordinate on a log axis are dropped (energy and latency plots span
+	// orders of magnitude; zero has no logarithm).
+	LogX bool
+	LogY bool
+	// Series render in slice order; colors cycle through a fixed palette.
+	Series []Series
+}
+
+// Default outer dimensions (16:9, wide enough for four-series legends).
+const (
+	defaultWidth  = 720
+	defaultHeight = 405
+)
+
+// Fixed layout margins around the plot area.
+const (
+	marginLeft   = 64
+	marginRight  = 20
+	marginTop    = 34
+	marginBottom = 48
+)
+
+// palette is the series color cycle (Okabe–Ito, colorblind-safe).
+var palette = []string{
+	"#0072b2", "#d55e00", "#009e73", "#cc79a7",
+	"#e69f00", "#56b4e9", "#f0e442", "#000000",
+}
+
+// Render writes the chart as a standalone SVG document. The output is a
+// pure function of the Chart value: byte-identical across calls.
+func (c *Chart) Render(w io.Writer) error {
+	b := &strings.Builder{}
+	c.render(b)
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// SVG returns the rendered document as a string.
+func (c *Chart) SVG() string {
+	b := &strings.Builder{}
+	c.render(b)
+	return b.String()
+}
+
+// frame is the resolved geometry and scales for one render pass.
+type frame struct {
+	w, h           int     // outer dimensions
+	x0, y0, x1, y1 float64 // plot-area pixel corners (x0<x1, y0<y1; y grows down)
+	xmin, xmax     float64 // data range (log10-transformed when LogX)
+	ymin, ymax     float64
+	logX, logY     bool
+	hasData        bool
+}
+
+func (c *Chart) render(b *strings.Builder) {
+	f := c.layout()
+
+	fmt.Fprintf(b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d" font-family="sans-serif">`+"\n",
+		f.w, f.h, f.w, f.h)
+	fmt.Fprintf(b, `<rect x="0" y="0" width="%d" height="%d" fill="#ffffff"/>`+"\n", f.w, f.h)
+	if c.Title != "" {
+		fmt.Fprintf(b, `<text x="%s" y="20" font-size="14" font-weight="bold" text-anchor="middle">%s</text>`+"\n",
+			px(float64(f.w)/2), esc(c.Title))
+	}
+
+	c.renderAxes(b, f)
+	if f.hasData {
+		c.renderSeries(b, f)
+	} else {
+		fmt.Fprintf(b, `<text x="%s" y="%s" font-size="12" fill="#888888" text-anchor="middle">no data</text>`+"\n",
+			px((f.x0+f.x1)/2), px((f.y0+f.y1)/2))
+	}
+	c.renderLegend(b, f)
+	b.WriteString("</svg>\n")
+}
+
+// layout computes the frame: pixel geometry plus the data range over every
+// finite (and, on log axes, positive) point.
+func (c *Chart) layout() frame {
+	f := frame{w: c.Width, h: c.Height, logX: c.LogX, logY: c.LogY}
+	if f.w <= 0 {
+		f.w = defaultWidth
+	}
+	if f.h <= 0 {
+		f.h = defaultHeight
+	}
+	f.x0, f.y0 = marginLeft, marginTop
+	f.x1, f.y1 = float64(f.w-marginRight), float64(f.h-marginBottom)
+
+	first := true
+	for _, s := range c.Series {
+		for _, p := range s.Points {
+			x, y, ok := f.transform(p)
+			if !ok {
+				continue
+			}
+			if first {
+				f.xmin, f.xmax, f.ymin, f.ymax = x, x, y, y
+				first = false
+				continue
+			}
+			f.xmin, f.xmax = math.Min(f.xmin, x), math.Max(f.xmax, x)
+			f.ymin, f.ymax = math.Min(f.ymin, y), math.Max(f.ymax, y)
+		}
+	}
+	f.hasData = !first
+	if !f.hasData {
+		// A stable placeholder range so the axes still render.
+		f.xmin, f.xmax, f.ymin, f.ymax = 0, 1, 0, 1
+	}
+	// Degenerate (single-value) ranges expand symmetrically so the scale
+	// below never divides by zero.
+	if f.xmax == f.xmin {
+		pad := rangePad(f.xmin)
+		f.xmin, f.xmax = f.xmin-pad, f.xmax+pad
+	}
+	if f.ymax == f.ymin {
+		pad := rangePad(f.ymin)
+		f.ymin, f.ymax = f.ymin-pad, f.ymax+pad
+	}
+	return f
+}
+
+// rangePad is the half-width used to open up a zero-width data range.
+func rangePad(v float64) float64 {
+	if p := math.Abs(v) * 0.05; p > 0 {
+		return p
+	}
+	return 1
+}
+
+// transform maps a data point into scale space (log10 on log axes),
+// reporting false for points that cannot be drawn: non-finite coordinates,
+// or non-positive values on a log axis.
+func (f *frame) transform(p Point) (x, y float64, ok bool) {
+	x, y = p.X, p.Y
+	if f.logX {
+		if x <= 0 {
+			return 0, 0, false
+		}
+		x = math.Log10(x)
+	}
+	if f.logY {
+		if y <= 0 {
+			return 0, 0, false
+		}
+		y = math.Log10(y)
+	}
+	if math.IsNaN(x) || math.IsInf(x, 0) || math.IsNaN(y) || math.IsInf(y, 0) {
+		return 0, 0, false
+	}
+	return x, y, true
+}
+
+// sx / sy map scale space to pixels.
+func (f *frame) sx(x float64) float64 {
+	return f.x0 + (x-f.xmin)/(f.xmax-f.xmin)*(f.x1-f.x0)
+}
+
+func (f *frame) sy(y float64) float64 {
+	return f.y1 - (y-f.ymin)/(f.ymax-f.ymin)*(f.y1-f.y0)
+}
+
+// renderAxes draws the plot frame, gridlines, tick marks and labels, and
+// the axis titles.
+func (c *Chart) renderAxes(b *strings.Builder, f frame) {
+	fmt.Fprintf(b, `<rect x="%s" y="%s" width="%s" height="%s" fill="none" stroke="#333333"/>`+"\n",
+		px(f.x0), px(f.y0), px(f.x1-f.x0), px(f.y1-f.y0))
+
+	for _, t := range ticks(f.xmin, f.xmax, f.logX) {
+		x := f.sx(t)
+		fmt.Fprintf(b, `<line x1="%s" y1="%s" x2="%s" y2="%s" stroke="#dddddd"/>`+"\n",
+			px(x), px(f.y0), px(x), px(f.y1))
+		fmt.Fprintf(b, `<line x1="%s" y1="%s" x2="%s" y2="%s" stroke="#333333"/>`+"\n",
+			px(x), px(f.y1), px(x), px(f.y1+4))
+		fmt.Fprintf(b, `<text x="%s" y="%s" font-size="10" text-anchor="middle">%s</text>`+"\n",
+			px(x), px(f.y1+16), esc(tickLabel(t, f.logX)))
+	}
+	for _, t := range ticks(f.ymin, f.ymax, f.logY) {
+		y := f.sy(t)
+		fmt.Fprintf(b, `<line x1="%s" y1="%s" x2="%s" y2="%s" stroke="#dddddd"/>`+"\n",
+			px(f.x0), px(y), px(f.x1), px(y))
+		fmt.Fprintf(b, `<line x1="%s" y1="%s" x2="%s" y2="%s" stroke="#333333"/>`+"\n",
+			px(f.x0-4), px(y), px(f.x0), px(y))
+		fmt.Fprintf(b, `<text x="%s" y="%s" font-size="10" text-anchor="end">%s</text>`+"\n",
+			px(f.x0-7), px(y+3.5), esc(tickLabel(t, f.logY)))
+	}
+
+	if c.XLabel != "" {
+		fmt.Fprintf(b, `<text x="%s" y="%s" font-size="11" text-anchor="middle">%s</text>`+"\n",
+			px((f.x0+f.x1)/2), px(float64(f.h)-10), esc(c.XLabel))
+	}
+	if c.YLabel != "" {
+		fmt.Fprintf(b, `<text x="14" y="%s" font-size="11" text-anchor="middle" transform="rotate(-90 14 %s)">%s</text>`+"\n",
+			px((f.y0+f.y1)/2), px((f.y0+f.y1)/2), esc(c.YLabel))
+	}
+}
+
+// renderSeries draws every series as one <path>.
+func (c *Chart) renderSeries(b *strings.Builder, f frame) {
+	for i, s := range c.Series {
+		var d strings.Builder
+		pen := false
+		var lastX, lastY float64
+		for _, p := range s.Points {
+			x, y, ok := f.transform(p)
+			if !ok {
+				pen = false // break the line at undrawable points
+				continue
+			}
+			cx, cy := f.sx(x), f.sy(y)
+			if !pen {
+				fmt.Fprintf(&d, "M%s %s", px(cx), px(cy))
+				pen = true
+			} else if s.Step {
+				fmt.Fprintf(&d, "H%s V%s", px(cx), px(cy))
+			} else {
+				fmt.Fprintf(&d, "L%s %s", px(cx), px(cy))
+			}
+			lastX, lastY = cx, cy
+		}
+		if d.Len() == 0 {
+			continue
+		}
+		color := palette[i%len(palette)]
+		fmt.Fprintf(b, `<path d="%s" fill="none" stroke="%s" stroke-width="1.5"/>`+"\n", d.String(), color)
+		// A single drawable point has zero path length; mark it so it shows.
+		if !strings.ContainsAny(d.String()[1:], "MLHV") {
+			fmt.Fprintf(b, `<circle cx="%s" cy="%s" r="2.5" fill="%s"/>`+"\n", px(lastX), px(lastY), color)
+		}
+	}
+}
+
+// renderLegend draws one swatch+name row per named series in the top-left
+// of the plot area.
+func (c *Chart) renderLegend(b *strings.Builder, f frame) {
+	row := 0
+	for i, s := range c.Series {
+		if s.Name == "" {
+			continue
+		}
+		y := f.y0 + 14 + float64(row)*15
+		fmt.Fprintf(b, `<line x1="%s" y1="%s" x2="%s" y2="%s" stroke="%s" stroke-width="2"/>`+"\n",
+			px(f.x0+8), px(y), px(f.x0+26), px(y), palette[i%len(palette)])
+		fmt.Fprintf(b, `<text x="%s" y="%s" font-size="10">%s</text>`+"\n",
+			px(f.x0+31), px(y+3.5), esc(s.Name))
+		row++
+	}
+}
+
+// ticks returns 4–8 tick positions covering [lo, hi] in scale space. Linear
+// axes use a 1/2/5·10ᵏ step; log axes tick whole decades (and fall back to
+// the linear rule in log space when the range spans less than a decade,
+// which still yields round labels after exponentiation).
+func ticks(lo, hi float64, log bool) []float64 {
+	if log && hi-lo >= 1 {
+		first := math.Ceil(lo - 1e-9)
+		var out []float64
+		step := math.Max(1, math.Round((hi-lo)/6))
+		for t := first; t <= hi+1e-9; t += step {
+			out = append(out, t)
+		}
+		return out
+	}
+	span := hi - lo
+	step := niceStep(span / 5)
+	first := math.Ceil(lo/step-1e-9) * step
+	var out []float64
+	for t := first; t <= hi+step*1e-9; t += step {
+		// Snap near-zero accumulation error so labels read "0", not "1e-17".
+		if math.Abs(t) < step*1e-6 {
+			t = 0
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+// niceStep rounds v up to the nearest 1, 2, or 5 times a power of ten.
+func niceStep(v float64) float64 {
+	if v <= 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+		return 1
+	}
+	exp := math.Floor(math.Log10(v))
+	base := math.Pow(10, exp)
+	switch frac := v / base; {
+	case frac <= 1:
+		return base
+	case frac <= 2:
+		return 2 * base
+	case frac <= 5:
+		return 5 * base
+	default:
+		return 10 * base
+	}
+}
+
+// tickLabel formats a tick value for display, undoing the log transform.
+func tickLabel(t float64, log bool) string {
+	if log {
+		t = math.Pow(10, t)
+	}
+	return strconv.FormatFloat(t, 'g', 4, 64)
+}
+
+// px formats a pixel coordinate with two decimals — enough for sub-pixel
+// placement, few enough to keep the output stable and compact.
+func px(v float64) string {
+	return strconv.FormatFloat(v, 'f', 2, 64)
+}
+
+// esc escapes text content for XML and replaces characters the XML 1.0
+// grammar forbids (control characters, stray surrogates) with U+FFFD, so a
+// chart built from hostile series names still renders well-formed.
+func esc(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		switch r {
+		case '&':
+			b.WriteString("&amp;")
+		case '<':
+			b.WriteString("&lt;")
+		case '>':
+			b.WriteString("&gt;")
+		case '"':
+			b.WriteString("&quot;")
+		default:
+			if r == 0x9 || r == 0xA || r == 0xD ||
+				(r >= 0x20 && r <= 0xD7FF) || (r >= 0xE000 && r <= 0xFFFD) || r >= 0x10000 {
+				b.WriteRune(r)
+			} else {
+				b.WriteRune('�')
+			}
+		}
+	}
+	return b.String()
+}

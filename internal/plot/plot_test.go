@@ -1,0 +1,225 @@
+package plot
+
+import (
+	"bytes"
+	"encoding/xml"
+	"flag"
+	"io"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files under testdata")
+
+// goldenCharts is the fixed set of figures pinned byte-for-byte. Each
+// exercises a distinct renderer feature: multi-series lines, step series,
+// log scales, degenerate ranges, and the empty chart.
+func goldenCharts() map[string]*Chart {
+	return map[string]*Chart{
+		"energy-lines": {
+			Title: "Cumulative energy", XLabel: "simulated time (s)", YLabel: "energy (J)",
+			Series: []Series{
+				{Name: "total", Points: []Point{{0, 0}, {60, 21.5}, {120, 44.2}, {180, 70.9}, {240, 96.1}}},
+				{Name: "storage", Points: []Point{{0, 0}, {60, 9.1}, {120, 17.6}, {180, 30.3}, {240, 41.8}}},
+				{Name: "dram", Points: []Point{{0, 0}, {60, 7.3}, {120, 14.6}, {180, 21.9}, {240, 29.2}}},
+			},
+		},
+		"wear-step": {
+			Title: "Erase counts", XLabel: "segment", YLabel: "erases",
+			Series: []Series{
+				{Name: "erases", Step: true, Points: []Point{{0, 12}, {1, 14}, {2, 11}, {3, 19}, {4, 13}, {5, 12}}},
+			},
+		},
+		"latency-logx": {
+			Title: "Service time distribution", XLabel: "latency (ms)", YLabel: "count",
+			LogX: true,
+			Series: []Series{
+				{Name: "sram.flush", Step: true, Points: []Point{{0.1, 3}, {1, 41}, {10, 18}, {100, 2}}},
+				{Name: "flashcard.clean", Step: true, Points: []Point{{10, 7}, {100, 29}, {1000, 4}}},
+			},
+		},
+		"energy-logy": {
+			Title: "Energy by threshold", XLabel: "spin-down threshold (s)", YLabel: "energy (J)",
+			LogY: true,
+			Series: []Series{
+				{Name: "disk", Points: []Point{{1, 900}, {5, 310}, {30, 120}, {300, 85}}},
+				{Name: "flash", Points: []Point{{1, 12}, {5, 12}, {30, 12.5}, {300, 13}}},
+			},
+		},
+		"single-point": {
+			Title: "One sample", XLabel: "x", YLabel: "y",
+			Series: []Series{{Name: "lonely", Points: []Point{{3, 7}}}},
+		},
+		"empty": {
+			Title: "Nothing to plot", XLabel: "x", YLabel: "y",
+		},
+	}
+}
+
+func TestGoldenSVG(t *testing.T) {
+	for name, c := range goldenCharts() {
+		t.Run(name, func(t *testing.T) {
+			got := c.SVG()
+			path := filepath.Join("testdata", name+".svg")
+			if *update {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("%v (run with -update to create)", err)
+			}
+			if got != string(want) {
+				t.Errorf("golden mismatch for %s (regenerate with -update and review the diff)\n--- got\n%.600s", name, got)
+			}
+		})
+	}
+}
+
+// wellFormed parses the document with encoding/xml and fails on any
+// tokenizer error — the property every rendered SVG must satisfy.
+func wellFormed(t *testing.T, doc string) {
+	t.Helper()
+	dec := xml.NewDecoder(strings.NewReader(doc))
+	for {
+		if _, err := dec.Token(); err == io.EOF {
+			return
+		} else if err != nil {
+			t.Fatalf("not well-formed XML: %v\n%.400s", err, doc)
+		}
+	}
+}
+
+func TestRenderedSVGIsWellFormedXML(t *testing.T) {
+	for name, c := range goldenCharts() {
+		t.Run(name, func(t *testing.T) {
+			wellFormed(t, c.SVG())
+		})
+	}
+	// Hostile text content must be escaped, not break the document.
+	hostile := &Chart{
+		Title: `<script>&"boom"</script>`, XLabel: "a<b", YLabel: `"q&a"`,
+		Series: []Series{
+			{Name: "x > y & z", Points: []Point{{1, 1}, {2, 2}}},
+			{Name: "ctrl\x00\x01chars\x7f￾", Points: []Point{{1, 2}, {2, 3}}},
+			{Name: "bad utf8 \xff\xfe", Points: []Point{{1, 3}, {2, 4}}},
+		},
+	}
+	wellFormed(t, hostile.SVG())
+	if strings.Contains(hostile.SVG(), "<script>") {
+		t.Error("unescaped text content in output")
+	}
+}
+
+func TestRenderByteIdenticalAcrossRuns(t *testing.T) {
+	for name, c := range goldenCharts() {
+		first := c.SVG()
+		for i := 0; i < 3; i++ {
+			if got := c.SVG(); got != first {
+				t.Errorf("%s: render %d differs from first render", name, i+2)
+			}
+		}
+		var buf bytes.Buffer
+		if err := c.Render(&buf); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if buf.String() != first {
+			t.Errorf("%s: Render differs from SVG()", name)
+		}
+	}
+}
+
+// Series identity (not insertion history) determines the output: building
+// the same chart by inserting series in shuffled order, then restoring the
+// canonical order, must render byte-identically. This is the map-order
+// trap the obsreport builders guard against upstream.
+func TestRenderIndependentOfInsertionOrder(t *testing.T) {
+	base := goldenCharts()["energy-lines"]
+	want := base.SVG()
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 10; trial++ {
+		perm := rng.Perm(len(base.Series))
+		shuffled := make([]Series, len(base.Series))
+		for i, j := range perm {
+			shuffled[i] = base.Series[j]
+		}
+		// Restore canonical order the way callers do: sort by name via the
+		// inverse permutation.
+		restored := make([]Series, len(base.Series))
+		for i, j := range perm {
+			restored[j] = shuffled[i]
+		}
+		c := &Chart{Title: base.Title, XLabel: base.XLabel, YLabel: base.YLabel, Series: restored}
+		if got := c.SVG(); got != want {
+			t.Fatalf("trial %d: shuffled-then-restored chart renders differently", trial)
+		}
+	}
+}
+
+// No rendered coordinate may ever be NaN or Inf, whatever the input —
+// including empty series, single points, constant series, and non-finite
+// or non-positive (log-axis) samples.
+func TestNeverEmitsNonFiniteCoordinates(t *testing.T) {
+	nan := math.NaN()
+	inf := math.Inf(1)
+	cases := map[string]*Chart{
+		"empty-chart":    {},
+		"empty-series":   {Series: []Series{{Name: "e"}}},
+		"single":         {Series: []Series{{Points: []Point{{5, 5}}}}},
+		"constant":       {Series: []Series{{Points: []Point{{0, 3}, {1, 3}, {2, 3}}}}},
+		"all-nan":        {Series: []Series{{Points: []Point{{nan, 1}, {1, nan}, {nan, nan}}}}},
+		"all-inf":        {Series: []Series{{Points: []Point{{inf, 1}, {1, -inf}}}}},
+		"mixed":          {Series: []Series{{Points: []Point{{1, 1}, {nan, 2}, {3, 3}, {inf, 4}, {5, 5}}}}},
+		"log-nonpos":     {LogX: true, LogY: true, Series: []Series{{Points: []Point{{0, 1}, {-3, 5}, {2, 0}, {4, -2}}}}},
+		"log-one-usable": {LogY: true, Series: []Series{{Points: []Point{{1, 0}, {2, 10}}}}},
+		"zero-only":      {Series: []Series{{Points: []Point{{0, 0}}}}},
+		"huge-range":     {Series: []Series{{Points: []Point{{-1e300, -1e300}, {1e300, 1e300}}}}},
+	}
+	for name, c := range cases {
+		t.Run(name, func(t *testing.T) {
+			out := c.SVG()
+			for _, bad := range []string{"NaN", "Inf", "inf", "nan"} {
+				if strings.Contains(out, bad) {
+					t.Fatalf("output contains %q:\n%.600s", bad, out)
+				}
+			}
+			wellFormed(t, out)
+			if !strings.Contains(out, "<svg") || !strings.Contains(out, "</svg>") {
+				t.Error("output is not a complete SVG document")
+			}
+		})
+	}
+}
+
+func TestLegendAndAxisContent(t *testing.T) {
+	c := goldenCharts()["energy-lines"]
+	out := c.SVG()
+	for _, want := range []string{"Cumulative energy", "simulated time (s)", "energy (J)", "total", "storage", "dram"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	// Tick labels from the data range must be present (x spans 0..240).
+	if !strings.Contains(out, ">0<") || !strings.Contains(out, ">200<") {
+		t.Error("expected x tick labels 0 and 200")
+	}
+}
+
+func TestLogTicksAreDecades(t *testing.T) {
+	c := &Chart{LogX: true, Series: []Series{{Points: []Point{{0.1, 1}, {1000, 2}}}}}
+	out := c.SVG()
+	for _, want := range []string{">0.1<", ">1<", ">10<", ">100<", ">1000<"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("log axis missing decade label %s", want)
+		}
+	}
+}
