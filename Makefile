@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet fmt-check test race bench bench-smoke bench-gate bench-gate-update fuzz-smoke golden-update check
+.PHONY: build vet fmt-check test race bench bench-smoke bench-gate bench-gate-faults bench-gate-update fuzz-smoke golden-update check
 
 build:
 	$(GO) build ./...
@@ -47,6 +47,15 @@ bench-gate:
 		| $(GO) run ./cmd/benchdiff -baseline BENCH_obsreport.json
 	$(GO) test -run='^$$' -bench='$(FIGURE_BENCH)' -benchmem -benchtime=1x -count=3 . \
 		| $(GO) run ./cmd/benchdiff -baseline BENCH_figures.json -threshold 0.5
+	$(MAKE) bench-gate-faults
+
+# Fault-layer overhead budget: the armed-but-quiet fault run must stay
+# within 2% of the plan-free hot path. Both benchmarks run in the same
+# process and are compared best-of-3 against each other (benchdiff -ratio),
+# so machine speed cancels and the tight threshold holds on shared runners.
+bench-gate-faults:
+	$(GO) test -run='^$$' -bench='^Benchmark(RunNilScope|FaultOff)$$' -benchtime=2s -count=3 . \
+		| $(GO) run ./cmd/benchdiff -ratio BenchmarkFaultOff/BenchmarkRunNilScope -threshold 0.02
 
 # Refresh the committed baselines after an intentional perf change; review
 # the diff before committing.

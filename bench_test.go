@@ -17,6 +17,7 @@ import (
 	"mobilestorage/internal/core"
 	"mobilestorage/internal/device"
 	"mobilestorage/internal/experiments"
+	"mobilestorage/internal/fault"
 	"mobilestorage/internal/obs"
 	"mobilestorage/internal/units"
 	"mobilestorage/internal/workload"
@@ -350,7 +351,9 @@ func BenchmarkEnvy(b *testing.B) {
 // docs/OBSERVABILITY.md). Compare with:
 //
 //	go test -bench='BenchmarkRun(Nil|Active|Tracing)' -count=10 | benchstat
-func benchRunScope(b *testing.B, sc *obs.Scope) {
+func benchRunScope(b *testing.B, sc *obs.Scope) { benchRunFaults(b, sc, nil) }
+
+func benchRunFaults(b *testing.B, sc *obs.Scope, plan *fault.Plan) {
 	tr, err := workload.Synth(workload.SynthConfig{Seed: 7, Ops: 4000})
 	if err != nil {
 		b.Fatal(err)
@@ -361,6 +364,8 @@ func benchRunScope(b *testing.B, sc *obs.Scope) {
 		FlashCardParams: device.IntelSeries2Datasheet(),
 		DRAMBytes:       512 * units.KB,
 		Scope:           sc,
+		Faults:          plan,
+		FaultSeed:       1,
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -372,6 +377,19 @@ func benchRunScope(b *testing.B, sc *obs.Scope) {
 }
 
 func BenchmarkRunNilScope(b *testing.B) { benchRunScope(b, nil) }
+
+// BenchmarkFaultOff pins the fault-layer overhead budget. It runs the same
+// flash-card simulation as BenchmarkRunNilScope with a fault plan armed
+// that can never fire — zero error rates and an unreachable wear-out
+// threshold — so every per-operation injector hook (attempt draws, wear-out
+// checks, power-fail schedule lookups) executes while injecting nothing.
+// The simulated result is identical to the plan-free run; only the hook
+// cost differs. `make bench-gate` compares the two from the same process
+// (benchdiff -ratio) and fails past +2%, the same budget the disabled
+// observability layer lives under (docs/OBSERVABILITY.md).
+func BenchmarkFaultOff(b *testing.B) {
+	benchRunFaults(b, nil, &fault.Plan{WearOutAfter: 1 << 60})
+}
 
 func BenchmarkRunActiveScope(b *testing.B) {
 	benchRunScope(b, obs.NewScope(obs.NewRegistry(), nil))

@@ -12,15 +12,23 @@
 //
 // Flags:
 //
-//	-baseline file   committed baseline JSON (required)
+//	-baseline file   committed baseline JSON (required unless -ratio)
 //	-in file         bench output to read (- for stdin, the default)
 //	-threshold f     allowed fractional regression, default 0.30 (30%)
 //	-update          rewrite the baseline from the measured run and exit
+//	-ratio NEW/REF   gate NEW's ns/op against REF's from the same run
 //
 // With -count > 1 runs, the best (minimum) ns/op and allocs/op per
 // benchmark are compared, which damps scheduler noise on shared CI runners.
 // A small absolute slack on allocs/op keeps near-zero baselines from
 // failing on a single incidental allocation.
+//
+// -ratio compares two benchmarks measured in the same run instead of a
+// committed baseline: it fails when NEW's best ns/op exceeds REF's by more
+// than -threshold. Because both sides ran on the same machine in the same
+// process, machine-to-machine noise cancels, so tight budgets (a few
+// percent) are gateable — it backs the "fault injection disabled costs
+// <2%" guarantee (BenchmarkFaultOff vs BenchmarkRunNilScope).
 package main
 
 import (
@@ -80,12 +88,16 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		in        = fs.String("in", "-", "go test -bench output to read (- for stdin)")
 		threshold = fs.Float64("threshold", 0.30, "allowed fractional regression")
 		update    = fs.Bool("update", false, "rewrite the baseline from this run instead of comparing")
+		ratioSpec = fs.String("ratio", "", "gate NEW against REF from the same run (NEW/REF); no baseline file involved")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *baseline == "" {
-		return fmt.Errorf("-baseline is required")
+	if *baseline == "" && *ratioSpec == "" {
+		return fmt.Errorf("-baseline is required (or use -ratio)")
+	}
+	if *baseline != "" && *ratioSpec != "" {
+		return fmt.Errorf("-baseline and -ratio are mutually exclusive")
 	}
 	if *threshold < 0 {
 		return fmt.Errorf("-threshold must be >= 0, got %g", *threshold)
@@ -106,6 +118,10 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	}
 	if len(results) == 0 {
 		return fmt.Errorf("no benchmark lines found in input")
+	}
+
+	if *ratioSpec != "" {
+		return compareRatio(stdout, results, *ratioSpec, *threshold)
 	}
 
 	base, err := readBaseline(*baseline)
@@ -251,6 +267,37 @@ func compare(w io.Writer, base *baselineFile, results map[string]result, thresho
 			len(failures), strings.Join(failures, "\n  "))
 	}
 	fmt.Fprintf(w, "ok: %d benchmark(s) within %.0f%% of baseline\n", len(base.Benchmarks), 100*threshold)
+	return nil
+}
+
+// compareRatio gates benchmark NEW against benchmark REF measured in the
+// same run: it fails when NEW's best ns/op exceeds REF's by more than
+// threshold. Same-run comparison cancels machine noise, which is what makes
+// a single-digit-percent budget enforceable in CI.
+func compareRatio(w io.Writer, results map[string]result, spec string, threshold float64) error {
+	newName, refName, ok := strings.Cut(spec, "/")
+	if !ok || newName == "" || refName == "" {
+		return fmt.Errorf("-ratio wants NEW/REF benchmark names, got %q", spec)
+	}
+	nr, ok := results[newName]
+	if !ok {
+		return fmt.Errorf("%s: not measured in this run", newName)
+	}
+	rr, ok := results[refName]
+	if !ok {
+		return fmt.Errorf("%s: not measured in this run", refName)
+	}
+	if rr.ns == 0 {
+		return fmt.Errorf("%s: zero ns/op reference", refName)
+	}
+	over := ratio(nr.ns, rr.ns)
+	fmt.Fprintf(w, "%s ns/op %.0f vs %s ns/op %.0f: %+.2f%% (budget %+.1f%%)\n",
+		newName, nr.ns, refName, rr.ns, 100*over, 100*threshold)
+	if over > threshold {
+		return fmt.Errorf("%s is %.2f%% slower than %s, budget %.1f%%",
+			newName, 100*over, refName, 100*threshold)
+	}
+	fmt.Fprintf(w, "ok: %s within %.1f%% of %s\n", newName, 100*threshold, refName)
 	return nil
 }
 

@@ -213,6 +213,57 @@ func TestUpdateRewritesBaseline(t *testing.T) {
 	}
 }
 
+// -ratio gates one benchmark against another from the same run; best-of
+// across -count repetitions applies to both sides.
+func TestRatioMode(t *testing.T) {
+	input := `cpu: test
+BenchmarkRunNilScope-4    200    1000000 ns/op    100 B/op    5 allocs/op
+BenchmarkRunNilScope-4    200    1050000 ns/op    100 B/op    5 allocs/op
+BenchmarkFaultOff-4       200    1015000 ns/op    100 B/op    5 allocs/op
+BenchmarkFaultOff-4       200    1090000 ns/op    100 B/op    5 allocs/op
+PASS
+`
+	runRatio := func(spec string, threshold string) (string, error) {
+		var out bytes.Buffer
+		err := run([]string{"-ratio", spec, "-threshold", threshold}, strings.NewReader(input), &out)
+		return out.String(), err
+	}
+
+	// Best-of: 1015000 vs 1000000 = +1.5%, inside a 2% budget.
+	out, err := runRatio("BenchmarkFaultOff/BenchmarkRunNilScope", "0.02")
+	if err != nil {
+		t.Fatalf("within budget failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "ok:") {
+		t.Errorf("output: %q", out)
+	}
+
+	// The same measurements fail a 1% budget.
+	if _, err := runRatio("BenchmarkFaultOff/BenchmarkRunNilScope", "0.01"); err == nil {
+		t.Error("+1.5% passed a 1% budget")
+	}
+	// Faster-is-fine in either direction of the spec.
+	if _, err := runRatio("BenchmarkRunNilScope/BenchmarkFaultOff", "0.0"); err != nil {
+		t.Errorf("faster NEW failed: %v", err)
+	}
+
+	if _, err := runRatio("BenchmarkFaultOff/BenchmarkMissing", "0.02"); err == nil {
+		t.Error("missing reference accepted")
+	}
+	if _, err := runRatio("BenchmarkMissing/BenchmarkRunNilScope", "0.02"); err == nil {
+		t.Error("missing subject accepted")
+	}
+	if _, err := runRatio("NoSlashHere", "0.02"); err == nil {
+		t.Error("malformed spec accepted")
+	}
+
+	// -ratio and -baseline are mutually exclusive.
+	var out2 bytes.Buffer
+	if err := run([]string{"-ratio", "A/B", "-baseline", "x.json"}, strings.NewReader(input), &out2); err == nil {
+		t.Error("-ratio with -baseline accepted")
+	}
+}
+
 func TestUsageErrors(t *testing.T) {
 	if _, err := runDiff(t, "", sampleBench); err == nil {
 		t.Error("missing -baseline accepted")

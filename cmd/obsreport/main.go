@@ -12,12 +12,19 @@
 //	wear       per-segment flash erase counts and wear spread
 //	energy     cumulative energy over time per component (needs -sample)
 //	cleaning   flash-card cleaner work and live-blocks-per-clean
+//	faults     injected faults, retries/backoff, remaps, and power failures
 //
 // Ingestion is streaming: events flow from the input straight into the
 // report builder, so multi-gigabyte captures — including ones piped on
 // stdin — process at constant memory. -in may be repeated; the shards are
 // decoded in parallel but always aggregated in argument order, so the
 // output is identical to concatenating the files first.
+//
+// A malformed line normally aborts the report. -lenient skips such lines
+// instead; the skip count goes to stderr and, for text output, a
+// malformed_lines row after the report. Add -strict to still exit non-zero
+// when anything was skipped — the full report for humans, a failing status
+// for CI.
 //
 // -format svg renders the report as a standalone SVG figure — the paper's
 // curves without external tooling. -vs run2.ndjson aggregates a second run
@@ -123,6 +130,17 @@ var reports = map[string]func() *handle{
 			},
 		}
 	},
+	"faults": func() *handle {
+		b := obsreport.NewFaultsBuilder()
+		return &handle{
+			reporter: b,
+			render:   func(w io.Writer, f obsreport.Format) error { return obsreport.WriteFaults(w, b.Finish(), f) },
+			chart:    func() *plot.Chart { return obsreport.FaultsChart(b.Finish()) },
+			diff: func(o *handle) []obsreport.DeltaRow {
+				return obsreport.DiffFaults(b.Finish(), o.reporter.(*obsreport.FaultsBuilder).Finish())
+			},
+		}
+	},
 }
 
 // inputList collects repeated -in flags.
@@ -154,6 +172,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		format  = fs.String("format", "text", "output format: text, csv, json, svg")
 		out     = fs.String("out", "-", "output file (- for stdout)")
 		lenient = fs.Bool("lenient", false, "skip malformed lines instead of aborting")
+		strict  = fs.Bool("strict", false, "exit non-zero if any malformed lines were skipped (pairs with -lenient)")
 		workers = fs.Int("workers", 0, "parallel decode workers for multi-file input (0 = all cores)")
 		vs      = fs.String("vs", "", "second run to compare against (NDJSON file, - for stdin)")
 	)
@@ -193,6 +212,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		fmt.Fprintf(stderr, "obsreport: skipped %d malformed lines\n", stats.Skipped)
 	}
 
+	skipped := stats.Skipped
 	render := a.render
 	if *vs != "" {
 		b := newHandle()
@@ -203,12 +223,32 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		if vsStats.Skipped > 0 {
 			fmt.Fprintf(stderr, "obsreport: skipped %d malformed lines in -vs stream\n", vsStats.Skipped)
 		}
+		skipped += vsStats.Skipped
 		labelA, labelB := runLabels(ins[0], *vs)
 		render = func(w io.Writer, f obsreport.Format) error {
 			if f == obsreport.SVG {
 				return obsreport.MergeCharts(a.chart(), b.chart(), labelA, labelB).Render(w)
 			}
 			return obsreport.WriteDelta(w, a.diff(b), f)
+		}
+	}
+
+	// Corruption is part of the answer, not just a side note: in lenient
+	// mode a skipped line means the report is computed from a subset of the
+	// capture, so the text rendering carries a malformed_lines row. The row
+	// is appended here rather than inside the Write* renderers so streaming
+	// and slice renders of a clean capture stay byte-identical, and the
+	// structured formats (csv/json/svg) stay schema-clean.
+	if skipped > 0 {
+		inner := render
+		render = func(w io.Writer, f obsreport.Format) error {
+			if err := inner(w, f); err != nil {
+				return err
+			}
+			if f == obsreport.Text {
+				fmt.Fprintf(w, "\nmalformed_lines  %d (report computed without them)\n", skipped)
+			}
+			return nil
 		}
 	}
 
@@ -221,9 +261,16 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 			file.Close()
 			return err
 		}
-		return file.Close()
+		if err := file.Close(); err != nil {
+			return err
+		}
+	} else if err := render(stdout, f); err != nil {
+		return err
 	}
-	return render(stdout, f)
+	if *strict && skipped > 0 {
+		return fmt.Errorf("%d malformed lines skipped (-strict)", skipped)
+	}
+	return nil
 }
 
 // runLabels derives legend labels for a two-run comparison from the input
@@ -243,6 +290,6 @@ func runLabels(inPath, vsPath string) (string, string) {
 }
 
 func usageError(w io.Writer) error {
-	fmt.Fprintln(w, "usage: obsreport <timeline|latency|wear|energy|cleaning> [-in events.ndjson ...] [-vs run2.ndjson] [-format text|csv|json|svg] [-out file] [-lenient] [-workers n]")
+	fmt.Fprintln(w, "usage: obsreport <timeline|latency|wear|energy|cleaning|faults> [-in events.ndjson ...] [-vs run2.ndjson] [-format text|csv|json|svg] [-out file] [-lenient] [-strict] [-workers n]")
 	return fmt.Errorf("missing or unknown report")
 }

@@ -263,6 +263,56 @@ func TestLenientFlag(t *testing.T) {
 	if !strings.Contains(errOut, "skipped 1") {
 		t.Errorf("stderr: %q", errOut)
 	}
+	if !strings.Contains(out, "malformed_lines  1") {
+		t.Errorf("text output missing malformed_lines row: %q", out)
+	}
+
+	// Structured formats stay schema-clean: no malformed_lines row injected.
+	out, _, err = runCLI(t, "wear", "-in", path, "-lenient", "-format", "json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out, "malformed_lines") {
+		t.Errorf("json output polluted by malformed_lines row: %q", out)
+	}
+	var parsed map[string]any
+	if jerr := json.Unmarshal([]byte(out), &parsed); jerr != nil {
+		t.Errorf("lenient json output does not parse: %v", jerr)
+	}
+}
+
+// -strict pairs with -lenient: the report still renders in full, but the
+// exit status flags the corruption for CI.
+func TestStrictFlag(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.ndjson")
+	content := `{"t_us":1,"kind":"flashcard.erase","addr":1,"size":1}` + "\ngarbage\n"
+	if err := os.WriteFile(bad, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	out, _, err := runCLI(t, "wear", "-in", bad, "-lenient", "-strict")
+	if err == nil {
+		t.Error("-strict with skipped lines exited zero")
+	} else if !strings.Contains(err.Error(), "1 malformed lines") {
+		t.Errorf("strict error: %v", err)
+	}
+	if !strings.Contains(out, "1 erases") {
+		t.Errorf("-strict suppressed the report: %q", out)
+	}
+
+	// A clean stream under -strict is not an error.
+	clean := writeEventFile(t)
+	if out, _, err := runCLI(t, "wear", "-in", clean, "-lenient", "-strict"); err != nil {
+		t.Fatal(err)
+	} else if strings.Contains(out, "malformed_lines") {
+		t.Errorf("clean stream grew a malformed_lines row: %q", out)
+	}
+
+	// Skipped lines in the -vs stream count too.
+	if _, _, err := runCLI(t, "wear", "-in", clean, "-vs", bad, "-lenient", "-strict"); err == nil {
+		t.Error("-strict ignored malformed lines in the -vs stream")
+	}
 }
 
 // xmlWellFormed fails the test unless doc parses cleanly as XML.

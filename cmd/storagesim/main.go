@@ -17,11 +17,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
 	"strconv"
+	"sync"
 
 	"mobilestorage/internal/core"
 	"mobilestorage/internal/device"
+	"mobilestorage/internal/fault"
 	"mobilestorage/internal/obs"
 	"mobilestorage/internal/obsreport"
 	"mobilestorage/internal/trace"
@@ -58,6 +61,8 @@ func run() (err error) {
 		events    = flag.String("events", "", "write structured simulator events (NDJSON) to this file")
 		metrics   = flag.Bool("metrics", false, "print the observability counter registry after the run")
 		sample    = flag.Float64("sample", 0, "snapshot metrics every N simulated seconds (0 = off)")
+		faults    = flag.String("faults", "", "fault-injection plan (JSON file, see docs/FAULTS.md)")
+		faultSeed = flag.Int64("fault-seed", 1, "fault-injection RNG seed")
 		timeline  = flag.String("timeline", "", "write the sampled metric timeline as CSV to this file (requires -sample)")
 		serve     = flag.String("serve", "", "serve /metrics, /healthz, /plot, and /debug/pprof on this address during the run")
 	)
@@ -90,6 +95,18 @@ func run() (err error) {
 	if err := selectDevice(&cfg, *devName, *source); err != nil {
 		return err
 	}
+	if *faults != "" {
+		data, err := os.ReadFile(*faults)
+		if err != nil {
+			return err
+		}
+		plan, err := fault.ParsePlan(data)
+		if err != nil {
+			return fmt.Errorf("%s: %w", *faults, err)
+		}
+		cfg.Faults = plan
+		cfg.FaultSeed = *faultSeed
+	}
 
 	// DRAM default: 2 MB, except the hp trace which was captured below the
 	// buffer cache (§4.1).
@@ -117,12 +134,47 @@ func run() (err error) {
 
 	// Output files are closed through deferred closers so a failure partway
 	// through the run still flushes what was written and reports every
-	// close error, not just the first exit path's.
-	var closers []func() error
-	defer func() {
+	// close error, not just the first exit path's. The same closer list
+	// backs the SIGINT handler, so an interrupted run flushes its -events
+	// and -oplog sinks instead of truncating them; the mutex and the done
+	// flag keep the two exit paths from double-closing.
+	var (
+		closerMu sync.Mutex
+		closers  []func() error
+		closed   bool
+	)
+	addCloser := func(f func() error) {
+		closerMu.Lock()
+		closers = append(closers, f)
+		closerMu.Unlock()
+	}
+	runClosers := func() error {
+		closerMu.Lock()
+		defer closerMu.Unlock()
+		if closed {
+			return nil
+		}
+		closed = true
+		var err error
 		for i := len(closers) - 1; i >= 0; i-- {
 			err = errors.Join(err, closers[i]())
 		}
+		return err
+	}
+	defer func() { err = errors.Join(err, runClosers()) }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt)
+	defer signal.Stop(sigc)
+	go func() {
+		if _, ok := <-sigc; !ok {
+			return
+		}
+		fmt.Fprintln(os.Stderr, "storagesim: interrupted; flushing output sinks")
+		if cerr := runClosers(); cerr != nil {
+			fmt.Fprintln(os.Stderr, "storagesim:", cerr)
+		}
+		os.Exit(130)
 	}()
 
 	if *opLog != "" {
@@ -131,7 +183,7 @@ func run() (err error) {
 			return err
 		}
 		w := csv.NewWriter(f)
-		closers = append(closers, func() error {
+		addCloser(func() error {
 			w.Flush()
 			return errors.Join(w.Error(), f.Close())
 		})
@@ -162,7 +214,7 @@ func run() (err error) {
 			return err
 		}
 		sink := obs.NewNDJSONSink(f)
-		closers = append(closers, func() error {
+		addCloser(func() error {
 			return errors.Join(sink.Flush(), f.Close())
 		})
 		tr = sink
@@ -179,7 +231,7 @@ func run() (err error) {
 		if err != nil {
 			return err
 		}
-		closers = append(closers, shutdown)
+		addCloser(shutdown)
 		fmt.Fprintf(os.Stderr, "storagesim: serving metrics on http://%s/metrics and a live figure on http://%s/plot\n", addr, addr)
 	}
 
@@ -192,7 +244,7 @@ func run() (err error) {
 		if err != nil {
 			return err
 		}
-		closers = append(closers, f.Close)
+		addCloser(f.Close)
 		if err := obsreport.WriteTimelineCSV(f, res.Timeline); err != nil {
 			return err
 		}
@@ -288,6 +340,24 @@ func printResult(res *core.Result, verbose bool) {
 		res.Read.Mean(), res.Read.Max(), res.Read.StdDev(), res.Read.N())
 	fmt.Printf("write    mean %.2f ms, max %.1f ms, σ %.1f ms (%d ops)\n",
 		res.Write.Mean(), res.Write.Max(), res.Write.StdDev(), res.Write.N())
+	if f := res.Faults; f != nil {
+		fmt.Printf("faults   %d injected (%d read / %d write / %d erase), %d retries, %d exhausted, %.1f ms backoff\n",
+			f.ReadFaults+f.WriteFaults+f.EraseFaults, f.ReadFaults, f.WriteFaults, f.EraseFaults,
+			f.Retries, f.Exhausted, float64(f.BackoffTime)/1000)
+		if f.Remaps+f.SparesExhausted > 0 {
+			fmt.Printf("badblock %d remapped to spares, %d beyond spare capacity\n", f.Remaps, f.SparesExhausted)
+		}
+		if f.Reclaims > 0 {
+			fmt.Printf("reclaim  %d retired units pressed back into service under capacity pressure\n", f.Reclaims)
+		}
+		if f.PowerFailures > 0 {
+			fmt.Printf("powerfail %d failures, %d buffered blocks replayed, %d acknowledged writes lost\n",
+				f.PowerFailures, f.ReplayedBlocks, f.LostWrites)
+		}
+		for _, v := range f.Violations {
+			fmt.Printf("VIOLATION %s\n", v)
+		}
+	}
 	if !verbose {
 		return
 	}

@@ -59,7 +59,15 @@ func startServer(addr string, reg *obs.Registry, plot *livePlot) (shutdown func(
 	if err != nil {
 		return nil, "", err
 	}
-	srv := &http.Server{Handler: newMux(reg, plot)}
+	srv := &http.Server{
+		Handler: newMux(reg, plot),
+		// A stalled client must not pin a connection forever: bound the
+		// header read, and the whole response write. The write timeout
+		// exceeds the default 30 s pprof profile window so profiling still
+		// works.
+		ReadHeaderTimeout: 5 * time.Second,
+		WriteTimeout:      90 * time.Second,
+	}
 	done := make(chan error, 1)
 	go func() { done <- srv.Serve(ln) }()
 	shutdown = func() error {

@@ -203,6 +203,22 @@ func (c *Cache) DirtyExtents() []Extent {
 	return coalesce(out)
 }
 
+// Crash empties the cache — DRAM loses everything at power failure — and
+// returns how many of the lost blocks were dirty. A non-zero return means
+// acknowledged writes were lost, which only the write-back ablation can
+// legitimately produce; write-through configurations never hold dirty data.
+func (c *Cache) Crash() int {
+	dirty := 0
+	for _, n := range c.blocks {
+		if n.dirty {
+			dirty++
+		}
+	}
+	c.blocks = make(map[int64]*node, c.capBlocks)
+	c.head, c.tail = nil, nil
+	return dirty
+}
+
 func (c *Cache) blockRange(addr, size units.Bytes) (first, last int64) {
 	return int64(addr / c.blockSize), int64((addr + size - 1) / c.blockSize)
 }

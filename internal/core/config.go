@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"mobilestorage/internal/device"
+	"mobilestorage/internal/fault"
 	"mobilestorage/internal/obs"
 	"mobilestorage/internal/trace"
 	"mobilestorage/internal/units"
@@ -118,6 +119,16 @@ type Config struct {
 	// Disk, SpinDown, and FlashCardParams.
 	FlashCacheBytes units.Bytes
 
+	// Faults, when non-nil and non-empty, enables deterministic fault
+	// injection: transient read/write/erase errors with retry and backoff,
+	// wear-out bad-block retirement with spare provisioning, and scheduled
+	// power failures with crash recovery. Results for a given trace, plan,
+	// and FaultSeed are reproducible. Nil keeps the fault-free path
+	// byte-identical to a build without fault injection.
+	Faults *fault.Plan
+	// FaultSeed seeds the fault injector's deterministic generator.
+	FaultSeed int64
+
 	// Observer, when non-nil, receives every measured operation as it
 	// completes — an op-level log for debugging and external analysis.
 	// It must not retain the observation beyond the call.
@@ -188,6 +199,11 @@ func (c Config) Validate() error {
 	}
 	if c.FlashUtilization < 0 || c.FlashUtilization > 0.99 {
 		return fmt.Errorf("core: flash utilization %.2f out of (0, 0.99]", c.FlashUtilization)
+	}
+	if c.Faults != nil {
+		if err := c.Faults.Validate(); err != nil {
+			return err
+		}
 	}
 	switch c.Kind {
 	case MagneticDisk, FlashDisk, FlashCard, FlashCache:

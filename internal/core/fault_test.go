@@ -1,0 +1,394 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"mobilestorage/internal/device"
+	"mobilestorage/internal/fault"
+	"mobilestorage/internal/units"
+	"mobilestorage/internal/workload"
+)
+
+// faultPlan returns the stress plan the fault presets share: transient
+// errors on every op class, aggressive wear-out with spares, and three
+// power failures spread across the run.
+func faultPlan(t *testing.T) *fault.Plan {
+	t.Helper()
+	dur := goldenTrace(t).Trace.Duration()
+	return &fault.Plan{
+		ReadErrorRate:  0.01,
+		WriteErrorRate: 0.02,
+		EraseErrorRate: 0.05,
+		MaxRetries:     3,
+		BackoffUs:      200,
+		MaxBackoffUs:   5_000,
+		WearOutAfter:   40,
+		SpareSegments:  4,
+		PowerFailAtUs:  []int64{int64(dur) / 4, int64(dur) / 2, 3 * int64(dur) / 4},
+	}
+}
+
+// faultPresets layers the shared fault plan over one configuration of each
+// storage architecture (disk+SRAM, flash disk async, flash card, hybrid).
+func faultPresets(t *testing.T) []goldenPreset {
+	base := func() Config {
+		c := *goldenTrace(t)
+		c.Faults = faultPlan(t)
+		c.FaultSeed = 99
+		return c
+	}
+	return []goldenPreset{
+		{"fault-disk-sram", func() Config {
+			c := base()
+			c.Kind = MagneticDisk
+			c.Disk = device.CU140Measured()
+			c.SpinDown = 5 * units.Second
+			c.SRAMBytes = 32 * units.KB
+			return c
+		}},
+		{"fault-flashdisk-async", func() Config {
+			c := base()
+			c.Kind = FlashDisk
+			c.FlashDiskParams = device.SDP5Datasheet()
+			c.AsyncErase = true
+			return c
+		}},
+		{"fault-flashcard", func() Config {
+			c := base()
+			c.Kind = FlashCard
+			c.FlashCardParams = device.IntelSeries2Measured()
+			return c
+		}},
+		{"fault-flashcache-hybrid", func() Config {
+			c := base()
+			c.Kind = FlashCache
+			c.Disk = device.CU140Measured()
+			c.SpinDown = 5 * units.Second
+			c.FlashCardParams = device.IntelSeries2Measured()
+			c.FlashCacheBytes = 4 * units.MB
+			return c
+		}},
+	}
+}
+
+// faultSnapshot pins a faulted run: the regular golden snapshot plus the
+// fault report.
+type faultSnapshot struct {
+	goldenSnapshot
+	Faults *fault.Report `json:"faults"`
+}
+
+// TestFaultGolden pins each faulted preset — results, counters, event-stream
+// digest, and the full fault report — to a golden file. Same trace, plan,
+// and seed must reproduce these bytes exactly on any toolchain. Regenerate
+// intentionally with -update and review the diff.
+func TestFaultGolden(t *testing.T) {
+	for _, p := range faultPresets(t) {
+		p := p
+		t.Run(p.name, func(t *testing.T) {
+			res, reg, events, n := runObserved(t, p.cfg())
+			got := faultSnapshot{goldenSnapshot: snapshot(res, reg, events, n), Faults: res.Faults}
+
+			path := filepath.Join("testdata", "golden", p.name+".json")
+			if *update {
+				data, err := json.MarshalIndent(got, "", "  ")
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("%v (run with -update to create)", err)
+			}
+			var want faultSnapshot
+			if err := json.Unmarshal(data, &want); err != nil {
+				t.Fatal(err)
+			}
+			gotJSON, _ := json.MarshalIndent(got, "", "  ")
+			wantJSON, _ := json.MarshalIndent(want, "", "  ")
+			if !bytes.Equal(gotJSON, wantJSON) {
+				t.Errorf("fault golden mismatch for %s:\n--- want\n%s\n--- got\n%s", p.name, wantJSON, gotJSON)
+			}
+		})
+	}
+}
+
+// TestFaultDeterminism runs each faulted preset twice: identical trace,
+// plan, and seed must produce byte-identical event streams and identical
+// fault reports — the reproducibility contract that makes fault runs
+// debuggable.
+func TestFaultDeterminism(t *testing.T) {
+	for _, p := range faultPresets(t) {
+		p := p
+		t.Run(p.name, func(t *testing.T) {
+			r1, _, ev1, n1 := runObserved(t, p.cfg())
+			r2, _, ev2, n2 := runObserved(t, p.cfg())
+			if n1 != n2 || !bytes.Equal(ev1, ev2) {
+				t.Error("event streams not byte-identical across identical faulted runs")
+			}
+			if r1.EnergyJ != r2.EnergyJ || r1.EndTime != r2.EndTime ||
+				r1.Read.Mean() != r2.Read.Mean() || r1.Write.Mean() != r2.Write.Mean() {
+				t.Error("results differ across identical faulted runs")
+			}
+			if !reflect.DeepEqual(r1.Faults, r2.Faults) {
+				t.Errorf("fault reports differ:\n%+v\n%+v", r1.Faults, r2.Faults)
+			}
+			// A different seed must actually change the injections.
+			alt := p.cfg()
+			alt.FaultSeed++
+			r3, err := Run(alt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if reflect.DeepEqual(r1.Faults, r3.Faults) {
+				t.Error("different seeds produced identical fault reports")
+			}
+		})
+	}
+}
+
+// TestFaultInvariants asserts the recovery contract on every faulted
+// preset: all scheduled power failures fired, faults were injected and
+// retried, no acknowledged write was lost (all presets are write-through),
+// and zero recovery-invariant violations.
+func TestFaultInvariants(t *testing.T) {
+	for _, p := range faultPresets(t) {
+		p := p
+		t.Run(p.name, func(t *testing.T) {
+			res, err := Run(p.cfg())
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep := res.Faults
+			if rep == nil {
+				t.Fatal("faulted run produced no fault report")
+			}
+			if len(rep.Violations) != 0 {
+				t.Fatalf("recovery invariant violations:\n%s", rep.Violations)
+			}
+			if rep.PowerFailures != 3 {
+				t.Errorf("power failures = %d, want 3", rep.PowerFailures)
+			}
+			if rep.LostWrites != 0 {
+				t.Errorf("write-through configuration lost %d acknowledged writes", rep.LostWrites)
+			}
+			if rep.ReadFaults+rep.WriteFaults+rep.EraseFaults == 0 {
+				t.Error("plan with non-zero rates injected nothing")
+			}
+			if rep.Retries == 0 || rep.BackoffTime == 0 {
+				t.Error("injected faults produced no retries/backoff")
+			}
+		})
+	}
+}
+
+// TestFaultsSlowAndCostMore sanity-checks the physics: the same workload
+// with injected transient faults must take at least as long and use at
+// least as much energy as the fault-free run. The comparison plan carries
+// only error rates: spares add capacity (which would correctly make the
+// faulted flash card faster by easing cleaning pressure) and power
+// failures truncate queued background work, so both are excluded.
+func TestFaultsSlowAndCostMore(t *testing.T) {
+	for _, p := range faultPresets(t) {
+		p := p
+		t.Run(p.name, func(t *testing.T) {
+			cfg := p.cfg()
+			plan := *cfg.Faults
+			plan.WearOutAfter = 0
+			plan.SpareSegments = 0
+			plan.PowerFailAtUs = nil
+			cfg.Faults = &plan
+			faulted, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			clean := p.cfg()
+			clean.Faults = nil
+			base, err := Run(clean)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if faulted.Faults == nil || base.Faults != nil {
+				t.Fatal("fault report presence does not track the plan")
+			}
+			if faulted.Overall.Mean() < base.Overall.Mean() {
+				t.Errorf("faulted mean response %.3f ms below fault-free %.3f ms",
+					faulted.Overall.Mean(), base.Overall.Mean())
+			}
+			if faulted.EnergyJ < base.EnergyJ {
+				t.Errorf("faulted energy %.1f J below fault-free %.1f J", faulted.EnergyJ, base.EnergyJ)
+			}
+		})
+	}
+}
+
+// TestFaultOvercommitRecovers pins the scenario that used to wedge the
+// flash-card cleaner (storagesim -device intel -trace synth with the
+// example plan, seed 7): wear_out_after 3 retires segments while the synth
+// trace's live set is still growing, until the survivors cannot hold the
+// full footprint plus the cleaning reserve. The run must complete by
+// pressing retired segments back into service, not panic with "no erased
+// space and no cleanable victim".
+func TestFaultOvercommitRecovers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full synth trace")
+	}
+	tr, err := workload.GenerateByName("synth", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Config{
+		Trace:            tr,
+		DRAMBytes:        2 * units.MB,
+		Kind:             FlashCard,
+		FlashCardParams:  device.IntelSeries2Measured(),
+		FlashUtilization: 0.8,
+		Faults: &fault.Plan{
+			ReadErrorRate:  0.01,
+			WriteErrorRate: 0.02,
+			EraseErrorRate: 0.05,
+			MaxRetries:     3,
+			BackoffUs:      200,
+			MaxBackoffUs:   5_000,
+			WearOutAfter:   3,
+			SpareSegments:  4,
+			PowerFailAtUs:  []int64{60_000_000, 180_000_000},
+		},
+		FaultSeed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Faults.Reclaims == 0 {
+		t.Error("overcommitted card completed without reclaiming retired segments")
+	}
+	if len(res.Faults.Violations) != 0 {
+		t.Errorf("recovery invariant violations:\n%s", res.Faults.Violations)
+	}
+}
+
+// TestWriteBackAblationReportsLostWrites runs the write-back DRAM ablation
+// through a power failure and verifies the loss is reported as data loss
+// (the configuration volunteered for it) rather than an invariant violation.
+func TestWriteBackAblationReportsLostWrites(t *testing.T) {
+	tr, err := workload.Synth(workload.SynthConfig{Seed: 7, Ops: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		Trace:     tr,
+		DRAMBytes: 512 * units.KB,
+		WriteBack: true,
+		Kind:      MagneticDisk,
+		Disk:      device.CU140Measured(),
+		SpinDown:  5 * units.Second,
+		Faults:    &fault.Plan{PowerFailAtUs: []int64{int64(tr.Duration()) / 2}},
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Faults.PowerFailures != 1 {
+		t.Fatalf("power failures = %d, want 1", res.Faults.PowerFailures)
+	}
+	if res.Faults.LostWrites == 0 {
+		t.Error("write-back cache lost nothing across a mid-run power failure (dirty data expected)")
+	}
+	if len(res.Faults.Violations) != 0 {
+		t.Errorf("write-back loss misreported as violations: %v", res.Faults.Violations)
+	}
+}
+
+// TestFaultCountersMatchReport cross-checks the observability counters
+// against the fault report — two independent accounting paths that must
+// agree exactly.
+func TestFaultCountersMatchReport(t *testing.T) {
+	for _, p := range faultPresets(t) {
+		p := p
+		t.Run(p.name, func(t *testing.T) {
+			res, reg, _, _ := runObserved(t, p.cfg())
+			m := reg.Counters()
+			rep := res.Faults
+			check := func(name string, want int64) {
+				t.Helper()
+				if got := m[name]; got != want {
+					t.Errorf("counter %s = %d, report says %d", name, got, want)
+				}
+			}
+			check("fault.injected", rep.ReadFaults+rep.WriteFaults+rep.EraseFaults)
+			check("fault.retries", rep.Retries)
+			check("fault.exhausted", rep.Exhausted)
+			check("fault.remaps", rep.Remaps)
+			check("fault.reclaims", rep.Reclaims)
+			check("fault.power_failures", rep.PowerFailures)
+			check("fault.replayed_blocks", rep.ReplayedBlocks)
+			check("fault.lost_writes", rep.LostWrites)
+		})
+	}
+}
+
+// FuzzPowerFail fuzzes the power-failure schedule and seed across all four
+// storage architectures: whatever the crash timing, recovery must complete
+// with zero invariant violations and zero lost acknowledged writes.
+func FuzzPowerFail(f *testing.F) {
+	f.Add(int64(1), int64(1_000_000), int64(30_000_000), int64(200_000_000), uint8(0))
+	f.Add(int64(2), int64(0), int64(0), int64(0), uint8(2))
+	f.Add(int64(3), int64(5), int64(6), int64(7), uint8(1))
+	f.Add(int64(-9), int64(1<<40), int64(17), int64(999_999_999), uint8(3))
+	f.Fuzz(func(t *testing.T, seed, t1, t2, t3 int64, kind uint8) {
+		tr, err := workload.Synth(workload.SynthConfig{Seed: 11, Ops: 600})
+		if err != nil {
+			t.Fatal(err)
+		}
+		clamp := func(v int64) int64 {
+			if v < 0 {
+				v = -v
+			}
+			if v < 0 { // MinInt64
+				v = 0
+			}
+			return v % (2 * int64(tr.Duration()))
+		}
+		cfg := Config{
+			Trace:           tr,
+			DRAMBytes:       256 * units.KB,
+			Kind:            StorageKind(kind % 4),
+			Disk:            device.CU140Measured(),
+			SpinDown:        5 * units.Second,
+			FlashDiskParams: device.SDP10Measured(),
+			FlashCardParams: device.IntelSeries2Measured(),
+			Faults: &fault.Plan{
+				WriteErrorRate: 0.01,
+				EraseErrorRate: 0.02,
+				PowerFailAtUs:  []int64{clamp(t1), clamp(t2), clamp(t3)},
+			},
+			FaultSeed: seed,
+		}
+		if cfg.Kind == MagneticDisk {
+			cfg.SRAMBytes = 32 * units.KB
+		}
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Faults.Violations) != 0 {
+			t.Fatalf("kind %v: recovery invariant violations:\n%s", cfg.Kind, res.Faults.Violations)
+		}
+		if res.Faults.LostWrites != 0 {
+			t.Fatalf("kind %v: lost %d acknowledged writes in a write-through config",
+				cfg.Kind, res.Faults.LostWrites)
+		}
+	})
+}

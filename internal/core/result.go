@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"mobilestorage/internal/fault"
 	"mobilestorage/internal/obs"
 	"mobilestorage/internal/stats"
 	"mobilestorage/internal/units"
@@ -59,6 +60,12 @@ type Result struct {
 	// Run shape.
 	MeasuredOps int        // operations contributing to statistics
 	EndTime     units.Time // completion time of the run
+
+	// Faults summarizes injected faults and device responses: fault counts
+	// by class, retries, backoff time, remaps, power failures, recovery
+	// replays, and any invariant violations. Nil when fault injection is
+	// disabled. Deterministic for a given trace, plan, and seed.
+	Faults *fault.Report
 
 	// Metrics is a snapshot of the observability counters at the end of the
 	// run, keyed by metric name. Nil unless Config.Scope carried a registry.

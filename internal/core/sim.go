@@ -7,6 +7,7 @@ import (
 	"mobilestorage/internal/device"
 	"mobilestorage/internal/disk"
 	"mobilestorage/internal/energy"
+	"mobilestorage/internal/fault"
 	"mobilestorage/internal/flashcard"
 	"mobilestorage/internal/flashdisk"
 	"mobilestorage/internal/hybrid"
@@ -62,7 +63,11 @@ func Run(cfg Config) (*Result, error) {
 	hints := t.MaxFileSizes()
 	footprint := traceFootprint(t, blockSize, hints)
 
-	st, err := buildStack(cfg, blockSize, footprint)
+	// Nil when the plan injects nothing: the fault-free path stays
+	// byte-identical to a build without fault injection.
+	inj := fault.NewInjector(cfg.Faults, cfg.FaultSeed, cfg.Scope)
+
+	st, err := buildStack(cfg, blockSize, footprint, inj)
 	if err != nil {
 		return nil, err
 	}
@@ -90,8 +95,15 @@ func Run(cfg Config) (*Result, error) {
 	var warmSnapshot float64
 	snapshotTaken := warmIdx == 0
 
+	crashes := inj.PowerFailSchedule()
+	ci := 0
+
 	var lastCompletion units.Time
 	for i, rec := range t.Records {
+		for ci < len(crashes) && crashes[ci] <= rec.Time {
+			crashAndRecover(st, dram, inj, cfg, crashes[ci])
+			ci++
+		}
 		st.top.Idle(rec.Time)
 		smp.Tick(int64(rec.Time))
 		if !snapshotTaken && i >= warmIdx {
@@ -187,6 +199,11 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	end := units.Max(t.Duration(), lastCompletion)
+	// Power failures scheduled after the last record but within the run
+	// still fire (the trace's tail idle period).
+	for ; ci < len(crashes) && crashes[ci] <= end; ci++ {
+		crashAndRecover(st, dram, inj, cfg, crashes[ci])
+	}
 	// Final write-back flush happens off the books: it is an artifact of
 	// ending the simulation, not of the workload.
 	if cfg.WriteBack && dram != nil {
@@ -206,10 +223,59 @@ func Run(cfg Config) (*Result, error) {
 	res.EndTime = end
 	fillEnergy(res, st, dram, warmSnapshot)
 	fillDeviceStats(res, st, dram)
+	res.Faults = inj.Report()
 	if reg := sc.Registry(); reg != nil {
 		res.Metrics = reg.Counters()
 	}
 	return res, nil
+}
+
+// crashAndRecover injects one power failure at the given instant and runs
+// the recovery pass, checking the stack-level recovery invariants:
+//
+//   - a write-through DRAM cache never loses acknowledged writes (it holds
+//     no dirty data); only the write-back ablation may report lost writes;
+//   - the flash card's cleaner never loses live blocks to a crash;
+//   - the battery-backed SRAM buffer is empty after its recovery replay.
+//
+// Violations are recorded on the injector's report — tests fail on any.
+func crashAndRecover(st *stack, dram *cache.Cache, inj *fault.Injector, cfg Config, at units.Time) {
+	st.top.Idle(at)
+	inj.RecordPowerFail(at)
+
+	var card *flashcard.Card
+	switch {
+	case st.fcard != nil:
+		card = st.fcard
+	case st.hyb != nil:
+		card = st.hyb.Card()
+	}
+	var preLive int64
+	if card != nil {
+		preLive = card.LiveBlocks()
+	}
+
+	if dram != nil {
+		if lost := dram.Crash(); lost > 0 {
+			inj.RecordLostWrites(int64(lost), at)
+			if !cfg.WriteBack {
+				inj.Violatef("core: write-through DRAM cache lost %d dirty blocks at power failure t=%dµs", lost, int64(at))
+			}
+		}
+	}
+	if cr, ok := st.top.(device.Crasher); ok {
+		cr.Crash(at)
+		cr.Recover(at)
+	}
+
+	if card != nil {
+		if post := card.LiveBlocks(); post < preLive {
+			inj.Violatef("core: flash card lost %d live blocks across power failure t=%dµs", preLive-post, int64(at))
+		}
+	}
+	if st.buffer != nil && st.buffer.BufferedBytes() != 0 {
+		inj.Violatef("core: SRAM buffer holds %v after recovery at t=%dµs", st.buffer.BufferedBytes(), int64(at))
+	}
 }
 
 // writeEvicted flushes dirty cache evictions to the device at the given
@@ -338,8 +404,9 @@ func traceFootprint(t *trace.Trace, blockSize units.Bytes, hints map[uint32]unit
 	return l.HighWater()
 }
 
-// buildStack constructs the configured storage hierarchy.
-func buildStack(cfg Config, blockSize, footprint units.Bytes) (*stack, error) {
+// buildStack constructs the configured storage hierarchy, threading the
+// fault injector (nil = fault injection off) into every device layer.
+func buildStack(cfg Config, blockSize, footprint units.Bytes, inj *fault.Injector) (*stack, error) {
 	st := &stack{}
 	var base device.Device
 
@@ -349,7 +416,7 @@ func buildStack(cfg Config, blockSize, footprint units.Bytes) (*stack, error) {
 		if err != nil {
 			return nil, err
 		}
-		d, err := disk.New(cfg.Disk, disk.WithPolicy(policy), disk.WithScope(cfg.Scope))
+		d, err := disk.New(cfg.Disk, disk.WithPolicy(policy), disk.WithScope(cfg.Scope), disk.WithFaults(inj))
 		if err != nil {
 			return nil, err
 		}
@@ -361,7 +428,7 @@ func buildStack(cfg Config, blockSize, footprint units.Bytes) (*stack, error) {
 			return nil, err
 		}
 		capacity := flashCapacity(cfg, footprint, cfg.FlashDiskParams.SectorSize)
-		opts := []flashdisk.Option{flashdisk.WithScope(cfg.Scope)}
+		opts := []flashdisk.Option{flashdisk.WithScope(cfg.Scope), flashdisk.WithFaults(inj)}
 		if cfg.AsyncErase {
 			opts = append(opts, flashdisk.WithAsyncErase())
 		}
@@ -390,8 +457,12 @@ func buildStack(cfg Config, blockSize, footprint units.Bytes) (*stack, error) {
 			if capacity < stored+3*seg {
 				capacity = units.CeilDiv(stored, seg)*seg + 3*seg
 			}
+			// Spare segments are extra physical flash provisioned beyond the
+			// nominal capacity; wear-out retirements consume them before any
+			// usable capacity is lost.
+			capacity += units.Bytes(inj.SpareUnits()) * seg
 		}
-		opts := []flashcard.Option{flashcard.WithScope(cfg.Scope)}
+		opts := []flashcard.Option{flashcard.WithScope(cfg.Scope), flashcard.WithFaults(inj)}
 		if cfg.OnDemandCleaning {
 			opts = append(opts, flashcard.WithOnDemandCleaning())
 		}
@@ -433,6 +504,7 @@ func buildStack(cfg Config, blockSize, footprint units.Bytes) (*stack, error) {
 			CacheSize: cacheBytes,
 			BlockSize: blockSize,
 			Scope:     cfg.Scope,
+			Faults:    inj,
 		})
 		if err != nil {
 			return nil, err
@@ -442,7 +514,7 @@ func buildStack(cfg Config, blockSize, footprint units.Bytes) (*stack, error) {
 	}
 
 	if cfg.SRAMBytes > 0 {
-		b, err := sram.New(*cfg.SRAM, cfg.SRAMBytes, blockSize, base, sram.WithScope(cfg.Scope))
+		b, err := sram.New(*cfg.SRAM, cfg.SRAMBytes, blockSize, base, sram.WithScope(cfg.Scope), sram.WithFaults(inj))
 		if err != nil {
 			return nil, err
 		}

@@ -52,6 +52,18 @@ type Device interface {
 	Name() string
 }
 
+// Crasher is implemented by devices that model power failure. Crash drops
+// volatile state (queued work, in-flight cleaning, controller progress) at
+// the given instant; non-volatile media and battery-backed buffers survive.
+// Recover performs the post-restart repair pass — consistency scans,
+// replaying surviving buffered writes — charging its time and energy, and
+// returns the instant recovery completes. The core calls Idle(at), then
+// Crash(at), then Recover(at) before resuming the trace.
+type Crasher interface {
+	Crash(at units.Time)
+	Recover(at units.Time) units.Time
+}
+
 // WearReporter is implemented by devices with erase-cycle endurance limits
 // (both flash models) so experiments can report §5.2's endurance numbers.
 type WearReporter interface {

@@ -9,6 +9,7 @@ import (
 
 	"mobilestorage/internal/device"
 	"mobilestorage/internal/energy"
+	"mobilestorage/internal/fault"
 	"mobilestorage/internal/obs"
 	"mobilestorage/internal/trace"
 	"mobilestorage/internal/units"
@@ -65,6 +66,10 @@ type Disk struct {
 	cSpinDowns *obs.Counter
 	cOps       *obs.Counter
 	hSleepMs   *obs.Histogram
+
+	// inj injects transient I/O errors; nil disables fault handling at the
+	// cost of one nil check per access.
+	inj *fault.Injector
 }
 
 // Option configures a Disk.
@@ -100,6 +105,13 @@ func WithScope(sc *obs.Scope) Option {
 	}
 }
 
+// WithFaults attaches a fault injector: transient read/write errors are
+// retried with exponential backoff, charging full service energy for every
+// physical attempt and idle energy for the backoff. A nil injector is free.
+func WithFaults(in *fault.Injector) Option {
+	return func(d *Disk) { d.inj = in }
+}
+
 // refreshThreshold re-evaluates the policy and applies the firmware cap.
 func (d *Disk) refreshThreshold() {
 	d.spinDown = d.policy.NextSpinDown()
@@ -122,6 +134,9 @@ func New(p device.DiskParams, opts ...Option) (*Disk, error) {
 	d.refreshThreshold()
 	for _, o := range opts {
 		o(d)
+	}
+	if d.evName == "" {
+		d.evName = d.Name()
 	}
 	return d, nil
 }
@@ -174,6 +189,9 @@ func (d *Disk) Background(req device.Request) units.Time {
 	}
 	service := d.serviceTime(req)
 	d.meter.Accrue(energy.StateActive, d.p.ActiveW, service)
+	if d.inj != nil {
+		service += d.retry(req, service, start)
+	}
 	completion := start + service
 	if completion > d.lastUpdate {
 		d.lastUpdate = completion
@@ -216,6 +234,9 @@ func (d *Disk) Access(req device.Request) units.Time {
 
 	service := d.serviceTime(req)
 	d.meter.Accrue(energy.StateActive, d.p.ActiveW, service)
+	if d.inj != nil {
+		service += d.retry(req, service, start)
+	}
 	completion := start + service
 
 	// A concurrent background write may already have advanced the energy
@@ -233,6 +254,48 @@ func (d *Disk) Access(req device.Request) units.Time {
 	d.cOps.Inc()
 	return completion
 }
+
+// retry applies the injector's transient-fault schedule to one operation:
+// the extra service time of the retried attempts (each charged at full
+// active power — the platters keep turning, heads re-seek) plus the backoff
+// waits between them (charged at idle power). Returns the added time.
+func (d *Disk) retry(req device.Request, service, start units.Time) units.Time {
+	att, backoff := d.inj.Attempts(fault.FromTraceOp(req.Op), d.evName, start)
+	if att <= 1 {
+		return 0
+	}
+	extra := service * units.Time(att-1)
+	d.meter.Accrue(energy.StateActive, d.p.ActiveW, extra)
+	d.meter.Accrue(energy.StateIdle, d.p.IdleW, backoff)
+	return extra + backoff
+}
+
+// Crash implements device.Crasher: a power failure halts the spindle and
+// clears queued work. The platters are non-volatile, so no data is lost;
+// the spin-up on the next access is the crash's lasting cost.
+func (d *Disk) Crash(at units.Time) {
+	d.advance(at)
+	if d.st == spinning {
+		d.st = sleeping
+		d.sleepStart = at
+	}
+	// Pending completions were already returned to callers; the restarted
+	// device no longer owes them work.
+	if d.busyUntil > at {
+		d.busyUntil = at
+	}
+	if d.bgBusyUntil > at {
+		d.bgBusyUntil = at
+	}
+	if d.spinUpUntil > at {
+		d.spinUpUntil = at
+	}
+	d.hasLastFile = false
+}
+
+// Recover implements device.Crasher: the disk needs no repair pass and
+// spins up lazily on the next access.
+func (d *Disk) Recover(at units.Time) units.Time { return at }
 
 // wake spins the disk up at the given instant, charging spin-up energy and
 // feeding the observed sleep duration back to the policy.
@@ -302,4 +365,7 @@ func (d *Disk) advance(now units.Time) {
 	d.lastUpdate = now
 }
 
-var _ device.Device = (*Disk)(nil)
+var (
+	_ device.Device  = (*Disk)(nil)
+	_ device.Crasher = (*Disk)(nil)
+)

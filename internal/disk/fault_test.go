@@ -1,0 +1,94 @@
+package disk
+
+import (
+	"math"
+	"testing"
+
+	"mobilestorage/internal/energy"
+	"mobilestorage/internal/fault"
+	"mobilestorage/internal/units"
+)
+
+// forcedInjector returns an injector whose read attempts always fail:
+// exactly MaxRetries+1 physical attempts per read, deterministic backoff.
+func forcedInjector(t *testing.T) *fault.Injector {
+	t.Helper()
+	in := fault.NewInjector(&fault.Plan{
+		ReadErrorRate: 1, MaxRetries: 2, BackoffUs: 1000, MaxBackoffUs: 2000,
+	}, 1, nil)
+	if in == nil {
+		t.Fatal("no injector for an enabled plan")
+	}
+	return in
+}
+
+// TestRetryChargesPerAttempt pins the satellite fix: a failed-then-retried
+// operation charges service time and active energy for EVERY physical
+// attempt, and idle energy for the backoff waits — attempts × per-op cost,
+// not one op plus free retries.
+func TestRetryChargesPerAttempt(t *testing.T) {
+	base, _ := New(testParams())
+	baseDone := base.Access(read(0, 1, 10*units.KB))
+	baseActiveJ := base.Meter().StateJ(energy.StateActive)
+
+	d, err := New(testParams(), WithFaults(forcedInjector(t)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := d.Access(read(0, 1, 10*units.KB))
+
+	// 3 attempts (MaxRetries=2 exhausted) with backoff 1000+2000 between.
+	const attempts, backoffUs = 3, 3000
+	wantDone := baseDone*attempts + backoffUs
+	if done != wantDone {
+		t.Errorf("retried completion = %v, want %v (= %d attempts + %dµs backoff)",
+			done, wantDone, attempts, backoffUs)
+	}
+	gotActive := d.Meter().StateJ(energy.StateActive)
+	if math.Abs(gotActive-attempts*baseActiveJ) > 1e-12 {
+		t.Errorf("active energy = %g J, want %d × %g J", gotActive, attempts, baseActiveJ)
+	}
+	// Backoff waits at idle power: 3000 µs × 1 W.
+	wantIdle := 3000e-6 * 1.0
+	if got := d.Meter().StateJ(energy.StateIdle); math.Abs(got-wantIdle) > 1e-12 {
+		t.Errorf("backoff idle energy = %g J, want %g J", got, wantIdle)
+	}
+}
+
+// TestRetryDelaysQueue verifies retries occupy the device: a second request
+// arriving during the retries queues behind them.
+func TestRetryDelaysQueue(t *testing.T) {
+	d, _ := New(testParams(), WithFaults(forcedInjector(t)))
+	first := d.Access(read(0, 1, 10*units.KB))
+	second := d.Access(read(first-1, 1, 10*units.KB))
+	if second <= first {
+		t.Errorf("second op (%v) not queued behind retried first (%v)", second, first)
+	}
+}
+
+// TestCrashForcesSleepWithoutSpinDownCount pins crash semantics: power loss
+// stops the spindle (state sleeping, in-flight work dropped) but is not a
+// policy-initiated spin-down, so SpinDowns does not count it.
+func TestCrashForcesSleepWithoutSpinDownCount(t *testing.T) {
+	d, _ := New(testParams())
+	d.Access(read(0, 1, units.KB)) // spins the disk up
+	at := 5 * units.Second
+	d.Idle(at)
+	downs := d.SpinDowns()
+	d.Crash(at)
+	if got := d.Recover(at); got != at {
+		t.Errorf("disk recovery returned %v, want %v (nothing to repair)", got, at)
+	}
+	if d.Spinning(at) {
+		t.Error("disk still spinning after power failure")
+	}
+	if d.SpinDowns() != downs {
+		t.Error("crash counted as a policy spin-down")
+	}
+	// The next access pays a spin-up, like any wake from sleep.
+	ups := d.SpinUps()
+	d.Access(read(at+units.Second, 2, units.KB))
+	if d.SpinUps() != ups+1 {
+		t.Error("post-crash access did not spin up")
+	}
+}

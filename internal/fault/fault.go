@@ -1,0 +1,345 @@
+package fault
+
+import (
+	"fmt"
+
+	"mobilestorage/internal/obs"
+	"mobilestorage/internal/trace"
+	"mobilestorage/internal/units"
+)
+
+// Op classifies the physical operation a transient fault applies to.
+type Op uint8
+
+const (
+	OpRead Op = iota
+	OpWrite
+	OpErase
+)
+
+// String names the op ("read", "write", "erase").
+func (o Op) String() string {
+	switch o {
+	case OpRead:
+		return "read"
+	case OpWrite:
+		return "write"
+	case OpErase:
+		return "erase"
+	default:
+		return fmt.Sprintf("op(%d)", uint8(o))
+	}
+}
+
+// FromTraceOp maps a trace operation to its fault class (deletes are
+// metadata-only and never reach the media; they map to OpWrite but devices
+// do not draw for them).
+func FromTraceOp(op trace.Op) Op {
+	if op == trace.Read {
+		return OpRead
+	}
+	return OpWrite
+}
+
+// Report summarizes one run's injected faults and the device responses. It
+// is deterministic for a given trace, plan, and seed.
+type Report struct {
+	// ReadFaults, WriteFaults, and EraseFaults count failed physical
+	// attempts by operation class.
+	ReadFaults  int64
+	WriteFaults int64
+	EraseFaults int64
+	// Retries counts the extra physical attempts devices performed.
+	Retries int64
+	// Exhausted counts operations that failed even on their final allowed
+	// attempt (the op completes anyway — a trace replay cannot branch — but
+	// a real stack would have surfaced an I/O error here).
+	Exhausted int64
+	// BackoffTime is the cumulative simulated time spent backing off.
+	BackoffTime units.Time
+	// Remaps counts erase units retired to spares after wear-out.
+	Remaps int64
+	// SparesExhausted counts wear-out deaths past the spare pool: each one
+	// degrades usable capacity (or, when capacity cannot shrink further,
+	// keeps a worn unit in service).
+	SparesExhausted int64
+	// Reclaims counts retired erase units pressed back into service under
+	// capacity pressure: live data grew past what the surviving units could
+	// hold, so the controller reused the least-worn retired unit rather
+	// than wedge its cleaner.
+	Reclaims int64
+	// PowerFailures counts injected power failures.
+	PowerFailures int64
+	// ReplayedBlocks counts blocks the recovery pass replayed from
+	// battery-backed SRAM after power failures.
+	ReplayedBlocks int64
+	// LostWrites counts acknowledged-but-lost writes across power failures.
+	// Non-zero only in configurations that volunteer for data loss (the
+	// write-back DRAM ablation); anything else is an invariant violation.
+	LostWrites int64
+	// Violations lists recovery-invariant violations. Always empty unless
+	// the simulator is broken: tests fail on non-empty, they do not log.
+	Violations []string
+}
+
+// Injector makes every fault decision for one run: deterministic draws from
+// a seeded generator, observability emission, and the invariant ledger.
+// A nil *Injector is valid and injects nothing; device hot paths guard with
+// one nil check.
+type Injector struct {
+	plan  Plan
+	state uint64 // splitmix64 state
+
+	rep Report
+
+	// Observability (nil-safe no-ops without a scope).
+	sc          *obs.Scope
+	cInjected   *obs.Counter
+	cRetries    *obs.Counter
+	cExhausted  *obs.Counter
+	cRemaps     *obs.Counter
+	cReclaims   *obs.Counter
+	cPowerFails *obs.Counter
+	cReplayed   *obs.Counter
+	cLost       *obs.Counter
+}
+
+// NewInjector builds an injector for the plan. A nil or do-nothing plan
+// returns nil, which keeps the fault-free hot path byte-identical to a
+// build without fault injection at all.
+func NewInjector(p *Plan, seed int64, sc *obs.Scope) *Injector {
+	if !p.Enabled() {
+		return nil
+	}
+	in := &Injector{
+		plan: *p,
+		// Mix the seed so seeds 0 and 1 do not share a low-entropy prefix.
+		state:       uint64(seed) ^ 0x6a09e667f3bcc909,
+		sc:          sc,
+		cInjected:   sc.Counter("fault.injected"),
+		cRetries:    sc.Counter("fault.retries"),
+		cExhausted:  sc.Counter("fault.exhausted"),
+		cRemaps:     sc.Counter("fault.remaps"),
+		cReclaims:   sc.Counter("fault.reclaims"),
+		cPowerFails: sc.Counter("fault.power_failures"),
+		cReplayed:   sc.Counter("fault.replayed_blocks"),
+		cLost:       sc.Counter("fault.lost_writes"),
+	}
+	return in
+}
+
+// next is splitmix64: a tiny, allocation-free generator whose sequence is
+// fixed by this code, not by the Go release — the determinism guarantee
+// must survive toolchain upgrades.
+func (in *Injector) next() uint64 {
+	in.state += 0x9e3779b97f4a7c15
+	z := in.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// float64 returns a uniform draw in [0, 1).
+func (in *Injector) float64() float64 {
+	return float64(in.next()>>11) / (1 << 53)
+}
+
+// Enabled reports whether this injector injects anything (false for nil).
+func (in *Injector) Enabled() bool { return in != nil }
+
+// rate returns the transient error rate for the op class.
+func (in *Injector) rate(op Op) float64 {
+	switch op {
+	case OpRead:
+		return in.plan.ReadErrorRate
+	case OpWrite:
+		return in.plan.WriteErrorRate
+	default:
+		return in.plan.EraseErrorRate
+	}
+}
+
+// Attempts draws the physical-attempt schedule for one device operation:
+// how many attempts the device performs (≥ 1) and the total backoff delay
+// between them. The device charges full service time and energy for every
+// attempt and idle/standby energy for the backoff, so retries surface in
+// latency and energy results. Nil-safe: a nil injector returns (1, 0).
+func (in *Injector) Attempts(op Op, dev string, at units.Time) (attempts int64, backoff units.Time) {
+	if in == nil {
+		return 1, 0
+	}
+	rate := in.rate(op)
+	if rate <= 0 {
+		return 1, 0
+	}
+	limit := in.plan.maxRetries() + 1
+	tracing := in.sc.Tracing()
+	for a := 1; a <= limit; a++ {
+		if in.float64() >= rate {
+			return int64(a), backoff // attempt a succeeded
+		}
+		in.countFault(op)
+		if tracing {
+			in.sc.Emit(obs.Event{T: int64(at), Kind: obs.EvFaultInjected, Dev: dev,
+				Addr: int64(op), Size: int64(a)})
+		}
+		if a == limit {
+			// Out of retries: the op is taken as completed so the replay can
+			// continue, but the exhaustion is counted — a real stack would
+			// have returned EIO here.
+			in.rep.Exhausted++
+			in.cExhausted.Inc()
+			break
+		}
+		d := in.plan.backoff(a)
+		backoff += d
+		in.rep.Retries++
+		in.rep.BackoffTime += d
+		in.cRetries.Inc()
+		if tracing {
+			in.sc.Emit(obs.Event{T: int64(at), Kind: obs.EvRetryAttempt, Dev: dev,
+				Addr: int64(op), Size: int64(a + 1), Dur: int64(d)})
+		}
+	}
+	return int64(limit), backoff
+}
+
+// countFault records one failed physical attempt.
+func (in *Injector) countFault(op Op) {
+	switch op {
+	case OpRead:
+		in.rep.ReadFaults++
+	case OpWrite:
+		in.rep.WriteFaults++
+	default:
+		in.rep.EraseFaults++
+	}
+	in.cInjected.Inc()
+}
+
+// WornOut reports whether an erase unit with the given cumulative erase
+// count has crossed the plan's wear-out threshold. Nil-safe.
+func (in *Injector) WornOut(erases int64) bool {
+	return in != nil && in.plan.WearOutAfter > 0 && erases >= in.plan.WearOutAfter
+}
+
+// WearOutEvery returns the plan's wear-out threshold (0 = disabled).
+// Devices with internal uniform wear leveling (the flash disk) retire one
+// unit per WearOutEvery total erasures. Nil-safe.
+func (in *Injector) WearOutEvery() int64 {
+	if in == nil {
+		return 0
+	}
+	return in.plan.WearOutAfter
+}
+
+// SpareUnits returns the plan's spare-unit provision. Nil-safe.
+func (in *Injector) SpareUnits() int {
+	if in == nil {
+		return 0
+	}
+	return in.plan.SpareSegments
+}
+
+// RecordRemap records a worn-out erase unit retired to a spare. spares is
+// the remaining spare count after the remap.
+func (in *Injector) RecordRemap(dev string, unit, spares int64, at units.Time) {
+	if in == nil {
+		return
+	}
+	in.rep.Remaps++
+	in.cRemaps.Inc()
+	if in.sc.Tracing() {
+		in.sc.Emit(obs.Event{T: int64(at), Kind: obs.EvRemap, Dev: dev,
+			Addr: unit, Size: spares})
+	}
+}
+
+// RecordSpareExhausted records a wear-out death past the spare pool.
+func (in *Injector) RecordSpareExhausted(dev string, unit int64, at units.Time) {
+	if in == nil {
+		return
+	}
+	in.rep.SparesExhausted++
+	if in.sc.Tracing() {
+		in.sc.Emit(obs.Event{T: int64(at), Kind: obs.EvRemap, Dev: dev,
+			Addr: unit, Size: -1})
+	}
+}
+
+// RecordReclaim records a retired erase unit pressed back into service
+// because the surviving units could no longer hold the live data plus the
+// cleaning reserve.
+func (in *Injector) RecordReclaim(dev string, unit int64, at units.Time) {
+	if in == nil {
+		return
+	}
+	in.rep.Reclaims++
+	in.cReclaims.Inc()
+	if in.sc.Tracing() {
+		in.sc.Emit(obs.Event{T: int64(at), Kind: obs.EvReclaim, Dev: dev, Addr: unit})
+	}
+}
+
+// PowerFailSchedule returns the planned power failures, sorted and
+// deduplicated. Nil-safe.
+func (in *Injector) PowerFailSchedule() []units.Time {
+	if in == nil {
+		return nil
+	}
+	return in.plan.schedule()
+}
+
+// RecordPowerFail records one injected power failure.
+func (in *Injector) RecordPowerFail(at units.Time) {
+	if in == nil {
+		return
+	}
+	in.rep.PowerFailures++
+	in.cPowerFails.Inc()
+	if in.sc.Tracing() {
+		in.sc.Emit(obs.Event{T: int64(at), Kind: obs.EvPowerFail})
+	}
+}
+
+// RecordReplay records the recovery pass replaying blocks from
+// battery-backed SRAM after a power failure.
+func (in *Injector) RecordReplay(dev string, blocks int64, at, dur units.Time) {
+	if in == nil || blocks == 0 {
+		return
+	}
+	in.rep.ReplayedBlocks += blocks
+	in.cReplayed.Add(blocks)
+	if in.sc.Tracing() {
+		in.sc.Emit(obs.Event{T: int64(at), Kind: obs.EvRecoveryReplayed, Dev: dev,
+			Size: blocks, Dur: int64(dur)})
+	}
+}
+
+// RecordLostWrites records acknowledged writes lost to a power failure.
+func (in *Injector) RecordLostWrites(n int64, at units.Time) {
+	if in == nil || n == 0 {
+		return
+	}
+	in.rep.LostWrites += n
+	in.cLost.Add(n)
+}
+
+// Violatef records a recovery-invariant violation. Violations mean the
+// simulator itself is broken; tests fail on any.
+func (in *Injector) Violatef(format string, args ...any) {
+	if in == nil {
+		return
+	}
+	in.rep.Violations = append(in.rep.Violations, fmt.Sprintf(format, args...))
+}
+
+// Report returns a copy of the accumulated fault report.
+func (in *Injector) Report() *Report {
+	if in == nil {
+		return nil
+	}
+	rep := in.rep
+	rep.Violations = append([]string(nil), in.rep.Violations...)
+	return &rep
+}

@@ -1,0 +1,94 @@
+package fault
+
+import (
+	"reflect"
+	"testing"
+
+	"mobilestorage/internal/units"
+)
+
+// FuzzFaultPlan feeds hostile JSON to ParsePlan and, when a plan survives
+// validation, drives an injector through a fixed op schedule twice with the
+// same seed: parsing must never panic, accepted plans must satisfy their own
+// documented bounds, and injection must be deterministic per seed.
+func FuzzFaultPlan(f *testing.F) {
+	f.Add([]byte(`{}`), int64(0))
+	f.Add([]byte(`{"read_error_rate":0.5}`), int64(1))
+	f.Add([]byte(`{"write_error_rate":1,"max_retries":16,"backoff_us":1,"max_backoff_us":2}`), int64(42))
+	f.Add([]byte(`{"erase_error_rate":0.01,"wear_out_after":5,"spare_segments":64}`), int64(-7))
+	f.Add([]byte(`{"power_fail_at_us":[0,0,9223372036854775807]}`), int64(9))
+	f.Add([]byte(`{"read_error_rate":1e-300,"max_backoff_us":9223372036854775807}`), int64(3))
+	f.Add([]byte(`{"read_error_rate":2}`), int64(0))
+	f.Add([]byte(`"not an object"`), int64(0))
+
+	run := func(in *Injector) (report *Report, attempts [60]int64) {
+		ops := []Op{OpRead, OpWrite, OpErase}
+		for i := range attempts {
+			att, backoff := in.Attempts(ops[i%3], "dev", units.Time(i))
+			if att < 1 {
+				panic("attempt count below 1")
+			}
+			if backoff < 0 {
+				panic("negative backoff")
+			}
+			attempts[i] = att
+		}
+		return in.Report(), attempts
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte, seed int64) {
+		p, err := ParsePlan(data)
+		if err != nil {
+			return // rejected input; the property is "no panic"
+		}
+		// Accepted plans obey their own bounds.
+		for _, r := range []float64{p.ReadErrorRate, p.WriteErrorRate, p.EraseErrorRate} {
+			if !(r >= 0 && r <= 1) {
+				t.Fatalf("accepted plan has rate %v", r)
+			}
+		}
+		if p.MaxRetries < 0 || p.MaxRetries > maxMaxRetries {
+			t.Fatalf("accepted plan has max_retries %d", p.MaxRetries)
+		}
+		in1 := NewInjector(p, seed, nil)
+		in2 := NewInjector(p, seed, nil)
+		if (in1 == nil) != !p.Enabled() {
+			t.Fatalf("injector nil-ness disagrees with Enabled()=%v", p.Enabled())
+		}
+		rep1, att1 := run(in1)
+		rep2, att2 := run(in2)
+		if att1 != att2 {
+			t.Fatal("same plan+seed produced different attempt schedules")
+		}
+		if in1 != nil {
+			limit := int64(p.MaxRetries) + 1
+			if p.MaxRetries == 0 {
+				limit = DefaultMaxRetries + 1
+			}
+			for i, a := range att1 {
+				if a > limit {
+					t.Fatalf("op %d took %d attempts, limit %d", i, a, limit)
+				}
+			}
+			if !reflect.DeepEqual(withoutViolations(*rep1), withoutViolations(*rep2)) {
+				t.Fatalf("same plan+seed produced different reports:\n%+v\n%+v", rep1, rep2)
+			}
+		}
+		// Sorted, deduplicated schedule regardless of input order.
+		if in1 != nil {
+			sched := in1.PowerFailSchedule()
+			for i := 1; i < len(sched); i++ {
+				if sched[i] <= sched[i-1] {
+					t.Fatalf("schedule not strictly increasing: %v", sched)
+				}
+			}
+		}
+	})
+}
+
+// withoutViolations strips the (slice-typed, incomparable) violation list so
+// reports can be compared with ==.
+func withoutViolations(r Report) Report {
+	r.Violations = nil
+	return r
+}

@@ -1,0 +1,195 @@
+// Package fault implements deterministic, seeded fault injection for the
+// storage stack: transient read/write/erase errors with bounded retry,
+// wear-out thresholds that turn erase units into bad blocks, and scheduled
+// power failures with crash/recovery semantics (§5.2's endurance limits and
+// §5.5's battery-backed SRAM made operational).
+//
+// A declarative Plan plus a seed fully determines every injection decision:
+// the same trace, plan, and seed always reproduce the same Result. The
+// Injector centralizes the random draws, the observability counters and
+// events, and the invariant ledger, so device models stay small.
+package fault
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"mobilestorage/internal/units"
+)
+
+// Plan is the declarative fault schedule for one run. The zero value
+// injects nothing. Rates are per physical attempt, in [0, 1].
+type Plan struct {
+	// ReadErrorRate, WriteErrorRate, and EraseErrorRate are the transient
+	// failure probabilities of one physical read, write (program), or erase
+	// attempt. A failed attempt is retried after an exponential backoff, up
+	// to MaxRetries extra attempts; every attempt charges full service time,
+	// energy, and (for program/erase) wear.
+	ReadErrorRate  float64 `json:"read_error_rate,omitempty"`
+	WriteErrorRate float64 `json:"write_error_rate,omitempty"`
+	EraseErrorRate float64 `json:"erase_error_rate,omitempty"`
+
+	// MaxRetries bounds the extra attempts after a transient failure
+	// (total physical attempts ≤ MaxRetries+1). Zero means the default of 3.
+	// After the final attempt the operation is taken as completed — a trace
+	// replay cannot branch on failure — but the exhaustion is counted and
+	// reported.
+	MaxRetries int `json:"max_retries,omitempty"`
+
+	// BackoffUs is the backoff before the second attempt, in simulated
+	// microseconds; it doubles per subsequent attempt and is capped by
+	// MaxBackoffUs. Zero means the default of 500 µs.
+	BackoffUs int64 `json:"backoff_us,omitempty"`
+	// MaxBackoffUs caps the exponential backoff. Zero means 100 ms.
+	MaxBackoffUs int64 `json:"max_backoff_us,omitempty"`
+
+	// WearOutAfter, when positive, is the erase count at which an erase
+	// unit (flash-card segment, flash-disk sector) becomes a bad block. Bad
+	// blocks are remapped to spares; once spares run out, usable capacity
+	// degrades. Zero disables wear-out.
+	WearOutAfter int64 `json:"wear_out_after,omitempty"`
+	// SpareSegments is how many spare erase units absorb wear-out deaths
+	// before capacity degradation begins. Flash-card configurations with a
+	// derived capacity get this many extra segments provisioned up front.
+	SpareSegments int `json:"spare_segments,omitempty"`
+
+	// PowerFailAtUs schedules power failures at the given instants of
+	// simulated time (microseconds). At each point, volatile state (the
+	// DRAM cache, in-flight flash-card cleaning) is dropped, battery-backed
+	// SRAM survives, and a recovery pass replays/repairs before the trace
+	// resumes.
+	PowerFailAtUs []int64 `json:"power_fail_at_us,omitempty"`
+}
+
+// Defaults used when the corresponding Plan field is zero.
+const (
+	DefaultMaxRetries   = 3
+	DefaultBackoffUs    = 500
+	DefaultMaxBackoffUs = 100_000
+	// maxMaxRetries bounds the retry budget so a hostile plan cannot make a
+	// single operation arbitrarily expensive.
+	maxMaxRetries = 16
+	// maxSpareSegments bounds the extra capacity a plan can provision.
+	maxSpareSegments = 64
+)
+
+// ParsePlan decodes and validates a JSON plan. Unknown fields are rejected
+// so a typo'd rate name fails loudly instead of injecting nothing.
+func ParsePlan(data []byte) (*Plan, error) {
+	var p Plan
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&p); err != nil {
+		return nil, fmt.Errorf("fault: parsing plan: %w", err)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}
+
+// Validate reports plan errors: out-of-range rates, negative times, or
+// budgets beyond the supported bounds.
+func (p *Plan) Validate() error {
+	check := func(name string, rate float64) error {
+		// NaN fails both comparisons' complements, so test the valid range
+		// directly.
+		if !(rate >= 0 && rate <= 1) {
+			return fmt.Errorf("fault: %s %v out of [0, 1]", name, rate)
+		}
+		return nil
+	}
+	if err := check("read_error_rate", p.ReadErrorRate); err != nil {
+		return err
+	}
+	if err := check("write_error_rate", p.WriteErrorRate); err != nil {
+		return err
+	}
+	if err := check("erase_error_rate", p.EraseErrorRate); err != nil {
+		return err
+	}
+	if p.MaxRetries < 0 || p.MaxRetries > maxMaxRetries {
+		return fmt.Errorf("fault: max_retries %d out of [0, %d]", p.MaxRetries, maxMaxRetries)
+	}
+	if p.BackoffUs < 0 {
+		return fmt.Errorf("fault: backoff_us %d negative", p.BackoffUs)
+	}
+	if p.MaxBackoffUs < 0 {
+		return fmt.Errorf("fault: max_backoff_us %d negative", p.MaxBackoffUs)
+	}
+	if p.WearOutAfter < 0 {
+		return fmt.Errorf("fault: wear_out_after %d negative", p.WearOutAfter)
+	}
+	if p.SpareSegments < 0 || p.SpareSegments > maxSpareSegments {
+		return fmt.Errorf("fault: spare_segments %d out of [0, %d]", p.SpareSegments, maxSpareSegments)
+	}
+	for _, t := range p.PowerFailAtUs {
+		if t < 0 {
+			return fmt.Errorf("fault: power_fail_at_us %d negative", t)
+		}
+	}
+	return nil
+}
+
+// Enabled reports whether the plan injects anything at all.
+func (p *Plan) Enabled() bool {
+	if p == nil {
+		return false
+	}
+	return p.ReadErrorRate > 0 || p.WriteErrorRate > 0 || p.EraseErrorRate > 0 ||
+		p.WearOutAfter > 0 || len(p.PowerFailAtUs) > 0
+}
+
+// maxRetries resolves the effective retry budget.
+func (p *Plan) maxRetries() int {
+	if p.MaxRetries == 0 {
+		return DefaultMaxRetries
+	}
+	return p.MaxRetries
+}
+
+// backoff returns the simulated-time backoff before attempt n+1 after n
+// failed attempts: exponential from BackoffUs, capped at MaxBackoffUs.
+func (p *Plan) backoff(failed int) units.Time {
+	base := p.BackoffUs
+	if base == 0 {
+		base = DefaultBackoffUs
+	}
+	limit := p.MaxBackoffUs
+	if limit == 0 {
+		limit = DefaultMaxBackoffUs
+	}
+	d := base
+	for i := 1; i < failed; i++ {
+		d *= 2
+		if d >= limit {
+			d = limit
+			break
+		}
+	}
+	if d > limit {
+		d = limit
+	}
+	return units.Time(d)
+}
+
+// schedule returns the power-failure instants sorted and deduplicated.
+func (p *Plan) schedule() []units.Time {
+	if len(p.PowerFailAtUs) == 0 {
+		return nil
+	}
+	out := make([]units.Time, 0, len(p.PowerFailAtUs))
+	for _, t := range p.PowerFailAtUs {
+		out = append(out, units.Time(t))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	dedup := out[:1]
+	for _, t := range out[1:] {
+		if t != dedup[len(dedup)-1] {
+			dedup = append(dedup, t)
+		}
+	}
+	return dedup
+}

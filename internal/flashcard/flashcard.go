@@ -26,6 +26,7 @@ import (
 
 	"mobilestorage/internal/device"
 	"mobilestorage/internal/energy"
+	"mobilestorage/internal/fault"
 	"mobilestorage/internal/obs"
 	"mobilestorage/internal/trace"
 	"mobilestorage/internal/units"
@@ -50,6 +51,7 @@ const (
 	segErased segState = iota // erased, ready to open
 	segActive                 // accepting appends (host or cleaner head)
 	segClosed                 // filled; cleanable
+	segBad                    // retired after wear-out; never reused
 )
 
 // logHead identifies which append stream a block enters.
@@ -123,15 +125,29 @@ type Card struct {
 	cHostBlks *obs.Counter
 	cStalls   *obs.Counter
 	hCleanMs  *obs.Histogram
+
+	// Fault injection: inj draws transient errors and wear-out decisions;
+	// sparesLeft counts the plan's spare segments not yet consumed by
+	// remaps; badSegs counts segments retired as bad blocks. Nil inj
+	// disables all of it at one check per site.
+	inj        *fault.Injector
+	sparesLeft int64
+	badSegs    int32
 }
 
 // cleanJob is an in-progress cleaning of one victim segment.
-// The job copies first, then erases: while remaining > EraseTime the work
+// The job copies first, then erases: while remaining > eraseWork the work
 // being done is copying.
 type cleanJob struct {
 	victim    int32
 	remaining units.Time
 	total     units.Time // full job cost, for event reporting
+	// eraseWork is the erase phase's duration: EraseTime per physical erase
+	// pulse plus retry backoff (EraseTime exactly when no faults fire).
+	eraseWork units.Time
+	// erasePulses is how many physical erase pulses the job performs; wear
+	// is charged per pulse (a failed erase stresses the cells regardless).
+	erasePulses int64
 }
 
 // Option configures a Card.
@@ -159,6 +175,15 @@ func WithOnDemandCleaning() Option {
 // writes. Costs extra copies; bounds the wear spread.
 func WithWearLeveling(threshold int64) Option {
 	return func(c *Card) { c.wearLevel = threshold }
+}
+
+// WithFaults attaches a fault injector: transient read/write/erase errors
+// are retried with full per-attempt time, energy, and wear accounting;
+// segments crossing the wear-out threshold are retired as bad blocks,
+// consuming the plan's spare segments first and degrading usable capacity
+// after. A nil injector is free.
+func WithFaults(in *fault.Injector) Option {
+	return func(c *Card) { c.inj = in }
 }
 
 // WithScope attaches an observability scope: erase/clean/copy/stall
@@ -219,6 +244,7 @@ func New(p device.FlashCardParams, capacity units.Bytes, blockSize units.Bytes, 
 		o(c)
 	}
 	c.evName = c.Name()
+	c.sparesLeft = int64(c.inj.SpareUnits())
 	return c, nil
 }
 
@@ -341,8 +367,7 @@ func (c *Card) Access(req device.Request) units.Time {
 	var service units.Time
 	switch req.Op {
 	case trace.Read:
-		service = units.TransferTime(req.Size, c.p.ReadKBs)
-		c.meter.Accrue(energy.StateActive, c.p.ActiveW, service)
+		service = c.readService(req.Size, start)
 		c.hostTime += service
 	case trace.Write:
 		service = c.write(req.Addr, req.Size, start)
@@ -371,8 +396,7 @@ func (c *Card) Background(req device.Request) units.Time {
 	var service units.Time
 	switch req.Op {
 	case trace.Read:
-		service = units.TransferTime(req.Size, c.p.ReadKBs)
-		c.meter.Accrue(energy.StateActive, c.p.ActiveW, service)
+		service = c.readService(req.Size, start)
 	case trace.Write:
 		service = c.write(req.Addr, req.Size, start)
 	}
@@ -400,6 +424,17 @@ func (c *Card) write(addr, size units.Bytes, start units.Time) units.Time {
 	transfer := units.TransferTime(size, c.p.WriteKBs)
 	c.meter.Accrue(energy.StateActive, c.p.ActiveW, transfer)
 	c.hostTime += transfer // stall time is cleaning work, counted there
+	if c.inj != nil {
+		// A failed program repeats the whole transfer: full time and energy
+		// per physical attempt, standby power across the backoff waits.
+		if att, backoff := c.inj.Attempts(fault.OpWrite, c.evName, start); att > 1 {
+			extra := transfer * units.Time(att-1)
+			c.meter.Accrue(energy.StateActive, c.p.ActiveW, extra)
+			c.meter.Accrue(energy.StateStandby, c.p.StandbyW, backoff)
+			c.hostTime += extra
+			transfer += extra + backoff
+		}
+	}
 	if stall > 0 {
 		c.stallTime += stall
 		c.stalls++
@@ -409,6 +444,23 @@ func (c *Card) write(addr, size units.Bytes, start units.Time) units.Time {
 		}
 	}
 	return stall + transfer
+}
+
+// readService computes one read transfer's service time including any
+// injected transient-fault retries, charging active energy per physical
+// attempt and standby energy for the backoff waits.
+func (c *Card) readService(size units.Bytes, start units.Time) units.Time {
+	service := units.TransferTime(size, c.p.ReadKBs)
+	c.meter.Accrue(energy.StateActive, c.p.ActiveW, service)
+	if c.inj != nil {
+		if att, backoff := c.inj.Attempts(fault.OpRead, c.evName, start); att > 1 {
+			extra := service * units.Time(att-1)
+			c.meter.Accrue(energy.StateActive, c.p.ActiveW, extra)
+			c.meter.Accrue(energy.StateStandby, c.p.StandbyW, backoff)
+			service += extra + backoff
+		}
+	}
+	return service
 }
 
 // ensureSpace guarantees the head's active segment can take one more block,
@@ -422,9 +474,18 @@ func (c *Card) ensureSpace(h logHead, at units.Time) units.Time {
 	var stall units.Time
 	for len(c.erased) < 2 {
 		if c.job == nil {
-			c.startJob()
+			c.startJob(at + stall)
 			if c.job == nil {
-				break // nothing cleanable; open what we have
+				// Nothing cleanable. With erased space in hand that just
+				// means every closed segment is fully live right now; open
+				// what we have and let host writes create dead blocks. With
+				// the pool empty it means wear-out retirement overcommitted
+				// the card — live data grew past what the survivors can
+				// sustain — so press a retired segment back into service.
+				if len(c.erased) == 0 && c.reclaimRetired(at+stall) {
+					continue
+				}
+				break
 			}
 		}
 		stall += c.job.remaining
@@ -438,11 +499,42 @@ func (c *Card) ensureSpace(h logHead, at units.Time) units.Time {
 		return stall
 	}
 	if len(c.erased) == 0 {
-		panic(fmt.Sprintf("flashcard %s: wedged: no erased space and no cleanable victim (utilization %.3f)",
+		// Unreachable unless the card was sized below its workload from the
+		// start: any fault-induced squeeze has retired segments to reclaim.
+		panic(fmt.Sprintf("flashcard %s: wedged: no erased space, no cleanable victim, nothing to reclaim (utilization %.3f)",
 			c.p.Name, c.Utilization()))
 	}
 	c.openSegment(h)
 	return stall
+}
+
+// reclaimRetired presses the least-worn retired segment back into service,
+// returning false when none exists. This is retirement's pressure valve:
+// canRetire bounds retirement against the live data at retirement time, but
+// the live set can grow afterwards, and a card squeezed below what its
+// workload needs would wedge — every relocation too big for the remaining
+// free space. A retired segment was erased just before retirement and its
+// cells still work (wear-out is a threshold, not instant death), so the
+// controller reuses the least-worn one rather than fail. The segment keeps
+// aging normally and may be retired again once the pressure eases.
+func (c *Card) reclaimRetired(at units.Time) bool {
+	best := noSegment
+	for s := int32(0); s < c.nseg; s++ {
+		if c.segState[s] != segBad {
+			continue
+		}
+		if best == noSegment || c.segErases[s] < c.segErases[best] {
+			best = s
+		}
+	}
+	if best == noSegment {
+		return false
+	}
+	c.segState[best] = segErased
+	c.erased = append(c.erased, best)
+	c.badSegs--
+	c.inj.RecordReclaim(c.evName, int64(best), at)
+	return true
 }
 
 // openSegment makes the next erased segment the active segment of head h.
@@ -529,7 +621,7 @@ func (c *Card) runCleaner(start, budget units.Time) units.Time {
 			if int32(len(c.erased)) >= reserveSegments {
 				return spent // reserve satisfied
 			}
-			c.startJob()
+			c.startJob(start + spent)
 			if c.job == nil {
 				return spent // nothing cleanable
 			}
@@ -547,8 +639,9 @@ func (c *Card) runCleaner(start, budget units.Time) units.Time {
 
 // startJob selects a cleaning victim whose relocation is guaranteed to fit
 // in the remaining free space, and computes the job cost. Leaves job nil
-// when no victim qualifies.
-func (c *Card) startJob() {
+// when no victim qualifies. at timestamps any fault events the job's erase
+// schedule draws.
+func (c *Card) startJob(at units.Time) {
 	victim := c.policy.SelectVictim(c)
 	// A leveling move relocates a (often fully live) cold segment, which
 	// frees no net space, so it must alternate with ordinary cleans —
@@ -556,7 +649,7 @@ func (c *Card) startJob() {
 	if c.wearLevel > 0 && !c.lastLevel {
 		if lv := c.wearLevelVictim(); lv != noSegment && c.relocationFits(lv) {
 			c.lastLevel = true
-			c.startJobFor(lv)
+			c.startJobFor(lv, at)
 			return
 		}
 	}
@@ -571,12 +664,13 @@ func (c *Card) startJob() {
 	if victim == noSegment {
 		return
 	}
-	c.startJobFor(victim)
+	c.startJobFor(victim, at)
 }
 
 // startJobFor computes the cleaning cost of a chosen victim and installs
-// the job.
-func (c *Card) startJobFor(victim int32) {
+// the job. The erase-retry schedule is drawn here, up front, so the job's
+// total duration is fixed when it starts (events are timestamped at).
+func (c *Card) startJobFor(victim int32, at units.Time) {
 	copyBytes := units.Bytes(c.segLive[victim]) * c.blockSize
 	// Copying is a flash read plus a flash write per live byte, followed by
 	// the fixed-cost erase.
@@ -585,8 +679,14 @@ func (c *Card) startJobFor(victim int32) {
 		copyKBs = c.p.WriteKBs
 	}
 	copyWork := units.TransferTime(copyBytes, c.p.ReadKBs) + units.TransferTime(copyBytes, copyKBs)
-	total := copyWork + c.p.EraseTime
-	c.job = &cleanJob{victim: victim, remaining: total, total: total}
+	pulses, backoff := int64(1), units.Time(0)
+	if c.inj != nil {
+		pulses, backoff = c.inj.Attempts(fault.OpErase, c.evName, at)
+	}
+	eraseWork := units.Time(pulses)*c.p.EraseTime + backoff
+	total := copyWork + eraseWork
+	c.job = &cleanJob{victim: victim, remaining: total, total: total,
+		eraseWork: eraseWork, erasePulses: pulses}
 }
 
 // wearLevelVictim returns the least-worn closed segment when the wear
@@ -631,11 +731,12 @@ func (c *Card) CleaningTime() units.Time { return c.cleanTime }
 func (c *Card) HostTime() units.Time { return c.hostTime }
 
 // accrueJob charges energy for a step of cleaning work. The job copies
-// first and erases last, so the final EraseTime of remaining is erase work
-// (at the lower erase draw) and everything before it is copying.
+// first and erases last, so the final eraseWork of remaining is erase work
+// (at the lower erase draw; retried pulses and their backoff included) and
+// everything before it is copying.
 func (c *Card) accrueJob(step units.Time) {
 	c.cleanTime += step
-	copying := units.Max(0, c.job.remaining-c.p.EraseTime)
+	copying := units.Max(0, c.job.remaining-c.job.eraseWork)
 	cp := units.Min(step, copying)
 	if cp > 0 {
 		c.meter.Accrue(energy.StateCleaner, c.p.ActiveW, cp)
@@ -651,6 +752,7 @@ func (c *Card) accrueJob(step units.Time) {
 func (c *Card) finishJob(at units.Time) {
 	v := c.job.victim
 	total := c.job.total
+	pulses := c.job.erasePulses
 	c.job = nil
 	c.victimLiveSum += int64(c.segLive[v])
 	var copied int64
@@ -667,12 +769,13 @@ func (c *Card) finishJob(at units.Time) {
 	if c.segLive[v] != 0 {
 		panic(fmt.Sprintf("flashcard %s: segment %d has %d live blocks after clean", c.p.Name, v, c.segLive[v]))
 	}
-	c.segErases[v]++
-	c.totalErases++
-	c.segState[v] = segErased
-	c.erased = append(c.erased, v)
+	// Wear is per physical pulse: a failed erase stresses the cells exactly
+	// like a successful one, so retried erasures age the segment faster.
+	c.segErases[v] += pulses
+	c.totalErases += pulses
+	c.cErases.Add(pulses)
+	c.retireIfWorn(v, at)
 	c.cCleans.Inc()
-	c.cErases.Inc()
 	c.cCopied.Add(copied)
 	c.hCleanMs.Observe(total.Milliseconds())
 	if c.sc.Tracing() {
@@ -687,7 +790,117 @@ func (c *Card) finishJob(at units.Time) {
 	}
 }
 
+// retireIfWorn decides the just-erased (and now empty) segment's fate:
+// normally it rejoins the erased pool; past the wear-out threshold it is
+// retired as a bad block — covered by a spare while any remain, otherwise
+// shrinking usable capacity. A segment whose retirement would strand live
+// data or break the cleaning reserve stays in service (a real controller
+// has the same floor: it cannot remap capacity it does not have).
+func (c *Card) retireIfWorn(v int32, at units.Time) {
+	if c.inj.WornOut(c.segErases[v]) {
+		if c.canRetire() {
+			c.segState[v] = segBad
+			c.badSegs++
+			if c.sparesLeft > 0 {
+				c.sparesLeft--
+				c.inj.RecordRemap(c.evName, int64(v), c.sparesLeft, at)
+			} else {
+				c.inj.RecordSpareExhausted(c.evName, int64(v), at)
+			}
+			return
+		}
+		c.inj.RecordSpareExhausted(c.evName, int64(v), at)
+	}
+	c.segState[v] = segErased
+	c.erased = append(c.erased, v)
+}
+
+// canRetire reports whether the card can afford to lose one more segment:
+// the survivors must still hold all live data plus the cleaning reserve,
+// and the erased pool must stay non-empty without the candidate. The pool
+// condition keeps retirement from wedging the cleaner in the moment: a
+// victim's live blocks always fit into one whole erased segment, so a
+// non-empty pool guarantees some victim stays cleanable. It cannot see the
+// future, though — the capacity check uses the live data at retirement
+// time, and a workload whose live set grows afterwards can still squeeze
+// the card past sustainability; reclaimRetired is the valve for that case.
+func (c *Card) canRetire() bool {
+	if len(c.erased) == 0 {
+		return false
+	}
+	usable := int64(c.nseg-c.badSegs) - 1
+	if usable < reserveSegments+2 {
+		return false
+	}
+	return c.LiveBlocks() <= (usable-reserveSegments)*int64(c.blocksPerSeg)
+}
+
+// BadSegments returns the number of segments retired by injected wear-out.
+func (c *Card) BadSegments() int64 { return int64(c.badSegs) }
+
+// SpareSegmentsLeft returns the plan's spare segments not yet consumed.
+func (c *Card) SpareSegmentsLeft() int64 { return c.sparesLeft }
+
+// Crash implements device.Crasher: power failure drops the in-flight
+// cleaning job. The job's copies and erase had not been applied — state
+// changes land atomically at finishJob — so the abandoned job loses only
+// the work already spent on it, never live data. Flash contents survive.
+func (c *Card) Crash(at units.Time) {
+	c.advance(at)
+	c.job = nil
+	if c.busyUntil > at {
+		c.busyUntil = at
+	}
+	if c.bgBusyUntil > at {
+		c.bgBusyUntil = at
+	}
+}
+
+// Recover implements device.Crasher: the controller rebuilds its block map
+// by scanning one segment summary per segment (a block-sized read each),
+// then verifies the rebuilt state. Returns when the scan completes.
+func (c *Card) Recover(at units.Time) units.Time {
+	scan := units.Time(c.nseg) * units.TransferTime(c.blockSize, c.p.ReadKBs)
+	c.meter.Accrue(energy.StateActive, c.p.ActiveW, scan)
+	done := at + scan
+	if done > c.lastUpdate {
+		c.lastUpdate = done
+	}
+	c.busyUntil = units.Max(c.busyUntil, done)
+	if err := c.CheckConsistency(); err != nil {
+		c.inj.Violatef("flashcard %s: recovery: %v", c.p.Name, err)
+	}
+	return done
+}
+
+// CheckConsistency recomputes live-block counts from the block map and
+// verifies them against the per-segment counters, and that erased and
+// retired segments hold no live data. A non-nil error means the simulator's
+// own bookkeeping is broken.
+func (c *Card) CheckConsistency() error {
+	live := make([]int32, c.nseg)
+	for b, s := range c.blockSeg {
+		if s == noSegment {
+			continue
+		}
+		if s < 0 || s >= c.nseg {
+			return fmt.Errorf("block %d mapped to invalid segment %d", b, s)
+		}
+		live[s]++
+	}
+	for s := int32(0); s < c.nseg; s++ {
+		if live[s] != c.segLive[s] {
+			return fmt.Errorf("segment %d: segLive=%d but %d blocks map to it", s, c.segLive[s], live[s])
+		}
+		if (c.segState[s] == segErased || c.segState[s] == segBad) && live[s] != 0 {
+			return fmt.Errorf("segment %d: erased/bad segment holds %d live blocks", s, live[s])
+		}
+	}
+	return nil
+}
+
 var (
 	_ device.Device       = (*Card)(nil)
 	_ device.WearReporter = (*Card)(nil)
+	_ device.Crasher      = (*Card)(nil)
 )

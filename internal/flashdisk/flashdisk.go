@@ -21,6 +21,7 @@ import (
 
 	"mobilestorage/internal/device"
 	"mobilestorage/internal/energy"
+	"mobilestorage/internal/fault"
 	"mobilestorage/internal/obs"
 	"mobilestorage/internal/trace"
 	"mobilestorage/internal/units"
@@ -52,6 +53,13 @@ type FlashDisk struct {
 	totalSectors int64
 	ops          int64
 
+	// inj injects transient errors and wear-out; deadSectors counts sectors
+	// retired after crossing the wear-out threshold (the controller
+	// wear-levels uniformly, so one sector dies per threshold's worth of
+	// total erasures).
+	inj         *fault.Injector
+	deadSectors int64
+
 	// Observability (nil-safe no-ops without a scope).
 	sc      *obs.Scope
 	evName  string
@@ -79,6 +87,15 @@ func WithScope(sc *obs.Scope) Option {
 		f.cWrites = sc.Counter("flashdisk.writes")
 		f.cReads = sc.Counter("flashdisk.reads")
 	}
+}
+
+// WithFaults attaches a fault injector: transient read/write errors are
+// retried (each physical attempt charges full time, energy, and — for
+// writes — erasures), and wear-out retires sectors: under the asynchronous
+// discipline each death shrinks the spare pool, degrading write performance
+// toward the coupled path. A nil injector is free.
+func WithFaults(in *fault.Injector) Option {
+	return func(f *FlashDisk) { f.inj = in }
 }
 
 // spareSectors is the pool of spare sectors available for remapping under
@@ -137,6 +154,9 @@ func (f *FlashDisk) Params() device.FlashDiskParams { return f.p }
 // PreErased returns the current pre-erased sector count (async mode).
 func (f *FlashDisk) PreErased() int64 { return f.preErased }
 
+// TotalErases returns the total number of sector erasures performed.
+func (f *FlashDisk) TotalErases() int64 { return f.totalErases }
+
 // Idle implements device.Device: standby energy plus background erasure.
 func (f *FlashDisk) Idle(now units.Time) { f.advance(now) }
 
@@ -158,9 +178,30 @@ func (f *FlashDisk) Access(req device.Request) units.Time {
 	case trace.Read:
 		service = f.p.AccessLatency + units.TransferTime(req.Size, f.p.ReadKBs)
 		f.meter.Accrue(energy.StateActive, f.p.ActiveW, service)
+		if f.inj != nil {
+			if att, backoff := f.inj.Attempts(fault.OpRead, f.evName, start); att > 1 {
+				extra := service * units.Time(att-1)
+				f.meter.Accrue(energy.StateActive, f.p.ActiveW, extra)
+				f.meter.Accrue(energy.StateStandby, f.p.StandbyW, backoff)
+				service += extra + backoff
+			}
+		}
 		f.cReads.Inc()
 	case trace.Write:
 		service = f.writeTime(req.Size, start)
+		if f.inj != nil {
+			// Each failed program attempt repeats the whole transfer — with
+			// its full energy, pool movement, and erasures — plus the
+			// backoff wait at standby power.
+			att, backoff := f.inj.Attempts(fault.OpWrite, f.evName, start)
+			for a := int64(1); a < att; a++ {
+				service += f.writeTime(req.Size, start+service)
+			}
+			if backoff > 0 {
+				f.meter.Accrue(energy.StateStandby, f.p.StandbyW, backoff)
+				service += backoff
+			}
+		}
 		f.cWrites.Inc()
 		if f.sc.Tracing() {
 			f.sc.Emit(obs.Event{T: int64(start), Kind: obs.EvFlashDiskWrite, Dev: f.evName,
@@ -226,6 +267,63 @@ func (f *FlashDisk) recordErases(sectors int64, at units.Time, sync bool) {
 		f.sc.Emit(obs.Event{T: int64(at), Kind: obs.EvFlashDiskErase, Dev: f.evName,
 			Addr: addr, Size: sectors})
 	}
+	if f.inj != nil {
+		f.checkWear(at)
+	}
+}
+
+// checkWear retires sectors that crossed the wear-out threshold. The SDP
+// controller wear-levels uniformly (see EraseCounts), so one sector dies
+// per WearOutEvery total erasures. Under the asynchronous discipline each
+// death permanently shrinks the spare pool — capacity degradation that
+// pushes writes back onto the coupled erase+write path; without spares the
+// death is recorded as remapping capacity the model cannot shrink further.
+func (f *FlashDisk) checkWear(at units.Time) {
+	every := f.inj.WearOutEvery()
+	if every == 0 {
+		return
+	}
+	worn := f.totalErases / every
+	for f.deadSectors < worn {
+		unit := f.deadSectors
+		f.deadSectors++
+		if f.asyncErase && f.spareTotal > 1 {
+			f.spareTotal--
+			if f.preErased > f.spareTotal {
+				f.preErased = f.spareTotal
+			}
+			if f.preErased+f.stale > f.spareTotal {
+				f.stale = f.spareTotal - f.preErased
+			}
+			f.inj.RecordRemap(f.evName, unit, f.spareTotal, at)
+		} else {
+			f.inj.RecordSpareExhausted(f.evName, unit, at)
+		}
+	}
+}
+
+// DeadSectors returns the number of sectors retired by injected wear-out.
+func (f *FlashDisk) DeadSectors() int64 { return f.deadSectors }
+
+// Crash implements device.Crasher: a power failure drops the controller's
+// in-flight background-erase progress; flash contents and the remapping
+// tables survive in non-volatile media.
+func (f *FlashDisk) Crash(at units.Time) {
+	f.advance(at)
+	f.eraseProgress = 0
+	if f.busyUntil > at {
+		f.busyUntil = at
+	}
+}
+
+// Recover implements device.Crasher: the controller re-checks its pool
+// bookkeeping on restart; an inconsistent pool would be a model bug.
+func (f *FlashDisk) Recover(at units.Time) units.Time {
+	if f.preErased < 0 || f.stale < 0 || f.preErased+f.stale > f.spareTotal {
+		f.inj.Violatef("flashdisk %s: pool inconsistent after crash: preErased=%d stale=%d spareTotal=%d",
+			f.p.Name, f.preErased, f.stale, f.spareTotal)
+	}
+	return at
 }
 
 // advance integrates standby energy and, in async mode, background erasure
@@ -283,4 +381,5 @@ func (f *FlashDisk) EnduranceCycles() int64 { return f.p.EnduranceCycles }
 var (
 	_ device.Device       = (*FlashDisk)(nil)
 	_ device.WearReporter = (*FlashDisk)(nil)
+	_ device.Crasher      = (*FlashDisk)(nil)
 )

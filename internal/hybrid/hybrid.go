@@ -23,6 +23,7 @@ import (
 	"mobilestorage/internal/device"
 	"mobilestorage/internal/disk"
 	"mobilestorage/internal/energy"
+	"mobilestorage/internal/fault"
 	"mobilestorage/internal/flashcard"
 	"mobilestorage/internal/obs"
 	"mobilestorage/internal/trace"
@@ -78,6 +79,9 @@ type Config struct {
 	// Scope receives metrics and events from the hybrid layer and both
 	// underlying devices; nil disables observability.
 	Scope *obs.Scope
+	// Faults injects transient errors, wear-out, and power failures into
+	// both underlying devices; nil disables fault injection.
+	Faults *fault.Injector
 }
 
 // New builds a hybrid device: a disk with a flash block cache in front.
@@ -89,7 +93,8 @@ func New(cfg Config) (*Cache, error) {
 	if capBlocks < 8 {
 		return nil, fmt.Errorf("hybrid: cache %v holds under 8 blocks", cfg.CacheSize)
 	}
-	d, err := disk.New(cfg.Disk, disk.WithSpinDown(cfg.SpinDown), disk.WithScope(cfg.Scope))
+	d, err := disk.New(cfg.Disk, disk.WithSpinDown(cfg.SpinDown), disk.WithScope(cfg.Scope),
+		disk.WithFaults(cfg.Faults))
 	if err != nil {
 		return nil, err
 	}
@@ -102,7 +107,8 @@ func New(cfg Config) (*Cache, error) {
 	if flashCapacity < minCapacity {
 		flashCapacity = minCapacity
 	}
-	card, err := flashcard.New(cfg.Card, flashCapacity, cfg.BlockSize, flashcard.WithScope(cfg.Scope))
+	card, err := flashcard.New(cfg.Card, flashCapacity, cfg.BlockSize, flashcard.WithScope(cfg.Scope),
+		flashcard.WithFaults(cfg.Faults))
 	if err != nil {
 		return nil, err
 	}
@@ -398,4 +404,28 @@ func (c *Cache) unlink(s *slot) {
 	s.prev, s.next = nil, nil
 }
 
-var _ device.Device = (*Cache)(nil)
+// Crash implements device.Crasher. The flash cache is non-volatile — cached
+// blocks, dirty ones included, survive (the whole point of the
+// architecture). An in-flight destage batch's writes were already applied to
+// the disk's model state when they were issued, so abandoning its timing
+// loses nothing; the crash propagates to both devices.
+func (c *Cache) Crash(at units.Time) {
+	if c.destageDoneAt > at {
+		c.destageDoneAt = at
+	}
+	c.dsk.Crash(at)
+	c.card.Crash(at)
+}
+
+// Recover implements device.Crasher: both devices recover (the flash cache's
+// map scan dominates); dirty cached blocks need no replay — they are still
+// in flash and will destage normally.
+func (c *Cache) Recover(at units.Time) units.Time {
+	done := c.dsk.Recover(at)
+	return units.Max(done, c.card.Recover(at))
+}
+
+var (
+	_ device.Device  = (*Cache)(nil)
+	_ device.Crasher = (*Cache)(nil)
+)

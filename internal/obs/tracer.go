@@ -70,6 +70,30 @@ const (
 	// Emitted only when Config.SampleEvery enables the simulated-time
 	// sampler; the obsreport energy report is built from these.
 	EvEnergySample = "sample.energy"
+	// EvFaultInjected: the fault injector failed one physical attempt.
+	// Addr = operation class (0 read, 1 write, 2 erase), Size = the attempt
+	// number that failed.
+	EvFaultInjected = "fault.injected"
+	// EvRetryAttempt: a device retries after a transient fault. Addr =
+	// operation class, Size = the attempt number about to run, Dur = the
+	// backoff before it (µs).
+	EvRetryAttempt = "retry.attempt"
+	// EvRemap: a worn-out erase unit was retired. Addr = the unit index,
+	// Size = spares remaining after the remap, or -1 when the spare pool was
+	// already exhausted and usable capacity degraded instead.
+	EvRemap = "remap"
+	// EvReclaim: capacity pressure pressed a retired erase unit back into
+	// service — live data grew past what the surviving units could hold, so
+	// the controller cannibalized the least-worn retired unit rather than
+	// wedge. Addr = the unit index.
+	EvReclaim = "reclaim"
+	// EvPowerFail: an injected power failure. Volatile state is dropped at
+	// this instant; recovery runs before the trace resumes.
+	EvPowerFail = "power.fail"
+	// EvRecoveryReplayed: the post-crash recovery pass replayed
+	// battery-backed SRAM contents to the device. Size = blocks replayed,
+	// Dur = replay duration (µs).
+	EvRecoveryReplayed = "recovery.replayed"
 )
 
 // Tracer receives simulator events. Implementations must tolerate

@@ -64,6 +64,9 @@ type Decoder struct {
 	noFast bool
 	// strs interns Kind/Dev strings across lines (see Decoder.intern).
 	strs map[string]string
+	// malformed counts lines that produced a *DecodeError while the framing
+	// stayed intact — the lines a lenient caller skips.
+	malformed int
 }
 
 // NewDecoder returns a decoder over r.
@@ -91,11 +94,13 @@ func (d *Decoder) Next() (obs.Event, error) {
 		if !ok {
 			var ej eventJSON
 			if err := json.Unmarshal(raw, &ej); err != nil {
+				d.malformed++
 				return obs.Event{}, &DecodeError{Line: d.line, Err: err}
 			}
 			ev = obs.Event{T: ej.T, Kind: ej.Kind, Dev: ej.Dev, Addr: ej.Addr, Size: ej.Size, Dur: ej.Dur}
 		}
 		if ev.Kind == "" {
+			d.malformed++
 			return obs.Event{}, &DecodeError{Line: d.line, Err: fmt.Errorf("missing event kind")}
 		}
 		return ev, nil
@@ -109,6 +114,12 @@ func (d *Decoder) Next() (obs.Event, error) {
 
 // Line returns the number of lines consumed so far.
 func (d *Decoder) Line() int { return d.line }
+
+// Malformed returns how many lines so far failed to decode with the framing
+// intact — exactly the lines a lenient caller skips. Scanner-level failures
+// (oversized line, read error) are not counted: past them nothing more can
+// be decoded, so they always surface as a terminal error instead.
+func (d *Decoder) Malformed() int { return d.malformed }
 
 // ReadEvents decodes an entire NDJSON stream strictly: the first malformed
 // line aborts with a *DecodeError naming it.
@@ -135,14 +146,13 @@ func ReadEventsLenient(r io.Reader) (events []obs.Event, skipped int, err error)
 	for {
 		e, nerr := d.Next()
 		if nerr == io.EOF {
-			return events, skipped, nil
+			return events, d.Malformed(), nil
 		}
 		if nerr != nil {
 			if d.sc.Err() == nil { // malformed line, framing intact
-				skipped++
 				continue
 			}
-			return events, skipped, nerr
+			return events, d.Malformed(), nerr
 		}
 		events = append(events, e)
 	}

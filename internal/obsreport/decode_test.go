@@ -101,6 +101,43 @@ func TestDecodeOversizedLine(t *testing.T) {
 	}
 }
 
+// Malformed counts exactly the lenient-skippable lines: decode failures
+// with the framing intact, not scanner-level aborts.
+func TestDecoderMalformedCounter(t *testing.T) {
+	in := `{"t_us":1,"kind":"a"}` + "\n" +
+		`garbage` + "\n" +
+		`{"no_kind":true}` + "\n" +
+		`{"t_us":2,"kind":"b"}` + "\n"
+	d := NewDecoder(strings.NewReader(in))
+	var events, errs int
+	for {
+		_, err := d.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			errs++
+			continue
+		}
+		events++
+	}
+	if events != 2 || errs != 2 {
+		t.Fatalf("events %d errs %d, want 2 and 2", events, errs)
+	}
+	if d.Malformed() != 2 {
+		t.Errorf("Malformed() = %d, want 2", d.Malformed())
+	}
+
+	// A scanner-level failure is terminal, not "malformed".
+	d = NewDecoder(strings.NewReader(strings.Repeat("x", maxLineBytes+1)))
+	if _, err := d.Next(); err == nil {
+		t.Fatal("oversized line accepted")
+	}
+	if d.Malformed() != 0 {
+		t.Errorf("Malformed() after scanner failure = %d, want 0", d.Malformed())
+	}
+}
+
 func TestDecoderNextEOF(t *testing.T) {
 	d := NewDecoder(strings.NewReader(""))
 	if _, err := d.Next(); err != io.EOF {

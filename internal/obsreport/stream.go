@@ -9,6 +9,7 @@ package obsreport
 // is byte-identical to concatenating the inputs and decoding serially.
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -42,6 +43,10 @@ type StreamOptions struct {
 	// Stdin is the reader consumed for the "-" pseudo-path. It must appear
 	// at most once in the path list.
 	Stdin io.Reader
+	// Context, when non-nil, cancels an in-flight stream: StreamFiles
+	// returns ctx.Err() at the next batch boundary and the decode workers
+	// wind down. Reporters never observe another event after the return.
+	Context context.Context
 }
 
 // fileResult carries one input's decoded batches to the fan-in. err and
@@ -63,6 +68,10 @@ func StreamFiles(paths []string, opt StreamOptions, reporters ...Reporter) (Stre
 	var stats StreamStats
 	if len(paths) == 0 {
 		return stats, errors.New("obsreport: no input streams")
+	}
+	ctx := opt.Context
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	workers := opt.Workers
 	if workers <= 0 {
@@ -105,13 +114,26 @@ func StreamFiles(paths []string, opt StreamOptions, reporters ...Reporter) (Stre
 
 	for i := range paths {
 		fr := results[i]
-		for batch := range fr.batches {
-			for _, e := range batch {
-				for _, r := range reporters {
-					r.Observe(e)
+		// Cancellation is checked between batches, not between events: a
+		// batch already handed over is delivered whole, so reporters see a
+		// clean prefix of the stream. With a nil Context, ctx.Done() is a
+		// nil channel and the select always takes the batch arm.
+	drain:
+		for {
+			select {
+			case batch, ok := <-fr.batches:
+				if !ok {
+					break drain
 				}
+				for _, e := range batch {
+					for _, r := range reporters {
+						r.Observe(e)
+					}
+				}
+				stats.Events += int64(len(batch))
+			case <-ctx.Done():
+				return stats, ctx.Err()
 			}
-			stats.Events += int64(len(batch))
 		}
 		if fr.err != nil {
 			return stats, fr.err
@@ -160,6 +182,7 @@ func decodeInto(path string, opt StreamOptions, fr *fileResult, done <-chan stru
 			return false
 		}
 	}
+	defer func() { fr.skipped = int64(d.Malformed()) }()
 	for {
 		e, err := d.Next()
 		if err == io.EOF {
@@ -168,7 +191,6 @@ func decodeInto(path string, opt StreamOptions, fr *fileResult, done <-chan stru
 		}
 		if err != nil {
 			if opt.Lenient && d.sc.Err() == nil { // malformed line, framing intact
-				fr.skipped++
 				continue
 			}
 			fr.err = fmt.Errorf("%s: %w", label, err)

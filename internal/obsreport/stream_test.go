@@ -2,6 +2,7 @@ package obsreport
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -9,6 +10,7 @@ import (
 	"runtime"
 	"strings"
 	"testing"
+	"time"
 
 	"mobilestorage/internal/obs"
 )
@@ -181,6 +183,120 @@ func TestStreamFilesErrors(t *testing.T) {
 	}
 	if _, err := StreamFiles([]string{"-"}, StreamOptions{}, count); err == nil {
 		t.Error("\"-\" accepted without a stdin reader")
+	}
+}
+
+// Error paths must propagate without deadlocking the fan-in, even with
+// healthy shards queued behind (and blocked on) the failing one, and must
+// leave no decode worker behind.
+func TestStreamFilesErrorPropagation(t *testing.T) {
+	dir := t.TempDir()
+	big := benchStream(20_000) // several batches per shard, so workers block on the fan-in
+	good := filepath.Join(dir, "good.ndjson")
+	if err := os.WriteFile(good, big, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	bad := filepath.Join(dir, "bad.ndjson")
+	if err := os.WriteFile(bad, append(append([]byte{}, big[:len(big)/2]...), "garbage\n"...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	oversized := filepath.Join(dir, "oversized.ndjson")
+	if err := os.WriteFile(oversized, append(bytes.Repeat([]byte("x"), maxLineBytes+1), '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name    string
+		paths   []string
+		lenient bool
+		wantIn  string // substring the error must carry
+	}{
+		{"unreadable first of many", []string{filepath.Join(dir, "missing"), good, good, good}, false, "missing"},
+		{"unreadable is a directory", []string{dir, good, good}, false, dir},
+		{"decode error mid-file", []string{bad, good, good, good}, false, "bad.ndjson"},
+		{"decode error in last shard", []string{good, good, bad}, false, "bad.ndjson"},
+		{"oversized line aborts even lenient", []string{oversized, good}, true, "oversized.ndjson"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			before := runtime.NumGoroutine()
+			var n int64
+			count := reporterFunc(func(obs.Event) { n++ })
+			_, err := StreamFiles(tc.paths, StreamOptions{Lenient: tc.lenient, Workers: 4}, count)
+			if err == nil || !strings.Contains(err.Error(), tc.wantIn) {
+				t.Fatalf("error %v, want mention of %q", err, tc.wantIn)
+			}
+			// The done-channel abort must wind the workers down; give the
+			// scheduler a moment before declaring a leak.
+			for i := 0; i < 100 && runtime.NumGoroutine() > before+2; i++ {
+				time.Sleep(time.Millisecond)
+			}
+			if g := runtime.NumGoroutine(); g > before+2 {
+				t.Errorf("goroutines grew from %d to %d after an aborted stream", before, g)
+			}
+		})
+	}
+}
+
+// A cancelled Context stops the stream at a batch boundary and returns
+// ctx.Err(), whether cancelled up front or mid-flight.
+func TestStreamFilesContextCancel(t *testing.T) {
+	data := benchStream(5_000)
+	paths := writeStream(t, data, 2)
+
+	// Already cancelled: nothing flows.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var n int64
+	count := reporterFunc(func(obs.Event) { n++ })
+	_, err := StreamFiles(paths, StreamOptions{Context: ctx, Workers: 2}, count)
+	if err != context.Canceled {
+		t.Fatalf("pre-cancelled: err %v, want context.Canceled", err)
+	}
+	if n != 0 {
+		t.Errorf("pre-cancelled context delivered %d events", n)
+	}
+
+	// Cancelled mid-stream: the endless generator would run ~3M events;
+	// cancellation from inside a reporter must cut it short at the next
+	// batch boundary, with no events observed after StreamFiles returns.
+	ctx, cancel = context.WithCancel(context.Background())
+	defer cancel()
+	gen := &eventGen{remaining: 3_000_000}
+	var seen, after int64
+	done := false
+	watch := reporterFunc(func(obs.Event) {
+		if done {
+			after++
+		}
+		if seen++; seen == 10_000 {
+			cancel()
+		}
+	})
+	stats, err := StreamFiles([]string{"-"}, StreamOptions{Stdin: gen, Context: ctx}, watch)
+	done = true
+	if err != context.Canceled {
+		t.Fatalf("mid-stream: err %v, want context.Canceled", err)
+	}
+	if stats.Events >= 3_000_000 || seen >= 3_000_000 {
+		t.Errorf("cancellation did not cut the stream short: %d events", stats.Events)
+	}
+	if stats.Events < 10_000 {
+		t.Errorf("events before cancellation lost: stats %d, want >= 10000", stats.Events)
+	}
+	if after != 0 {
+		t.Errorf("%d events observed after StreamFiles returned", after)
+	}
+
+	// A nil Context stays the zero-cost default.
+	var m int64
+	countAll := reporterFunc(func(obs.Event) { m++ })
+	stats, err = StreamFiles(paths, StreamOptions{}, countAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Events != m || m == 0 {
+		t.Errorf("nil-context stream delivered %d events (observed %d)", stats.Events, m)
 	}
 }
 

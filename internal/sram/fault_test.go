@@ -1,0 +1,90 @@
+package sram
+
+import (
+	"testing"
+
+	"mobilestorage/internal/device"
+	"mobilestorage/internal/fault"
+	"mobilestorage/internal/units"
+)
+
+// TestRecoveryReplaysBufferedWrites pins the battery-backed guarantee: dirty
+// blocks survive a power failure and are replayed to the device during
+// recovery, leaving the buffer empty — no acknowledged write is lost.
+func TestRecoveryReplaysBufferedWrites(t *testing.T) {
+	in := fault.NewInjector(&fault.Plan{PowerFailAtUs: []int64{1}}, 1, nil)
+	inner := newFake(10 * units.Millisecond)
+	b, err := New(device.NECSRAM(), 32*units.KB, units.KB, inner, WithFaults(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three small writes, all absorbed by the buffer (below the high-water
+	// mark), so the device has seen nothing.
+	for i := units.Bytes(0); i < 3; i++ {
+		b.Access(wr(units.Time(i), i*units.KB, units.KB))
+	}
+	if len(inner.requests) != 0 {
+		t.Fatalf("device saw %d requests before the drain", len(inner.requests))
+	}
+	if b.BufferedBytes() != 3*units.KB {
+		t.Fatalf("buffered %v, want 3 KB", b.BufferedBytes())
+	}
+
+	at := units.Second
+	b.Crash(at)
+	if b.BufferedBytes() != 3*units.KB {
+		t.Error("battery-backed buffer lost data at power failure")
+	}
+	done := b.Recover(at)
+	if done <= at {
+		t.Error("replay took no time")
+	}
+	if b.BufferedBytes() != 0 {
+		t.Errorf("buffer holds %v after recovery", b.BufferedBytes())
+	}
+	if len(inner.requests) == 0 {
+		t.Fatal("replay never reached the device")
+	}
+	rep := in.Report()
+	if rep.ReplayedBlocks != 3 {
+		t.Errorf("replayed blocks = %d, want 3", rep.ReplayedBlocks)
+	}
+	if len(rep.Violations) != 0 {
+		t.Errorf("violations: %v", rep.Violations)
+	}
+}
+
+// TestCrashClampsInFlightDrain verifies that a drain in flight at the crash
+// loses only its timing: the drained blocks were already applied to the
+// device's model state, so nothing needs replaying twice.
+func TestCrashClampsInFlightDrain(t *testing.T) {
+	in := fault.NewInjector(&fault.Plan{PowerFailAtUs: []int64{1}}, 1, nil)
+	inner := newFake(100 * units.Millisecond)
+	b, err := New(device.NECSRAM(), 8*units.KB, units.KB, inner, WithFaults(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fill past the high-water mark to kick off a background drain.
+	var at units.Time
+	for i := units.Bytes(0); i < 6; i++ {
+		at = b.Access(wr(at, i*units.KB, units.KB))
+	}
+	if b.drainDoneAt <= at {
+		t.Fatal("test setup: no drain in flight")
+	}
+	crashAt := at + units.Millisecond
+	b.Crash(crashAt)
+	if b.drainDoneAt > crashAt {
+		t.Error("drain timing survived the crash")
+	}
+	done := b.Recover(crashAt)
+	if b.BufferedBytes() != 0 {
+		t.Errorf("buffer holds %v after recovery", b.BufferedBytes())
+	}
+	if done < crashAt {
+		t.Error("recovery completed before the crash")
+	}
+	if v := in.Report().Violations; len(v) != 0 {
+		t.Errorf("violations: %v", v)
+	}
+}

@@ -21,6 +21,7 @@ import (
 
 	"mobilestorage/internal/device"
 	"mobilestorage/internal/energy"
+	"mobilestorage/internal/fault"
 	"mobilestorage/internal/obs"
 	"mobilestorage/internal/trace"
 	"mobilestorage/internal/units"
@@ -77,6 +78,10 @@ type Buffer struct {
 	cFlushes     *obs.Counter
 	cFlushedBlks *obs.Counter
 	cStalls      *obs.Counter
+
+	// inj records recovery activity after injected power failures (nil when
+	// fault injection is off).
+	inj *fault.Injector
 }
 
 // Option configures a Buffer.
@@ -91,6 +96,13 @@ func WithScope(sc *obs.Scope) Option {
 		b.cFlushedBlks = sc.Counter("sram.flushed_blocks")
 		b.cStalls = sc.Counter("sram.stalled_writes")
 	}
+}
+
+// WithFaults attaches a fault injector so power-failure recovery can record
+// the blocks it replays from the battery-backed buffer. A nil injector is
+// free.
+func WithFaults(in *fault.Injector) Option {
+	return func(b *Buffer) { b.inj = in }
 }
 
 // New wraps inner with an SRAM write buffer of the given size.
@@ -368,4 +380,46 @@ func (b *Buffer) blockRange(addr, size units.Bytes) (first, last int64) {
 	return int64(addr / b.blockSize), int64((addr + size - 1) / b.blockSize)
 }
 
-var _ device.Device = (*Buffer)(nil)
+// Crash implements device.Crasher. The SRAM is battery-backed, so the dirty
+// set survives; only the in-flight drain's timing state is discarded (the
+// blocks a drain removes from the dirty set have already been applied to the
+// wrapped device's model state, so nothing acknowledged is lost). The crash
+// propagates to the wrapped device.
+func (b *Buffer) Crash(at units.Time) {
+	b.accrueStandby(at)
+	if b.drainDoneAt > at {
+		b.drainDoneAt = at
+	}
+	if cr, ok := b.inner.(device.Crasher); ok {
+		cr.Crash(at)
+	}
+}
+
+// Recover implements device.Crasher: after the wrapped device recovers, the
+// surviving dirty blocks are replayed to it — the battery-backed guarantee
+// that makes buffering synchronous writes safe (§5.5). Returns when the
+// replay completes; the buffer is empty afterwards.
+func (b *Buffer) Recover(at units.Time) units.Time {
+	done := at
+	if cr, ok := b.inner.(device.Crasher); ok {
+		done = cr.Recover(at)
+	}
+	if len(b.dirty) == 0 {
+		return done
+	}
+	blocks := int64(len(b.dirty))
+	b.drain(done)
+	if b.drainDoneAt > done {
+		done = b.drainDoneAt
+	}
+	b.inj.RecordReplay(b.evName, blocks, at, done-at)
+	if len(b.dirty) != 0 {
+		b.inj.Violatef("sram %s: %d dirty blocks remain after recovery replay", b.evName, len(b.dirty))
+	}
+	return done
+}
+
+var (
+	_ device.Device  = (*Buffer)(nil)
+	_ device.Crasher = (*Buffer)(nil)
+)
