@@ -5,10 +5,17 @@
 // mode is provided for the ablation the paper mentions but does not
 // simulate ("a write-back cache might avoid some erasures at the cost of
 // occasional data loss").
+//
+// The implementation is allocation-free on the lookup/insert hot path: all
+// LRU nodes live in one slab sized at construction, linked by index, and
+// block numbers resolve through a flat table (small block numbers) or a
+// spill map (adversarial ones). RefCache keeps the original map-and-pointer
+// implementation for differential testing.
 package cache
 
 import (
 	"fmt"
+	"math/bits"
 
 	"mobilestorage/internal/device"
 	"mobilestorage/internal/energy"
@@ -22,11 +29,20 @@ type Extent struct {
 	Size units.Bytes
 }
 
-// node is one cached block in the intrusive LRU list.
+// denseBlockLimit bounds the flat block-index table: block numbers below it
+// index a slice (grown on demand, ≤ 8 MB fully grown), numbers at or above
+// it fall back to a map. Real replays stay far below it — block numbers are
+// bounded by the trace footprint over the block size.
+const denseBlockLimit = 1 << 21
+
+// nilNode marks list ends and empty free lists in the node slab.
+const nilNode = int32(-1)
+
+// node is one cached block in the slab-backed intrusive LRU list.
 type node struct {
 	block      int64
+	prev, next int32
 	dirty      bool
-	prev, next *node
 }
 
 // Cache is a block-granular LRU buffer cache.
@@ -37,9 +53,32 @@ type Cache struct {
 	capBlocks int
 	writeBack bool
 
-	blocks map[int64]*node
+	// blockShift replaces the per-access division by blockSize with a shift
+	// when the block size is a power of two (it always is in practice).
+	blockShift uint8
+	shiftOK    bool
+
+	// nodes is the slab holding every LRU entry; alloc bump-allocates
+	// never-used slots, free chains returned ones through next.
+	nodes []node
+	alloc int32
+	free  int32
+	used  int
 	// head is most-recently used; tail is least-recently used.
-	head, tail *node
+	head, tail int32
+
+	// denseIdx[b] is the slab index + 1 of block b's node (0 = absent);
+	// sparseIdx covers blocks ≥ denseBlockLimit, nil until needed.
+	denseIdx  []int32
+	sparseIdx map[int64]int32
+
+	// xferMemo caches DRAM transfer times per size (bit-identical to
+	// params.AccessTime, which divides by the same fixed bandwidth).
+	xferMemo units.TransferMemo
+
+	// scratch buffers slab indices between Contains's presence pass and its
+	// touch pass so each block resolves through the index exactly once.
+	scratch []int32
 
 	meter      *energy.Meter
 	lastUpdate units.Time
@@ -75,14 +114,25 @@ func New(params device.MemoryParams, size, blockSize units.Bytes, writeBack bool
 	if capBlocks < 1 {
 		return nil, fmt.Errorf("cache: size %v holds no %v blocks", size, blockSize)
 	}
+	if capBlocks > 1<<30 {
+		return nil, fmt.Errorf("cache: size %v holds %d blocks, beyond the supported 2^30", size, capBlocks)
+	}
 	c := &Cache{
 		params:    params,
 		size:      size,
 		blockSize: blockSize,
 		capBlocks: capBlocks,
 		writeBack: writeBack,
-		blocks:    make(map[int64]*node, capBlocks),
+		nodes:     make([]node, capBlocks),
+		free:      nilNode,
+		head:      nilNode,
+		tail:      nilNode,
 		meter:     energy.NewMeter(),
+		xferMemo:  units.NewTransferMemo(params.TransferKBs),
+	}
+	if blockSize&(blockSize-1) == 0 {
+		c.shiftOK = true
+		c.blockShift = uint8(bits.TrailingZeros64(uint64(blockSize)))
 	}
 	for _, o := range opts {
 		o(c)
@@ -101,13 +151,13 @@ func (c *Cache) Hits() int64   { return c.hits }
 func (c *Cache) Misses() int64 { return c.misses }
 
 // Len returns the number of cached blocks.
-func (c *Cache) Len() int { return len(c.blocks) }
+func (c *Cache) Len() int { return c.used }
 
 // AccessTime returns the DRAM transfer time for size bytes and charges the
 // active energy for it.
 func (c *Cache) AccessTime(size units.Bytes) units.Time {
-	t := c.params.AccessTime(size)
-	c.meter.Accrue(energy.StateActive, c.params.ActiveW, t)
+	t := c.xferMemo.Time(size)
+	c.meter.AccrueSlot(energy.SlotActive, c.params.ActiveW, t)
 	return t
 }
 
@@ -118,7 +168,7 @@ func (c *Cache) AccrueStandby(now units.Time) {
 	if now <= c.lastUpdate {
 		return
 	}
-	c.meter.Accrue(energy.StateStandby, c.params.StandbyWPerMB*c.size.MBytes(), now-c.lastUpdate)
+	c.meter.AccrueSlot(energy.SlotStandby, c.params.StandbyWPerMB*c.size.MBytes(), now-c.lastUpdate)
 	c.lastUpdate = now
 }
 
@@ -129,15 +179,24 @@ func (c *Cache) Contains(addr, size units.Bytes) bool {
 		return false
 	}
 	first, last := c.blockRange(addr, size)
+	n := last - first + 1
+	if int64(len(c.scratch)) < n {
+		c.scratch = make([]int32, n)
+	}
 	for b := first; b <= last; b++ {
-		if _, ok := c.blocks[b]; !ok {
+		idx, ok := c.lookup(b)
+		if !ok {
 			c.misses++
 			c.cMisses.Inc()
 			return false
 		}
+		c.scratch[b-first] = idx
 	}
-	for b := first; b <= last; b++ {
-		c.touch(c.blocks[b])
+	// Touching is deferred until every block is known present: a miss on a
+	// later block must leave recency untouched, exactly as the original
+	// two-pass lookup did.
+	for _, idx := range c.scratch[:n] {
+		c.touch(idx)
 	}
 	c.hits++
 	c.cHits.Inc()
@@ -158,19 +217,21 @@ func (c *Cache) Insert(addr, size units.Bytes, dirty bool) []Extent {
 	var evicted []Extent
 	first, last := c.blockRange(addr, size)
 	for b := first; b <= last; b++ {
-		if n, ok := c.blocks[b]; ok {
+		if idx, ok := c.lookup(b); ok {
+			n := &c.nodes[idx]
 			n.dirty = n.dirty || dirty
-			c.touch(n)
+			c.touch(idx)
 			continue
 		}
-		for len(c.blocks) >= c.capBlocks {
+		for c.used >= c.capBlocks {
 			if e := c.evictLRU(); e != nil {
 				evicted = append(evicted, *e)
 			}
 		}
-		n := &node{block: b, dirty: dirty}
-		c.blocks[b] = n
-		c.pushFront(n)
+		idx := c.allocNode(b, dirty)
+		c.setIndex(b, idx)
+		c.pushFront(idx)
+		c.used++
 	}
 	return coalesce(evicted)
 }
@@ -183,9 +244,11 @@ func (c *Cache) Invalidate(addr, size units.Bytes) {
 	}
 	first, last := c.blockRange(addr, size)
 	for b := first; b <= last; b++ {
-		if n, ok := c.blocks[b]; ok {
-			c.unlink(n)
-			delete(c.blocks, b)
+		if idx, ok := c.lookup(b); ok {
+			c.unlink(idx)
+			c.clearIndex(b)
+			c.freeNode(idx)
+			c.used--
 		}
 	}
 }
@@ -194,10 +257,10 @@ func (c *Cache) Invalidate(addr, size units.Bytes) {
 // clean (the final write-back flush).
 func (c *Cache) DirtyExtents() []Extent {
 	var out []Extent
-	for b, n := range c.blocks {
-		if n.dirty {
+	for idx := c.head; idx != nilNode; idx = c.nodes[idx].next {
+		if n := &c.nodes[idx]; n.dirty {
 			n.dirty = false
-			out = append(out, Extent{Addr: units.Bytes(b) * c.blockSize, Size: c.blockSize})
+			out = append(out, Extent{Addr: units.Bytes(n.block) * c.blockSize, Size: c.blockSize})
 		}
 	}
 	return coalesce(out)
@@ -209,64 +272,150 @@ func (c *Cache) DirtyExtents() []Extent {
 // legitimately produce; write-through configurations never hold dirty data.
 func (c *Cache) Crash() int {
 	dirty := 0
-	for _, n := range c.blocks {
-		if n.dirty {
+	for idx := c.head; idx != nilNode; idx = c.nodes[idx].next {
+		if c.nodes[idx].dirty {
 			dirty++
 		}
 	}
-	c.blocks = make(map[int64]*node, c.capBlocks)
-	c.head, c.tail = nil, nil
+	clear(c.denseIdx)
+	c.sparseIdx = nil
+	c.alloc = 0
+	c.free = nilNode
+	c.used = 0
+	c.head, c.tail = nilNode, nilNode
 	return dirty
 }
 
 func (c *Cache) blockRange(addr, size units.Bytes) (first, last int64) {
+	if c.shiftOK {
+		return int64(addr >> c.blockShift), int64((addr + size - 1) >> c.blockShift)
+	}
 	return int64(addr / c.blockSize), int64((addr + size - 1) / c.blockSize)
+}
+
+// lookup resolves a block number to its slab index.
+func (c *Cache) lookup(b int64) (int32, bool) {
+	if uint64(b) < uint64(len(c.denseIdx)) {
+		v := c.denseIdx[b]
+		return v - 1, v > 0
+	}
+	if b >= 0 && b < denseBlockLimit {
+		return 0, false // inside the dense range but table not grown there
+	}
+	v, ok := c.sparseIdx[b]
+	return v - 1, ok
+}
+
+// setIndex records a block's slab index, growing the dense table on demand.
+func (c *Cache) setIndex(b int64, idx int32) {
+	if b >= 0 && b < denseBlockLimit {
+		if b >= int64(len(c.denseIdx)) {
+			if b < int64(cap(c.denseIdx)) {
+				// The tail of the backing array is always zero: writes only
+				// land below len, and Crash clears everything below len.
+				c.denseIdx = c.denseIdx[:b+1]
+			} else {
+				n := 2 * cap(c.denseIdx)
+				if n < 1024 {
+					n = 1024
+				}
+				if b >= int64(n) {
+					n = int(b) + 1
+				}
+				grown := make([]int32, int(b)+1, n)
+				copy(grown, c.denseIdx)
+				c.denseIdx = grown
+			}
+		}
+		c.denseIdx[b] = idx + 1
+		return
+	}
+	if c.sparseIdx == nil {
+		c.sparseIdx = make(map[int64]int32)
+	}
+	c.sparseIdx[b] = idx + 1
+}
+
+func (c *Cache) clearIndex(b int64) {
+	if uint64(b) < uint64(len(c.denseIdx)) {
+		c.denseIdx[b] = 0
+		return
+	}
+	delete(c.sparseIdx, b)
+}
+
+// allocNode takes a slab slot for a new block: reuse a freed slot first,
+// else bump-allocate a never-used one.
+func (c *Cache) allocNode(b int64, dirty bool) int32 {
+	var idx int32
+	if c.free != nilNode {
+		idx = c.free
+		c.free = c.nodes[idx].next
+	} else {
+		idx = c.alloc
+		c.alloc++
+	}
+	c.nodes[idx] = node{block: b, dirty: dirty, prev: nilNode, next: nilNode}
+	return idx
+}
+
+func (c *Cache) freeNode(idx int32) {
+	c.nodes[idx].next = c.free
+	c.free = idx
 }
 
 // evictLRU removes the least-recently-used block, returning its extent if
 // it was dirty.
 func (c *Cache) evictLRU() *Extent {
-	n := c.tail
-	if n == nil {
+	idx := c.tail
+	if idx == nilNode {
 		panic("cache: eviction from empty cache")
 	}
-	c.unlink(n)
-	delete(c.blocks, n.block)
+	c.unlink(idx)
+	n := c.nodes[idx]
+	c.clearIndex(n.block)
+	c.freeNode(idx)
+	c.used--
 	if n.dirty {
 		return &Extent{Addr: units.Bytes(n.block) * c.blockSize, Size: c.blockSize}
 	}
 	return nil
 }
 
-func (c *Cache) touch(n *node) {
-	c.unlink(n)
-	c.pushFront(n)
+func (c *Cache) touch(idx int32) {
+	if c.head == idx {
+		return
+	}
+	c.unlink(idx)
+	c.pushFront(idx)
 }
 
-func (c *Cache) pushFront(n *node) {
-	n.prev = nil
+func (c *Cache) pushFront(idx int32) {
+	n := &c.nodes[idx]
+	n.prev = nilNode
 	n.next = c.head
-	if c.head != nil {
-		c.head.prev = n
+	if c.head != nilNode {
+		c.nodes[c.head].prev = idx
 	}
-	c.head = n
-	if c.tail == nil {
-		c.tail = n
+	c.head = idx
+	if c.tail == nilNode {
+		c.tail = idx
 	}
 }
 
-func (c *Cache) unlink(n *node) {
-	if n.prev != nil {
-		n.prev.next = n.next
+func (c *Cache) unlink(idx int32) {
+	n := &c.nodes[idx]
+	if n.prev != nilNode {
+		c.nodes[n.prev].next = n.next
 	} else {
 		c.head = n.next
 	}
-	if n.next != nil {
-		n.next.prev = n.prev
+	if n.next != nilNode {
+		c.nodes[n.next].prev = n.prev
 	} else {
 		c.tail = n.prev
 	}
-	n.prev, n.next = nil, nil
+	n.prev, n.next = nilNode, nilNode
 }
 
 // coalesce merges adjacent extents (sorted by address) to turn per-block

@@ -1,0 +1,240 @@
+package cache
+
+import (
+	"fmt"
+
+	"mobilestorage/internal/device"
+	"mobilestorage/internal/energy"
+	"mobilestorage/internal/obs"
+	"mobilestorage/internal/units"
+)
+
+// refNode is one cached block in RefCache's pointer-based intrusive LRU
+// list.
+type refNode struct {
+	block      int64
+	dirty      bool
+	prev, next *refNode
+}
+
+// RefCache is the original map-and-pointer buffer-cache implementation,
+// frozen as the behavioral reference for the simulator's differential test
+// harness (internal/core/difftest). It must stay observably identical to
+// Cache: same hits, misses, evictions, dirty extents, and energy accrual
+// order. Do not optimize this type — its value is being the slow,
+// obviously-correct path the fast one is diffed against.
+type RefCache struct {
+	params    device.MemoryParams
+	size      units.Bytes
+	blockSize units.Bytes
+	capBlocks int
+	writeBack bool
+
+	blocks map[int64]*refNode
+	// head is most-recently used; tail is least-recently used.
+	head, tail *refNode
+
+	meter      *energy.Meter
+	lastUpdate units.Time
+
+	hits, misses int64
+
+	cHits   *obs.Counter
+	cMisses *obs.Counter
+}
+
+// NewRef builds a reference cache with the same construction rules as New.
+// sc may be nil (no metrics).
+func NewRef(params device.MemoryParams, size, blockSize units.Bytes, writeBack bool, sc *obs.Scope) (*RefCache, error) {
+	if blockSize <= 0 {
+		return nil, fmt.Errorf("cache: block size must be positive")
+	}
+	capBlocks := int(size / blockSize)
+	if capBlocks < 1 {
+		return nil, fmt.Errorf("cache: size %v holds no %v blocks", size, blockSize)
+	}
+	c := &RefCache{
+		params:    params,
+		size:      size,
+		blockSize: blockSize,
+		capBlocks: capBlocks,
+		writeBack: writeBack,
+		blocks:    make(map[int64]*refNode, capBlocks),
+		meter:     energy.NewMeter(),
+	}
+	c.cHits = sc.Counter("cache.hits")
+	c.cMisses = sc.Counter("cache.misses")
+	return c, nil
+}
+
+// Size returns the configured capacity in bytes.
+func (c *RefCache) Size() units.Bytes { return c.size }
+
+// Meter exposes the cache's energy accounting.
+func (c *RefCache) Meter() *energy.Meter { return c.meter }
+
+// Hits and Misses report lookup outcomes.
+func (c *RefCache) Hits() int64   { return c.hits }
+func (c *RefCache) Misses() int64 { return c.misses }
+
+// Len returns the number of cached blocks.
+func (c *RefCache) Len() int { return len(c.blocks) }
+
+// AccessTime returns the DRAM transfer time for size bytes and charges the
+// active energy for it.
+func (c *RefCache) AccessTime(size units.Bytes) units.Time {
+	t := c.params.AccessTime(size)
+	c.meter.Accrue(energy.StateActive, c.params.ActiveW, t)
+	return t
+}
+
+// AccrueStandby integrates retention (refresh) power up to now.
+func (c *RefCache) AccrueStandby(now units.Time) {
+	if now <= c.lastUpdate {
+		return
+	}
+	c.meter.Accrue(energy.StateStandby, c.params.StandbyWPerMB*c.size.MBytes(), now-c.lastUpdate)
+	c.lastUpdate = now
+}
+
+// Contains reports whether every block of [addr, addr+size) is cached,
+// touching the blocks' recency and recording a hit or miss.
+func (c *RefCache) Contains(addr, size units.Bytes) bool {
+	if size <= 0 {
+		return false
+	}
+	first, last := c.blockRange(addr, size)
+	for b := first; b <= last; b++ {
+		if _, ok := c.blocks[b]; !ok {
+			c.misses++
+			c.cMisses.Inc()
+			return false
+		}
+	}
+	for b := first; b <= last; b++ {
+		c.touch(c.blocks[b])
+	}
+	c.hits++
+	c.cHits.Inc()
+	return true
+}
+
+// Insert caches every block of [addr, addr+size), marking them dirty when
+// requested (write-back mode). It returns the dirty extents evicted to make
+// room.
+func (c *RefCache) Insert(addr, size units.Bytes, dirty bool) []Extent {
+	if size <= 0 {
+		return nil
+	}
+	if !c.writeBack {
+		dirty = false
+	}
+	var evicted []Extent
+	first, last := c.blockRange(addr, size)
+	for b := first; b <= last; b++ {
+		if n, ok := c.blocks[b]; ok {
+			n.dirty = n.dirty || dirty
+			c.touch(n)
+			continue
+		}
+		for len(c.blocks) >= c.capBlocks {
+			if e := c.evictLRU(); e != nil {
+				evicted = append(evicted, *e)
+			}
+		}
+		n := &refNode{block: b, dirty: dirty}
+		c.blocks[b] = n
+		c.pushFront(n)
+	}
+	return coalesce(evicted)
+}
+
+// Invalidate drops any cached blocks of [addr, addr+size) without writing
+// them back.
+func (c *RefCache) Invalidate(addr, size units.Bytes) {
+	if size <= 0 {
+		return
+	}
+	first, last := c.blockRange(addr, size)
+	for b := first; b <= last; b++ {
+		if n, ok := c.blocks[b]; ok {
+			c.unlink(n)
+			delete(c.blocks, b)
+		}
+	}
+}
+
+// DirtyExtents returns all dirty data as coalesced extents and marks it
+// clean.
+func (c *RefCache) DirtyExtents() []Extent {
+	var out []Extent
+	for b, n := range c.blocks {
+		if n.dirty {
+			n.dirty = false
+			out = append(out, Extent{Addr: units.Bytes(b) * c.blockSize, Size: c.blockSize})
+		}
+	}
+	return coalesce(out)
+}
+
+// Crash empties the cache and returns how many of the lost blocks were
+// dirty.
+func (c *RefCache) Crash() int {
+	dirty := 0
+	for _, n := range c.blocks {
+		if n.dirty {
+			dirty++
+		}
+	}
+	c.blocks = make(map[int64]*refNode, c.capBlocks)
+	c.head, c.tail = nil, nil
+	return dirty
+}
+
+func (c *RefCache) blockRange(addr, size units.Bytes) (first, last int64) {
+	return int64(addr / c.blockSize), int64((addr + size - 1) / c.blockSize)
+}
+
+func (c *RefCache) evictLRU() *Extent {
+	n := c.tail
+	if n == nil {
+		panic("cache: eviction from empty cache")
+	}
+	c.unlink(n)
+	delete(c.blocks, n.block)
+	if n.dirty {
+		return &Extent{Addr: units.Bytes(n.block) * c.blockSize, Size: c.blockSize}
+	}
+	return nil
+}
+
+func (c *RefCache) touch(n *refNode) {
+	c.unlink(n)
+	c.pushFront(n)
+}
+
+func (c *RefCache) pushFront(n *refNode) {
+	n.prev = nil
+	n.next = c.head
+	if c.head != nil {
+		c.head.prev = n
+	}
+	c.head = n
+	if c.tail == nil {
+		c.tail = n
+	}
+}
+
+func (c *RefCache) unlink(n *refNode) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		c.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		c.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+}

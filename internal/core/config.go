@@ -140,6 +140,22 @@ type Config struct {
 	// results. Nil disables observability at zero cost.
 	Scope *obs.Scope
 
+	// Prep, when non-nil and built from this exact Trace, supplies the
+	// per-trace preprocessing (validation, file-size hints, footprint) so
+	// repeated runs over one trace — parameter sweeps, figure experiments —
+	// skip the redundant whole-trace walks. A Prep built from a different
+	// Trace is ignored and the preprocessing recomputed; results are
+	// byte-identical either way. Build one with PrepareTrace.
+	Prep *TracePrep
+
+	// Reference routes the run through the frozen reference replay loop
+	// (runReference): the original map-backed layout, buffer cache, and
+	// interface-dispatched device calls, kept verbatim as the
+	// obviously-correct baseline. The differential test harness
+	// (internal/core/difftest) runs every configuration both ways and
+	// requires byte-identical results; production callers leave this false.
+	Reference bool
+
 	// SampleEvery, when positive, snapshots Scope's registry every
 	// SampleEvery of simulated time into Result.Timeline, adding derived
 	// energy gauges (energy.total_j and per-component) at each point and —
@@ -197,6 +213,13 @@ func (c Config) Validate() error {
 	if err := c.Trace.Validate(); err != nil {
 		return err
 	}
+	return c.validateNonTrace()
+}
+
+// validateNonTrace checks everything Validate does except the O(records)
+// trace walk, which Run skips when a matching TracePrep already vouched for
+// the trace.
+func (c Config) validateNonTrace() error {
 	if c.FlashUtilization < 0 || c.FlashUtilization > 0.99 {
 		return fmt.Errorf("core: flash utilization %.2f out of (0, 0.99]", c.FlashUtilization)
 	}

@@ -1,0 +1,166 @@
+// Package difftest is the differential equivalence harness for the core
+// simulator's hot-path overhaul. Every configuration in its matrix is
+// replayed twice — once through the optimized replay loop (core.Run's
+// default path) and once through the frozen reference loop
+// (Config.Reference, wired to the original map-backed layout, buffer
+// cache, and interface-dispatched device calls) — and the two runs must
+// agree byte-for-byte: identical Results, identical NDJSON event streams,
+// identical observer logs, identical sampler timelines.
+//
+// The harness is what makes the fast path trustworthy: any optimization
+// that changes float evaluation order, block rounding, LRU recency, or
+// event ordering fails here immediately, against an implementation simple
+// enough to audit by eye.
+package difftest
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"mobilestorage/internal/core"
+	"mobilestorage/internal/obs"
+	"mobilestorage/internal/trace"
+	"mobilestorage/internal/units"
+	"mobilestorage/internal/workload"
+)
+
+// observedRun is everything one instrumented replay produces.
+type observedRun struct {
+	res    *core.Result
+	events []byte
+	obs    []core.OpObservation
+}
+
+// tryInstrumented executes cfg with a metrics registry, an NDJSON tracer,
+// and an op observer attached, so every externally visible artifact of the
+// run is captured for comparison. Configuration errors are returned, not
+// fatal: a degenerate config (e.g. a delete-only trace too small for any
+// flash device) must be rejected identically by both replay paths.
+func tryInstrumented(tb testing.TB, cfg core.Config) (observedRun, error) {
+	tb.Helper()
+	reg := obs.NewRegistry()
+	var buf bytes.Buffer
+	sink := obs.NewNDJSONSink(&buf)
+	cfg.Scope = obs.NewScope(reg, sink)
+	var observations []core.OpObservation
+	cfg.Observer = func(o core.OpObservation) { observations = append(observations, o) }
+	res, err := core.Run(cfg)
+	if err != nil {
+		return observedRun{}, err
+	}
+	if err := sink.Flush(); err != nil {
+		tb.Fatal(err)
+	}
+	return observedRun{res: res, events: buf.Bytes(), obs: observations}, nil
+}
+
+// runInstrumented is tryInstrumented for configs that must succeed.
+func runInstrumented(tb testing.TB, cfg core.Config) observedRun {
+	tb.Helper()
+	run, err := tryInstrumented(tb, cfg)
+	if err != nil {
+		tb.Fatalf("run (reference=%v): %v", cfg.Reference, err)
+	}
+	return run
+}
+
+// runBoth replays cfg through the reference and fast paths. Both must
+// succeed, or both must fail with the same error (in which case the
+// returned runs are empty and identical).
+func runBoth(tb testing.TB, cfg core.Config) (ref, fast observedRun) {
+	tb.Helper()
+	refCfg := cfg
+	refCfg.Reference = true
+	ref, refErr := tryInstrumented(tb, refCfg)
+	fastCfg := cfg
+	fastCfg.Reference = false
+	fast, fastErr := tryInstrumented(tb, fastCfg)
+	switch {
+	case refErr == nil && fastErr == nil:
+	case refErr != nil && fastErr != nil:
+		if refErr.Error() != fastErr.Error() {
+			tb.Errorf("paths fail differently:\nreference: %v\nfast:      %v", refErr, fastErr)
+		}
+	default:
+		tb.Errorf("only one path failed:\nreference err: %v\nfast err:      %v", refErr, fastErr)
+	}
+	return ref, fast
+}
+
+// requireIdentical fails unless the two runs are byte-identical in every
+// captured artifact. Results are compared with reflect.DeepEqual, which
+// covers every field — summaries, histograms, energy maps, fault reports,
+// metrics, and sampler timelines — bit-for-bit on floats.
+func requireIdentical(tb testing.TB, ref, fast observedRun) {
+	tb.Helper()
+	if !reflect.DeepEqual(ref.res, fast.res) {
+		refJSON, _ := json.MarshalIndent(ref.res, "", "  ")
+		fastJSON, _ := json.MarshalIndent(fast.res, "", "  ")
+		tb.Errorf("results differ between reference and fast paths:\n--- reference\n%s\n--- fast\n%s", refJSON, fastJSON)
+	}
+	if !bytes.Equal(ref.events, fast.events) {
+		tb.Errorf("NDJSON event streams differ: reference %d bytes, fast %d bytes", len(ref.events), len(fast.events))
+	}
+	if !reflect.DeepEqual(ref.obs, fast.obs) {
+		tb.Errorf("observer streams differ: reference %d observations, fast %d", len(ref.obs), len(fast.obs))
+	}
+}
+
+// matrixTrace is one workload axis entry.
+type matrixTrace struct {
+	name  string
+	build func(tb testing.TB) *trace.Trace
+}
+
+// matrixTraces returns the workload axis: two synthetic profiles (the
+// paper's stress mix at two seeds/dataset sizes, so cleaning pressure
+// differs) and the generated dos trace, the smallest real preset, which is
+// the only one with a meaningful delete stream.
+func matrixTraces() []matrixTrace {
+	synth := func(seed int64, ops, dataMB int) func(tb testing.TB) *trace.Trace {
+		return func(tb testing.TB) *trace.Trace {
+			tb.Helper()
+			tr, err := workload.Synth(workload.SynthConfig{Seed: seed, Ops: ops, DataMB: dataMB})
+			if err != nil {
+				tb.Fatal(err)
+			}
+			return tr
+		}
+	}
+	return []matrixTrace{
+		{"synth7", synth(7, 2500, 0)},
+		{"synth99-small", synth(99, 2500, 3)},
+		{"dos", func(tb testing.TB) *trace.Trace {
+			tb.Helper()
+			tr, err := workload.GenerateByName("dos", 3)
+			if err != nil {
+				tb.Fatal(err)
+			}
+			return tr
+		}},
+	}
+}
+
+// matrixDevice configures the storage-architecture axis on top of a base
+// config that already carries the trace and cache settings.
+type matrixDevice struct {
+	name  string
+	apply func(c *core.Config)
+}
+
+// matrixCache is the DRAM buffer-cache axis.
+type matrixCache struct {
+	name      string
+	dramBytes units.Bytes
+	writeBack bool
+}
+
+func matrixCaches() []matrixCache {
+	return []matrixCache{
+		{"nocache", 0, false},
+		{"dram512k", 512 * units.KB, false},
+		{"writeback512k", 512 * units.KB, true},
+	}
+}

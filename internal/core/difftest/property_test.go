@@ -1,0 +1,141 @@
+package difftest
+
+import (
+	"testing"
+
+	"mobilestorage/internal/core"
+	"mobilestorage/internal/device"
+	"mobilestorage/internal/fault"
+	"mobilestorage/internal/units"
+)
+
+// propertyConfigs is a representative slice of the matrix for the physics
+// properties below: every device kind, with and without a DRAM cache, one
+// fault plan.
+func propertyConfigs(tb testing.TB) []core.Config {
+	var out []core.Config
+	for _, mt := range matrixTraces() {
+		tr := mt.build(tb)
+		prep := core.PrepareTrace(tr)
+		for _, md := range matrixDevices() {
+			for _, dram := range []units.Bytes{0, 512 * units.KB} {
+				cfg := core.Config{Trace: tr, Prep: prep, DRAMBytes: dram}
+				md.apply(&cfg)
+				out = append(out, cfg)
+			}
+		}
+	}
+	return out
+}
+
+// TestResponseProperties checks the causal invariants of every observed
+// operation: responses are never negative (completion precedes arrival) and
+// arrivals never go backwards (the replay preserves trace order).
+func TestResponseProperties(t *testing.T) {
+	for _, cfg := range propertyConfigs(t) {
+		run := runInstrumented(t, cfg)
+		if len(run.obs) == 0 {
+			t.Fatalf("%s/%v: no observations", cfg.Trace.Name, cfg.Kind)
+		}
+		var lastArrival units.Time
+		for i, o := range run.obs {
+			if o.Response < 0 {
+				t.Fatalf("%s/%v: op %d has negative response %v", cfg.Trace.Name, cfg.Kind, i, o.Response)
+			}
+			if o.Arrival < lastArrival {
+				t.Fatalf("%s/%v: op %d arrival %v before previous %v", cfg.Trace.Name, cfg.Kind, i, o.Arrival, lastArrival)
+			}
+			lastArrival = o.Arrival
+		}
+		if run.res.EndTime < cfg.Trace.Duration() {
+			t.Errorf("%s/%v: end time %v before trace duration %v", cfg.Trace.Name, cfg.Kind, run.res.EndTime, cfg.Trace.Duration())
+		}
+	}
+}
+
+// TestEnergyProperties checks energy accounting: every component total is
+// non-negative, and the post-warm-start figure never exceeds the sum of the
+// component totals (the warm-up snapshot it subtracts cannot be negative).
+func TestEnergyProperties(t *testing.T) {
+	for _, cfg := range propertyConfigs(t) {
+		run := runInstrumented(t, cfg)
+		res := run.res
+		if res.EnergyJ < 0 {
+			t.Fatalf("%s/%v: negative post-warm energy %g", cfg.Trace.Name, cfg.Kind, res.EnergyJ)
+		}
+		var sum float64
+		for comp, j := range res.EnergyByComponent {
+			if j < 0 {
+				t.Fatalf("%s/%v: component %s has negative energy %g", cfg.Trace.Name, cfg.Kind, comp, j)
+			}
+			sum += j
+		}
+		if res.EnergyJ > sum {
+			t.Errorf("%s/%v: post-warm energy %g exceeds component sum %g", cfg.Trace.Name, cfg.Kind, res.EnergyJ, sum)
+		}
+	}
+}
+
+// TestWarmSnapshotConservation pins the warm-up bookkeeping: disabling the
+// warm-up split must report at least as much energy as the default run
+// (the difference is exactly the warm-up snapshot), over an identical
+// simulated span.
+func TestWarmSnapshotConservation(t *testing.T) {
+	for _, cfg := range propertyConfigs(t) {
+		warm := runInstrumented(t, cfg)
+		full := cfg
+		full.WarmFraction = -1
+		cold := runInstrumented(t, full)
+		if cold.res.EndTime != warm.res.EndTime {
+			t.Fatalf("%s/%v: warm split changed the end time: %v vs %v",
+				cfg.Trace.Name, cfg.Kind, warm.res.EndTime, cold.res.EndTime)
+		}
+		if cold.res.EnergyJ < warm.res.EnergyJ {
+			t.Errorf("%s/%v: full-trace energy %g below post-warm energy %g",
+				cfg.Trace.Name, cfg.Kind, cold.res.EnergyJ, warm.res.EnergyJ)
+		}
+		if cold.res.MeasuredOps < warm.res.MeasuredOps {
+			t.Errorf("%s/%v: full-trace measured ops %d below post-warm %d",
+				cfg.Trace.Name, cfg.Kind, cold.res.MeasuredOps, warm.res.MeasuredOps)
+		}
+	}
+}
+
+// TestWearProperties checks flash endurance accounting, fault-free and
+// under wear-out injection: erase counts are consistent (max ≤ total,
+// mean ≤ max), cleaning never reports negative work, and the fault
+// injector's invariant ledger stays clean.
+func TestWearProperties(t *testing.T) {
+	tr := matrixTraces()[0].build(t)
+	plans := []*fault.Plan{nil, {WearOutAfter: 25, SpareSegments: 2}}
+	for _, plan := range plans {
+		cfg := core.Config{
+			Trace:     tr,
+			DRAMBytes: 512 * units.KB,
+			Kind:      core.FlashCard,
+			Faults:    plan,
+			FaultSeed: 17,
+		}
+		cfg.FlashCardParams = device.IntelSeries2Measured()
+		run := runInstrumented(t, cfg)
+		res := run.res
+		if res.Erases <= 0 {
+			t.Fatal("flashcard run performed no erases; workload too light to test wear")
+		}
+		if res.MaxEraseCount > res.Erases {
+			t.Errorf("max erase count %d exceeds total erases %d", res.MaxEraseCount, res.Erases)
+		}
+		if res.MeanEraseCount < 0 || float64(res.MaxEraseCount) < res.MeanEraseCount {
+			t.Errorf("erase count stats inconsistent: mean %g, max %d", res.MeanEraseCount, res.MaxEraseCount)
+		}
+		if res.CopiedBlocks < 0 || res.HostBlocks <= 0 {
+			t.Errorf("block accounting inconsistent: copied %d, host %d", res.CopiedBlocks, res.HostBlocks)
+		}
+		if res.CleaningTime < 0 || res.HostTime < 0 {
+			t.Errorf("negative busy time: cleaning %v, host %v", res.CleaningTime, res.HostTime)
+		}
+		if res.Faults != nil && len(res.Faults.Violations) > 0 {
+			t.Errorf("fault invariants violated: %v", res.Faults.Violations)
+		}
+	}
+}

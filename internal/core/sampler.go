@@ -3,7 +3,6 @@ package core
 import (
 	"math"
 
-	"mobilestorage/internal/cache"
 	"mobilestorage/internal/obs"
 )
 
@@ -27,7 +26,7 @@ const (
 // float summation order and violate the scope-never-changes-results
 // invariant. Lazily-accrued standby energy (DRAM) therefore appears at its
 // next natural accrual point.
-func newSampler(cfg Config, sc *obs.Scope, st *stack, dram *cache.Cache) *obs.Sampler {
+func newSampler(cfg Config, sc *obs.Scope, st *stack, dram dramCache) *obs.Sampler {
 	reg := sc.Registry()
 	if cfg.SampleEvery <= 0 || reg == nil {
 		return nil

@@ -29,17 +29,22 @@ type stack struct {
 	buffer *sram.Buffer
 }
 
-// meters returns every energy meter in the stack.
+// meters returns every energy meter in the stack. Each populated component
+// is checked independently: buildStack only ever sets one base device, but a
+// hand-assembled stack (tests, future composites) must report every meter
+// exactly once rather than just the first match.
 func (s *stack) meters() []*energy.Meter {
 	var ms []*energy.Meter
-	switch {
-	case s.disk != nil:
+	if s.disk != nil {
 		ms = append(ms, s.disk.Meter())
-	case s.fdisk != nil:
+	}
+	if s.fdisk != nil {
 		ms = append(ms, s.fdisk.Meter())
-	case s.fcard != nil:
+	}
+	if s.fcard != nil {
 		ms = append(ms, s.fcard.Meter())
-	case s.hyb != nil:
+	}
+	if s.hyb != nil {
 		ms = append(ms, s.hyb.Meter())
 	}
 	if s.buffer != nil {
@@ -48,20 +53,166 @@ func (s *stack) meters() []*energy.Meter {
 	return ms
 }
 
+// access dispatches a request to the top of the stack through a concrete
+// type where one is known. Run calls this once per record (plus once per
+// dirty eviction); the devirtualized calls save the itab dispatch and let
+// the compiler see the callee. The order puts the SRAM buffer first — when
+// present it wraps the base device and is the top — then the base devices.
+func (s *stack) access(req device.Request) units.Time {
+	switch {
+	case s.buffer != nil:
+		return s.buffer.Access(req)
+	case s.fcard != nil:
+		return s.fcard.Access(req)
+	case s.disk != nil:
+		return s.disk.Access(req)
+	case s.fdisk != nil:
+		return s.fdisk.Access(req)
+	case s.hyb != nil:
+		return s.hyb.Access(req)
+	default:
+		return s.top.Access(req)
+	}
+}
+
+// idle is the devirtualized counterpart of access for the per-record
+// top-of-stack Idle call.
+func (s *stack) idle(now units.Time) {
+	switch {
+	case s.buffer != nil:
+		s.buffer.Idle(now)
+	case s.fcard != nil:
+		s.fcard.Idle(now)
+	case s.disk != nil:
+		s.disk.Idle(now)
+	case s.fdisk != nil:
+		s.fdisk.Idle(now)
+	case s.hyb != nil:
+		s.hyb.Idle(now)
+	default:
+		s.top.Idle(now)
+	}
+}
+
+// dramCache is the buffer-cache surface the simulator's setup, teardown,
+// and crash helpers need. Both the fast cache.Cache and the frozen
+// cache.RefCache satisfy it, so the helpers are shared between Run's hot
+// path (which holds the concrete *cache.Cache) and runReference.
+type dramCache interface {
+	Meter() *energy.Meter
+	AccessTime(size units.Bytes) units.Time
+	AccrueStandby(now units.Time)
+	Contains(addr, size units.Bytes) bool
+	Insert(addr, size units.Bytes, dirty bool) []cache.Extent
+	Invalidate(addr, size units.Bytes)
+	DirtyExtents() []cache.Extent
+	Crash() int
+	Hits() int64
+	Misses() int64
+}
+
+// TracePrep is the cached per-trace preprocessing Run performs before
+// replay: validation, per-file maximum extents (placement hints), and the
+// storage footprint. It is immutable once built and safe to share across
+// concurrent runs, which is exactly what parameter sweeps over one trace
+// want — build it once with PrepareTrace and put it in Config.Prep.
+type TracePrep struct {
+	trace     *trace.Trace
+	err       error
+	hints     *trace.FileSizes
+	footprint units.Bytes
+	// placements[i] is record i's device byte address. Placement is a pure
+	// function of the record sequence — the layout evolves identically
+	// regardless of device or cache configuration — so it is computed once
+	// per trace and shared by every run in a sweep instead of being replayed
+	// through a fresh Layout per run. Delete records (which need the whole
+	// extent, and may be no-ops) live in the deletions side table; their
+	// placements entry is unused.
+	placements []units.Bytes
+	deletions  map[int]delExtent
+}
+
+// delExtent is the extent a Delete record releases.
+type delExtent struct {
+	off, size units.Bytes
+}
+
+// placeRecords replays the layout over the trace once, recording each
+// record's placement, and returns the high-water footprint of the same
+// replay (block-rounded by construction). Deletes of never-placed files are
+// simply absent from the deletions table.
+func placeRecords(t *trace.Trace, blockSize units.Bytes, hints *trace.FileSizes) ([]units.Bytes, map[int]delExtent, units.Bytes) {
+	l := trace.NewLayout(blockSize)
+	out := make([]units.Bytes, len(t.Records))
+	var dels map[int]delExtent
+	for i, rec := range t.Records {
+		switch rec.Op {
+		case trace.Delete:
+			off, size, ok := l.Extent(rec.File)
+			if !ok {
+				continue
+			}
+			if dels == nil {
+				dels = make(map[int]delExtent)
+			}
+			dels[i] = delExtent{off: off, size: size}
+			l.Delete(rec.File)
+		default:
+			out[i] = l.Place(rec.File, rec.Offset, hints.Get(rec.File))
+		}
+	}
+	return out, dels, l.HighWater()
+}
+
+// PrepareTrace validates the trace and precomputes the placement hints and
+// footprint Run needs. The result is tied to this exact *Trace; mutating
+// the trace afterwards invalidates it.
+func PrepareTrace(t *trace.Trace) *TracePrep {
+	p := &TracePrep{trace: t}
+	if err := t.Validate(); err != nil {
+		p.err = err
+		return p
+	}
+	p.hints = t.MaxFileExtents()
+	p.placements, p.deletions, p.footprint = placeRecords(t, t.BlockSize, p.hints)
+	return p
+}
+
+// Footprint returns the trace's storage footprint (0 for an invalid trace).
+func (p *TracePrep) Footprint() units.Bytes { return p.footprint }
+
+// Err returns the trace validation error, if any.
+func (p *TracePrep) Err() error { return p.err }
+
 // Run replays the configured trace through the configured storage hierarchy
 // and returns the paper-style result.
 func Run(cfg Config) (*Result, error) {
+	if cfg.Reference {
+		return runReference(cfg)
+	}
 	cfg = cfg.withDefaults()
-	if err := cfg.Validate(); err != nil {
+	if cfg.Trace == nil {
+		return nil, fmt.Errorf("core: no trace configured")
+	}
+	prep := cfg.Prep
+	if prep == nil || prep.trace != cfg.Trace {
+		prep = PrepareTrace(cfg.Trace)
+	}
+	if prep.err != nil {
+		return nil, prep.err
+	}
+	if err := cfg.validateNonTrace(); err != nil {
 		return nil, err
 	}
 	t := cfg.Trace
 	blockSize := t.BlockSize
 
-	// Preprocess: footprint (max concurrent bytes placed) sizes the flash
-	// devices; file-size hints keep placement stable.
-	hints := t.MaxFileSizes()
-	footprint := traceFootprint(t, blockSize, hints)
+	// Preprocessing (footprint sizes the flash devices; per-record placements
+	// replace the per-run layout replay) comes from the prep — shared across
+	// a sweep's runs or computed fresh above.
+	placements := prep.placements
+	deletions := prep.deletions
+	footprint := prep.footprint
 
 	// Nil when the plan injects nothing: the fault-free path stays
 	// byte-identical to a build without fault injection.
@@ -78,9 +229,16 @@ func Run(cfg Config) (*Result, error) {
 			return nil, err
 		}
 	}
+	// dc is the nil-safe interface view of dram for the shared helpers: a
+	// typed nil *cache.Cache inside the interface would defeat their
+	// dram != nil checks.
+	var dc dramCache
+	if dram != nil {
+		dc = dram
+	}
 	sc := cfg.Scope
 	tracing := sc.Tracing()
-	smp := newSampler(cfg, sc, st, dram)
+	smp := newSampler(cfg, sc, st, dc)
 
 	res := &Result{
 		TraceName:         t.Name,
@@ -90,7 +248,6 @@ func Run(cfg Config) (*Result, error) {
 		WriteHist:         stats.NewLatencyHistogram(),
 	}
 
-	layout := trace.NewLayout(blockSize)
 	warmIdx := t.WarmSplit(cfg.WarmFraction)
 	var warmSnapshot float64
 	snapshotTaken := warmIdx == 0
@@ -98,36 +255,38 @@ func Run(cfg Config) (*Result, error) {
 	crashes := inj.PowerFailSchedule()
 	ci := 0
 
+	observer := cfg.Observer
 	var lastCompletion units.Time
-	for i, rec := range t.Records {
+	recs := t.Records
+	for i := range recs {
+		rec := &recs[i]
 		for ci < len(crashes) && crashes[ci] <= rec.Time {
-			crashAndRecover(st, dram, inj, cfg, crashes[ci])
+			crashAndRecover(st, dc, inj, cfg, crashes[ci])
 			ci++
 		}
-		st.top.Idle(rec.Time)
+		st.idle(rec.Time)
 		smp.Tick(int64(rec.Time))
 		if !snapshotTaken && i >= warmIdx {
 			if dram != nil {
 				dram.AccrueStandby(rec.Time)
 			}
-			warmSnapshot = totalEnergy(st, dram)
+			warmSnapshot = totalEnergy(st, dc)
 			snapshotTaken = true
 		}
 
 		switch rec.Op {
 		case trace.Delete:
-			off, size, ok := layout.Extent(rec.File)
+			pl, ok := deletions[i]
 			if !ok {
 				continue // deleting a file the trace never touched
 			}
 			if dram != nil {
-				dram.Invalidate(off, size)
+				dram.Invalidate(pl.off, pl.size)
 			}
-			st.top.Access(device.Request{Time: rec.Time, Op: trace.Delete, File: rec.File, Addr: off, Size: size})
-			layout.Delete(rec.File)
+			st.access(device.Request{Time: rec.Time, Op: trace.Delete, File: rec.File, Addr: pl.off, Size: pl.size})
 
 		case trace.Read:
-			addr := layout.Place(rec.File, rec.Offset, hints[rec.File])
+			addr := placements[i]
 			var resp units.Time
 			hit := false
 			if dram != nil && dram.Contains(addr, rec.Size) {
@@ -140,7 +299,7 @@ func Run(cfg Config) (*Result, error) {
 				if tracing && dram != nil {
 					sc.Emit(obs.Event{T: int64(rec.Time), Kind: obs.EvCacheMiss, Size: int64(rec.Size)})
 				}
-				completion := st.top.Access(device.Request{
+				completion := st.access(device.Request{
 					Time: rec.Time, Op: trace.Read, File: rec.File, Addr: addr, Size: rec.Size,
 				})
 				if completion > lastCompletion {
@@ -157,13 +316,13 @@ func Run(cfg Config) (*Result, error) {
 				res.Overall.AddTime(resp)
 				res.MeasuredOps++
 			}
-			if cfg.Observer != nil {
-				cfg.Observer(OpObservation{Index: i, Arrival: rec.Time, Response: resp,
+			if observer != nil {
+				observer(OpObservation{Index: i, Arrival: rec.Time, Response: resp,
 					Op: trace.Read, CacheHit: hit, Size: rec.Size})
 			}
 
 		case trace.Write:
-			addr := layout.Place(rec.File, rec.Offset, hints[rec.File])
+			addr := placements[i]
 			var resp units.Time
 			if cfg.WriteBack && dram != nil {
 				// Write-back ablation: the write completes at DRAM speed;
@@ -173,7 +332,7 @@ func Run(cfg Config) (*Result, error) {
 			} else {
 				// Paper default: write-through. The block lands in the
 				// cache and the device; response is the device write.
-				completion := st.top.Access(device.Request{
+				completion := st.access(device.Request{
 					Time: rec.Time, Op: trace.Write, File: rec.File, Addr: addr, Size: rec.Size,
 				})
 				if completion > lastCompletion {
@@ -191,8 +350,8 @@ func Run(cfg Config) (*Result, error) {
 				res.Overall.AddTime(resp)
 				res.MeasuredOps++
 			}
-			if cfg.Observer != nil {
-				cfg.Observer(OpObservation{Index: i, Arrival: rec.Time, Response: resp,
+			if observer != nil {
+				observer(OpObservation{Index: i, Arrival: rec.Time, Response: resp,
 					Op: trace.Write, Size: rec.Size})
 			}
 		}
@@ -202,7 +361,7 @@ func Run(cfg Config) (*Result, error) {
 	// Power failures scheduled after the last record but within the run
 	// still fire (the trace's tail idle period).
 	for ; ci < len(crashes) && crashes[ci] <= end; ci++ {
-		crashAndRecover(st, dram, inj, cfg, crashes[ci])
+		crashAndRecover(st, dc, inj, cfg, crashes[ci])
 	}
 	// Final write-back flush happens off the books: it is an artifact of
 	// ending the simulation, not of the workload.
@@ -221,8 +380,8 @@ func Run(cfg Config) (*Result, error) {
 	res.Timeline = smp.Timeline()
 
 	res.EndTime = end
-	fillEnergy(res, st, dram, warmSnapshot)
-	fillDeviceStats(res, st, dram)
+	fillEnergy(res, st, dc, warmSnapshot)
+	fillDeviceStats(res, st, dc)
 	res.Faults = inj.Report()
 	if reg := sc.Registry(); reg != nil {
 		res.Metrics = reg.Counters()
@@ -239,7 +398,7 @@ func Run(cfg Config) (*Result, error) {
 //   - the battery-backed SRAM buffer is empty after its recovery replay.
 //
 // Violations are recorded on the injector's report — tests fail on any.
-func crashAndRecover(st *stack, dram *cache.Cache, inj *fault.Injector, cfg Config, at units.Time) {
+func crashAndRecover(st *stack, dram dramCache, inj *fault.Injector, cfg Config, at units.Time) {
 	st.top.Idle(at)
 	inj.RecordPowerFail(at)
 
@@ -282,14 +441,14 @@ func crashAndRecover(st *stack, dram *cache.Cache, inj *fault.Injector, cfg Conf
 // time (asynchronous with respect to the response being measured).
 func writeEvicted(st *stack, extents []cache.Extent, at units.Time) {
 	for _, e := range extents {
-		st.top.Access(device.Request{
+		st.access(device.Request{
 			Time: at, Op: trace.Write, File: ^uint32(0), Addr: e.Addr, Size: e.Size,
 		})
 	}
 }
 
 // totalEnergy sums all component meters.
-func totalEnergy(st *stack, dram *cache.Cache) float64 {
+func totalEnergy(st *stack, dram dramCache) float64 {
 	var j float64
 	for _, m := range st.meters() {
 		j += m.TotalJ()
@@ -302,7 +461,7 @@ func totalEnergy(st *stack, dram *cache.Cache) float64 {
 
 // fillEnergy computes post-warm-start energy totals and the component
 // breakdown.
-func fillEnergy(res *Result, st *stack, dram *cache.Cache, warmSnapshot float64) {
+func fillEnergy(res *Result, st *stack, dram dramCache, warmSnapshot float64) {
 	var storageJ float64
 	switch {
 	case st.disk != nil:
@@ -325,7 +484,7 @@ func fillEnergy(res *Result, st *stack, dram *cache.Cache, warmSnapshot float64)
 }
 
 // fillDeviceStats extracts device-specific counters.
-func fillDeviceStats(res *Result, st *stack, dram *cache.Cache) {
+func fillDeviceStats(res *Result, st *stack, dram dramCache) {
 	if dram != nil {
 		res.CacheHits = dram.Hits()
 		res.CacheMisses = dram.Misses()
@@ -386,19 +545,19 @@ func fillDeviceStats(res *Result, st *stack, dram *cache.Cache) {
 // concurrent bytes placed over its lifetime. Experiments use it to size
 // flash devices relative to the workload.
 func Footprint(t *trace.Trace) units.Bytes {
-	return traceFootprint(t, t.BlockSize, t.MaxFileSizes())
+	return traceFootprint(t, t.BlockSize, t.MaxFileExtents())
 }
 
 // traceFootprint dry-runs the layout over the whole trace and returns the
 // maximum concurrent placement high-water mark, block-rounded.
-func traceFootprint(t *trace.Trace, blockSize units.Bytes, hints map[uint32]units.Bytes) units.Bytes {
+func traceFootprint(t *trace.Trace, blockSize units.Bytes, hints *trace.FileSizes) units.Bytes {
 	l := trace.NewLayout(blockSize)
 	for _, rec := range t.Records {
 		switch rec.Op {
 		case trace.Delete:
 			l.Delete(rec.File)
 		default:
-			l.Place(rec.File, rec.Offset, hints[rec.File])
+			l.Place(rec.File, rec.Offset, hints.Get(rec.File))
 		}
 	}
 	return l.HighWater()

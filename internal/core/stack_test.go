@@ -1,0 +1,190 @@
+package core
+
+import (
+	"testing"
+
+	"mobilestorage/internal/device"
+	"mobilestorage/internal/disk"
+	"mobilestorage/internal/energy"
+	"mobilestorage/internal/flashcard"
+	"mobilestorage/internal/flashdisk"
+	"mobilestorage/internal/hybrid"
+	"mobilestorage/internal/sram"
+	"mobilestorage/internal/units"
+)
+
+// fullStack hand-assembles a stack with every component populated — a shape
+// buildStack never produces (it sets exactly one base device) but one the
+// stack helpers must still handle correctly.
+func fullStack(t *testing.T) *stack {
+	t.Helper()
+	d, err := disk.New(device.CU140Measured())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fd, err := flashdisk.New(device.SDP5Datasheet(), 4*units.MB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc, err := flashcard.New(device.IntelSeries2Measured(), 2*units.MB, 512*units.B)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := hybrid.New(hybrid.Config{
+		Disk:      device.CU140Measured(),
+		Card:      device.IntelSeries2Measured(),
+		CacheSize: 1 * units.MB,
+		BlockSize: 512 * units.B,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sramParams := device.NECSRAM()
+	buf, err := sram.New(sramParams, 32*units.KB, 512*units.B, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &stack{top: buf, disk: d, fdisk: fd, fcard: fc, hyb: h, buffer: buf}
+}
+
+// TestStackMetersReportsEveryComponent pins the meters() contract: a stack
+// with every component populated reports each component's meter exactly
+// once. The original switch-based implementation stopped at the first
+// non-nil device, silently dropping the rest from energy totals.
+func TestStackMetersReportsEveryComponent(t *testing.T) {
+	st := fullStack(t)
+	// The hybrid composes a fresh merged meter per call, so identity is
+	// checked against nil there; every other component returns its own
+	// stable meter, checked by pointer.
+	want := []*energy.Meter{
+		st.disk.Meter(), st.fdisk.Meter(), st.fcard.Meter(), nil, st.buffer.Meter(),
+	}
+	got := st.meters()
+	if len(got) != len(want) {
+		t.Fatalf("meters() returned %d meters, want %d", len(got), len(want))
+	}
+	seen := make(map[*energy.Meter]bool)
+	for i, m := range got {
+		if m == nil {
+			t.Fatalf("meters()[%d] is nil", i)
+		}
+		if seen[m] {
+			t.Fatalf("meters()[%d] reported twice", i)
+		}
+		seen[m] = true
+		if want[i] != nil && m != want[i] {
+			t.Errorf("meters()[%d] is not the expected component meter", i)
+		}
+	}
+}
+
+// TestStackMetersPartial checks each single-component stack reports exactly
+// its own meter — the shape buildStack actually produces.
+func TestStackMetersPartial(t *testing.T) {
+	full := fullStack(t)
+	cases := []struct {
+		name string
+		st   stack
+	}{
+		{"disk-only", stack{disk: full.disk}},
+		{"flashdisk-only", stack{fdisk: full.fdisk}},
+		{"flashcard-only", stack{fcard: full.fcard}},
+		{"hybrid-only", stack{hyb: full.hyb}},
+		{"buffer-over-disk", stack{disk: full.disk, buffer: full.buffer}},
+	}
+	wantCounts := []int{1, 1, 1, 1, 2}
+	for i, c := range cases {
+		if got := len(c.st.meters()); got != wantCounts[i] {
+			t.Errorf("%s: meters() returned %d meters, want %d", c.name, got, wantCounts[i])
+		}
+	}
+}
+
+// crashStub records the order of Device and Crasher calls.
+type crashStub struct {
+	meter      *energy.Meter
+	calls      []string
+	times      []units.Time
+	recoverDur units.Time
+}
+
+func (s *crashStub) Access(req device.Request) units.Time { return req.Time }
+func (s *crashStub) Idle(now units.Time) {
+	s.calls = append(s.calls, "idle")
+	s.times = append(s.times, now)
+}
+func (s *crashStub) Finish(now units.Time) {}
+func (s *crashStub) Meter() *energy.Meter  { return s.meter }
+func (s *crashStub) Name() string          { return "crash-stub" }
+func (s *crashStub) Crash(at units.Time) {
+	s.calls = append(s.calls, "crash")
+	s.times = append(s.times, at)
+}
+func (s *crashStub) Recover(at units.Time) units.Time {
+	s.calls = append(s.calls, "recover")
+	s.times = append(s.times, at)
+	return at + s.recoverDur
+}
+
+// TestCrashAndRecoverOrdering pins the power-failure protocol the core
+// promises devices: Idle(at), then Crash(at), then Recover(at), all at the
+// crash instant, with recovery completing no earlier than the crash.
+func TestCrashAndRecoverOrdering(t *testing.T) {
+	cases := []struct {
+		name       string
+		at         units.Time
+		recoverDur units.Time
+	}{
+		{"at-zero", 0, 0},
+		{"mid-run", 90 * units.Second, 3 * units.Millisecond},
+		{"instant-recovery", 5 * units.Second, 0},
+		{"slow-recovery", 12 * units.Hour, 2 * units.Second},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			stub := &crashStub{meter: energy.NewMeter(), recoverDur: c.recoverDur}
+			st := &stack{top: stub}
+			crashAndRecover(st, nil, nil, Config{}, c.at)
+			want := []string{"idle", "crash", "recover"}
+			if len(stub.calls) != len(want) {
+				t.Fatalf("calls = %v, want %v", stub.calls, want)
+			}
+			for i, call := range want {
+				if stub.calls[i] != call {
+					t.Fatalf("call %d = %q, want %q (sequence %v)", i, stub.calls[i], call, stub.calls)
+				}
+				if stub.times[i] != c.at {
+					t.Errorf("%s called at %v, want crash instant %v", call, stub.times[i], c.at)
+				}
+			}
+		})
+	}
+}
+
+// TestRealDevicesRecoverAfterCrashInstant checks every Crasher device model
+// honors the timing half of the protocol: Recover(at) never completes
+// before the crash instant.
+func TestRealDevicesRecoverAfterCrashInstant(t *testing.T) {
+	full := fullStack(t)
+	devices := []struct {
+		name string
+		dev  device.Device
+	}{
+		{"disk", full.disk},
+		{"flashdisk", full.fdisk},
+		{"flashcard", full.fcard},
+		{"hybrid", full.hyb},
+	}
+	const at = 45 * units.Second
+	for _, d := range devices {
+		cr, ok := d.dev.(device.Crasher)
+		if !ok {
+			continue
+		}
+		d.dev.Idle(at)
+		cr.Crash(at)
+		if done := cr.Recover(at); done < at {
+			t.Errorf("%s: recovery completed at %v, before crash instant %v", d.name, done, at)
+		}
+	}
+}

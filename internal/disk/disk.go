@@ -59,6 +59,10 @@ type Disk struct {
 	spinDowns int64
 	ops       int64
 
+	// xferMemo caches transfer times at the fixed media bandwidth;
+	// results are bit-identical to calling units.TransferTime directly.
+	xferMemo units.TransferMemo
+
 	// Observability (nil-safe no-ops without a scope).
 	sc         *obs.Scope
 	evName     string // cached Name() for event emission
@@ -126,10 +130,11 @@ func New(p device.DiskParams, opts ...Option) (*Disk, error) {
 		return nil, err
 	}
 	d := &Disk{
-		p:      p,
-		policy: FixedThreshold{},
-		meter:  energy.NewMeter(),
-		st:     spinning,
+		p:        p,
+		policy:   FixedThreshold{},
+		meter:    energy.NewMeter(),
+		st:       spinning,
+		xferMemo: units.NewTransferMemo(p.TransferKBs),
 	}
 	d.refreshThreshold()
 	for _, o := range opts {
@@ -188,7 +193,7 @@ func (d *Disk) Background(req device.Request) units.Time {
 		start = d.spinUpUntil
 	}
 	service := d.serviceTime(req)
-	d.meter.Accrue(energy.StateActive, d.p.ActiveW, service)
+	d.meter.AccrueSlot(energy.SlotActive, d.p.ActiveW, service)
 	if d.inj != nil {
 		service += d.retry(req, service, start)
 	}
@@ -233,7 +238,7 @@ func (d *Disk) Access(req device.Request) units.Time {
 	}
 
 	service := d.serviceTime(req)
-	d.meter.Accrue(energy.StateActive, d.p.ActiveW, service)
+	d.meter.AccrueSlot(energy.SlotActive, d.p.ActiveW, service)
 	if d.inj != nil {
 		service += d.retry(req, service, start)
 	}
@@ -265,8 +270,8 @@ func (d *Disk) retry(req device.Request, service, start units.Time) units.Time {
 		return 0
 	}
 	extra := service * units.Time(att-1)
-	d.meter.Accrue(energy.StateActive, d.p.ActiveW, extra)
-	d.meter.Accrue(energy.StateIdle, d.p.IdleW, backoff)
+	d.meter.AccrueSlot(energy.SlotActive, d.p.ActiveW, extra)
+	d.meter.AccrueSlot(energy.SlotIdle, d.p.IdleW, backoff)
 	return extra + backoff
 }
 
@@ -300,7 +305,7 @@ func (d *Disk) Recover(at units.Time) units.Time { return at }
 // wake spins the disk up at the given instant, charging spin-up energy and
 // feeding the observed sleep duration back to the policy.
 func (d *Disk) wake(at units.Time) {
-	d.meter.Accrue(energy.StateSpinUp, d.p.SpinUpW, d.p.SpinUpTime)
+	d.meter.AccrueSlot(energy.SlotSpinUp, d.p.SpinUpW, d.p.SpinUpTime)
 	d.st = spinning
 	d.spinUps++
 	slept := at - d.sleepStart
@@ -327,7 +332,7 @@ func (d *Disk) serviceTime(req device.Request) units.Time {
 		}
 	}
 	d.lastEnd = req.Addr + req.Size
-	return latency + units.TransferTime(req.Size, d.p.TransferKBs)
+	return latency + d.xferMemo.Time(req.Size)
 }
 
 // advance integrates energy from lastUpdate to now, spinning down when the
@@ -342,11 +347,11 @@ func (d *Disk) advance(now units.Time) {
 			downAt := d.idleSince + d.spinDown
 			if now > downAt {
 				if downAt > d.lastUpdate {
-					d.meter.Accrue(energy.StateIdle, d.p.IdleW, downAt-d.lastUpdate)
+					d.meter.AccrueSlot(energy.SlotIdle, d.p.IdleW, downAt-d.lastUpdate)
 				} else {
 					downAt = d.lastUpdate
 				}
-				d.meter.Accrue(energy.StateSleep, d.p.SleepW, now-downAt)
+				d.meter.AccrueSlot(energy.SlotSleep, d.p.SleepW, now-downAt)
 				d.st = sleeping
 				d.sleepStart = downAt
 				d.spinDowns++
@@ -358,9 +363,9 @@ func (d *Disk) advance(now units.Time) {
 				return
 			}
 		}
-		d.meter.Accrue(energy.StateIdle, d.p.IdleW, now-d.lastUpdate)
+		d.meter.AccrueSlot(energy.SlotIdle, d.p.IdleW, now-d.lastUpdate)
 	case sleeping:
-		d.meter.Accrue(energy.StateSleep, d.p.SleepW, now-d.lastUpdate)
+		d.meter.AccrueSlot(energy.SlotSleep, d.p.SleepW, now-d.lastUpdate)
 	}
 	d.lastUpdate = now
 }

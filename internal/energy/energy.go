@@ -30,6 +30,41 @@ const (
 	StateStandby State = "standby" // memory retention (DRAM refresh, SRAM data hold)
 )
 
+// knownStates lists the predefined states in sorted name order. The meter
+// stores their energy in a flat array indexed by this order — Accrue is on
+// every device's per-operation path, and hashing a string key per accrual
+// dominated whole-trace replay profiles. Keeping the array in sorted name
+// order means Merge's in-order walk reproduces the exact float-addition
+// order of the original sorted-map implementation.
+var knownStates = [...]State{
+	StateActive, StateCleaner, StateErase, StateIdle,
+	StateSleep, StateSpinUp, StateStandby,
+}
+
+const numKnown = len(knownStates)
+
+// knownIndex maps a predefined state to its array slot, or -1 for a
+// device-defined custom state (those spill to a map).
+func knownIndex(s State) int {
+	switch s {
+	case StateActive:
+		return 0
+	case StateCleaner:
+		return 1
+	case StateErase:
+		return 2
+	case StateIdle:
+		return 3
+	case StateSleep:
+		return 4
+	case StateSpinUp:
+		return 5
+	case StateStandby:
+		return 6
+	}
+	return -1
+}
+
 // Meter integrates energy across labelled power states.
 //
 // A Meter is driven by calls to Accrue(state, watts, duration). It does not
@@ -38,13 +73,19 @@ const (
 // overlapping background work (e.g. a flash erase that proceeds during host
 // idle time) however their model requires.
 type Meter struct {
-	joules map[State]float64
-	total  float64
+	known [numKnown]float64
+	// present[i] records that known state i was ever accrued, preserving the
+	// map implementation's distinction between "absent" and "zero joules" in
+	// ByState and String output.
+	present [numKnown]bool
+	// spill holds device-defined custom states; nil until one appears.
+	spill map[State]float64
+	total float64
 }
 
 // NewMeter returns an empty meter.
 func NewMeter() *Meter {
-	return &Meter{joules: make(map[State]float64)}
+	return &Meter{}
 }
 
 // Accrue adds watts × duration of energy attributed to state.
@@ -57,8 +98,34 @@ func (m *Meter) Accrue(state State, watts float64, d units.Time) {
 	if watts < 0 {
 		panic(fmt.Sprintf("energy: negative power %g W in state %s", watts, state))
 	}
+	m.AccrueJoules(state, watts*d.Seconds())
+}
+
+// Slot is a precomputed index for one of the predefined states. Device hot
+// paths accrue through a slot to skip the per-call state-name dispatch;
+// AccrueSlot(SlotX, w, d) is exactly Accrue(StateX, w, d).
+type Slot int8
+
+// Slots for the predefined states, in knownStates order.
+const (
+	SlotActive  Slot = 0
+	SlotCleaner Slot = 1
+	SlotErase   Slot = 2
+	SlotIdle    Slot = 3
+	SlotSleep   Slot = 4
+	SlotSpinUp  Slot = 5
+	SlotStandby Slot = 6
+)
+
+// AccrueSlot adds watts × duration of energy attributed to the slot's state,
+// with the same negative-input panics as Accrue.
+func (m *Meter) AccrueSlot(i Slot, watts float64, d units.Time) {
+	if d < 0 || watts < 0 {
+		m.Accrue(knownStates[i], watts, d) // reproduce Accrue's panic
+	}
 	j := watts * d.Seconds()
-	m.joules[state] += j
+	m.known[i] += j
+	m.present[i] = true
 	m.total += j
 }
 
@@ -68,7 +135,15 @@ func (m *Meter) AccrueJoules(state State, j float64) {
 	if j < 0 {
 		panic(fmt.Sprintf("energy: negative energy %g J in state %s", j, state))
 	}
-	m.joules[state] += j
+	if i := knownIndex(state); i >= 0 {
+		m.known[i] += j
+		m.present[i] = true
+	} else {
+		if m.spill == nil {
+			m.spill = make(map[State]float64)
+		}
+		m.spill[state] += j
+	}
 	m.total += j
 }
 
@@ -77,43 +152,66 @@ func (m *Meter) TotalJ() float64 { return m.total }
 
 // ByState returns a copy of the per-state attribution map.
 func (m *Meter) ByState() map[State]float64 {
-	out := make(map[State]float64, len(m.joules))
-	for k, v := range m.joules {
+	out := make(map[State]float64, numKnown+len(m.spill))
+	for i, s := range knownStates {
+		if m.present[i] {
+			out[s] = m.known[i]
+		}
+	}
+	for k, v := range m.spill {
 		out[k] = v
 	}
 	return out
 }
 
 // StateJ returns the energy attributed to one state.
-func (m *Meter) StateJ(s State) float64 { return m.joules[s] }
+func (m *Meter) StateJ(s State) float64 {
+	if i := knownIndex(s); i >= 0 {
+		return m.known[i]
+	}
+	return m.spill[s]
+}
 
 // Merge adds all of other's energy into m. States are merged in sorted
-// order: float addition is order-sensitive in the last ulp, and map
-// iteration order would make merged totals vary between identical runs.
+// order: float addition is order-sensitive in the last ulp, and arbitrary
+// order would make merged totals vary between identical runs.
 func (m *Meter) Merge(other *Meter) {
-	states := make([]State, 0, len(other.joules))
-	for k := range other.joules {
+	if other.spill == nil {
+		// knownStates is already in sorted name order.
+		for i := range knownStates {
+			if !other.present[i] {
+				continue
+			}
+			v := other.known[i]
+			m.known[i] += v
+			m.present[i] = true
+			m.total += v
+		}
+		return
+	}
+	by := other.ByState()
+	states := make([]State, 0, len(by))
+	for k := range by {
 		states = append(states, k)
 	}
 	sort.Slice(states, func(i, j int) bool { return states[i] < states[j] })
 	for _, k := range states {
-		v := other.joules[k]
-		m.joules[k] += v
-		m.total += v
+		m.AccrueJoules(k, by[k])
 	}
 }
 
 // String renders the meter as "total J (state=J, ...)" with states sorted
 // for deterministic output.
 func (m *Meter) String() string {
-	states := make([]string, 0, len(m.joules))
-	for k := range m.joules {
+	by := m.ByState()
+	states := make([]string, 0, len(by))
+	for k := range by {
 		states = append(states, string(k))
 	}
 	sort.Strings(states)
 	parts := make([]string, 0, len(states))
 	for _, s := range states {
-		parts = append(parts, fmt.Sprintf("%s=%.1fJ", s, m.joules[State(s)]))
+		parts = append(parts, fmt.Sprintf("%s=%.1fJ", s, by[State(s)]))
 	}
 	return fmt.Sprintf("%.1fJ (%s)", m.total, strings.Join(parts, ", "))
 }

@@ -92,11 +92,14 @@ func Fig2(seed int64) ([]Fig2Point, error) {
 		if err != nil {
 			return nil, err
 		}
+		// One prep per trace: the eight utilization runs share the same
+		// validation, hints, and footprint.
+		prep := core.PrepareTrace(t)
 		// Fix the card size so the lowest utilization in the sweep still
 		// holds the whole trace footprint, then set utilization by filler.
 		seg := device.IntelSeries2Datasheet().SegmentSize
 		minUtil := Fig2Utilizations[0]
-		capacity := units.CeilDiv(units.Bytes(float64(core.Footprint(t))/minUtil), seg) * seg
+		capacity := units.CeilDiv(units.Bytes(float64(prep.Footprint())/minUtil), seg) * seg
 		points := make([]Fig2Point, len(Fig2Utilizations))
 		var firstErr firstError
 		pmap(len(Fig2Utilizations), func(i int) {
@@ -104,6 +107,7 @@ func Fig2(seed int64) ([]Fig2Point, error) {
 			stored := units.Bytes(float64(capacity) * util)
 			cfg := core.Config{
 				Trace:           t,
+				Prep:            prep,
 				DRAMBytes:       dramFor(name),
 				Kind:            core.FlashCard,
 				FlashCardParams: device.IntelSeries2Datasheet(),
@@ -212,11 +216,13 @@ func Fig4(seed int64) ([]Fig4Point, error) {
 		return nil, err
 	}
 	const stored = 32 * units.MB
+	prep := core.PrepareTrace(t)
 	var out []Fig4Point
 	for flashMB := 34; flashMB <= 38; flashMB++ {
 		for _, dram := range Fig4DRAMSizes {
 			cfg := core.Config{
 				Trace:           t,
+				Prep:            prep,
 				DRAMBytes:       dram,
 				Kind:            core.FlashCard,
 				FlashCardParams: device.IntelSeries2Datasheet(),
@@ -241,6 +247,7 @@ func Fig4(seed int64) ([]Fig4Point, error) {
 	for _, dram := range Fig4DRAMSizes {
 		cfg := core.Config{
 			Trace:           t,
+			Prep:            prep,
 			DRAMBytes:       dram,
 			Kind:            core.FlashDisk,
 			FlashDiskParams: device.SDP5Datasheet(),
@@ -298,10 +305,12 @@ func Fig5(seed int64) ([]Fig5Point, error) {
 		if err != nil {
 			return nil, err
 		}
+		prep := core.PrepareTrace(t)
 		var baseEnergy, baseWrite float64
 		for _, sram := range Fig5SRAMSizes {
 			cfg := core.Config{
 				Trace:     t,
+				Prep:      prep,
 				DRAMBytes: dramFor(name),
 				Kind:      core.MagneticDisk,
 				Disk:      device.CU140Datasheet(),

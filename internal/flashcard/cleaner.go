@@ -35,15 +35,21 @@ type GreedyPolicy struct{}
 // Name implements Policy.
 func (GreedyPolicy) Name() string { return "greedy" }
 
-// SelectVictim implements Policy.
+// SelectVictim implements Policy. The scan is written as a direct loop
+// (not via closedVictims) because it runs on the cleaner's critical path;
+// the candidate filter and first-lowest-live selection are identical.
 func (GreedyPolicy) SelectVictim(c *Card) int32 {
 	best := noSegment
-	bestLive := int32(0)
-	closedVictims(c, func(s, live int32, _ int64) {
-		if best == noSegment || live < bestLive {
+	bestLive := c.blocksPerSeg
+	states, lives := c.segState, c.segLive
+	for s := int32(0); s < c.nseg; s++ {
+		if states[s] != segClosed {
+			continue
+		}
+		if live := lives[s]; live < bestLive {
 			best, bestLive = s, live
 		}
-	})
+	}
 	return best
 }
 

@@ -23,6 +23,7 @@ package flashcard
 
 import (
 	"fmt"
+	"math/bits"
 
 	"mobilestorage/internal/device"
 	"mobilestorage/internal/energy"
@@ -77,15 +78,23 @@ type Card struct {
 	blocksPerSeg int32
 	nseg         int32
 
+	// blockShift replaces the per-access division by blockSize with a shift
+	// when the block size is a power of two (it always is in practice).
+	blockShift uint8
+	shiftOK    bool
+
 	// blockSeg[b] is the segment holding logical block b's live copy.
 	blockSeg []int32
 	// segLive[s] counts live blocks in segment s.
 	segLive []int32
 	// segState[s] is the lifecycle state of segment s.
 	segState []segState
-	// segBlocks[s] lists logical blocks appended to s; entries are stale
-	// when blockSeg no longer points back.
-	segBlocks [][]int32
+	// segArena[s*blocksPerSeg : s*blocksPerSeg+segFill[s]] lists logical
+	// blocks appended to segment s; entries are stale when blockSeg no
+	// longer points back. A flat arena plus fill counts keeps the
+	// per-append bookkeeping to two int32 stores.
+	segArena []int32
+	segFill  []int32
 	// segErases[s] counts erasures of segment s (endurance, §5.2).
 	segErases []int64
 	// segFillSeq[s] is the log sequence number at which s was opened,
@@ -99,7 +108,20 @@ type Card struct {
 	activeFree [numHeads]int32
 	erased     []int32
 
-	job *cleanJob
+	// job points at jobStore while a clean is in progress, nil otherwise;
+	// the inline store keeps the per-clean record off the heap.
+	job      *cleanJob
+	jobStore cleanJob
+
+	// Memoized transfer times for the card's fixed datasheet bandwidths;
+	// results are bit-identical to calling units.TransferTime directly.
+	// copyWorkMemo[n] caches the read+write copy cost of relocating n live
+	// blocks (0 = not yet computed; n=0 is trivially zero work), indexed by
+	// block count because cleaning copies are always whole blocks.
+	readMemo     units.TransferMemo
+	writeMemo    units.TransferMemo
+	copyKBs      float64
+	copyWorkMemo []units.Time
 
 	lastUpdate  units.Time
 	busyUntil   units.Time
@@ -227,19 +249,31 @@ func New(p device.FlashCardParams, capacity units.Bytes, blockSize units.Bytes, 
 		nseg:         nseg,
 		segLive:      make([]int32, nseg),
 		segState:     make([]segState, nseg),
-		segBlocks:    make([][]int32, nseg),
+		segFill:      make([]int32, nseg),
 		segErases:    make([]int64, nseg),
 		segFillSeq:   make([]int64, nseg),
 		active:       [numHeads]int32{noSegment, noSegment},
+	}
+	if blockSize&(blockSize-1) == 0 {
+		c.shiftOK = true
+		c.blockShift = uint8(bits.TrailingZeros64(uint64(blockSize)))
 	}
 	c.blockSeg = make([]int32, c.capacity/blockSize)
 	for i := range c.blockSeg {
 		c.blockSeg[i] = noSegment
 	}
+	c.segArena = make([]int32, int(nseg)*int(c.blocksPerSeg))
 	c.erased = make([]int32, nseg)
 	for i := range c.erased {
 		c.erased[i] = int32(i)
 	}
+	c.readMemo = units.NewTransferMemo(p.ReadKBs)
+	c.writeMemo = units.NewTransferMemo(p.WriteKBs)
+	c.copyKBs = p.CopyKBs
+	if c.copyKBs == 0 {
+		c.copyKBs = p.WriteKBs
+	}
+	c.copyWorkMemo = make([]units.Time, c.blocksPerSeg+1)
 	for _, o := range opts {
 		o(c)
 	}
@@ -264,8 +298,30 @@ func (c *Card) Prefill(data units.Bytes) error {
 		return fmt.Errorf("flashcard %s: prefill %v exceeds usable capacity (%v of %v)",
 			c.p.Name, data, units.Bytes(maxBlocks)*c.blockSize, c.capacity)
 	}
-	for b := int64(0); b < blocks; b++ {
-		c.appendBlock(int32(b), hostHead)
+	// Bulk-fill whole segments: state-identical to appending each block in
+	// order through appendBlock (which this replaced), but without the
+	// per-block bookkeeping — Figure 4 prefills 32 MB for every point.
+	bps := int64(c.blocksPerSeg)
+	for b := int64(0); b < blocks; {
+		n := blocks - b
+		if n > bps {
+			n = bps
+		}
+		c.openSegment(hostHead)
+		s := c.active[hostHead]
+		base := int64(s) * bps
+		for i := int64(0); i < n; i++ {
+			c.segArena[base+i] = int32(b + i)
+			c.blockSeg[b+i] = s
+		}
+		c.segFill[s] = int32(n)
+		c.segLive[s] = int32(n)
+		c.activeFree[hostHead] = int32(bps - n)
+		if c.activeFree[hostHead] == 0 {
+			c.segState[s] = segClosed
+			c.active[hostHead] = noSegment
+		}
+		b += n
 	}
 	return nil
 }
@@ -412,8 +468,7 @@ func (c *Card) Background(req device.Request) units.Time {
 // the service time, including any synchronous wait for erased space. start
 // is the arrival instant, used to timestamp events.
 func (c *Card) write(addr, size units.Bytes, start units.Time) units.Time {
-	first := int64(addr / c.blockSize)
-	last := int64((addr + size - 1) / c.blockSize)
+	first, last := c.blockRange(addr, size)
 	var stall units.Time
 	for b := first; b <= last; b++ {
 		stall += c.ensureSpace(hostHead, start+stall)
@@ -421,16 +476,16 @@ func (c *Card) write(addr, size units.Bytes, start units.Time) units.Time {
 		c.hostWrites++
 	}
 	c.cHostBlks.Add(last - first + 1)
-	transfer := units.TransferTime(size, c.p.WriteKBs)
-	c.meter.Accrue(energy.StateActive, c.p.ActiveW, transfer)
+	transfer := c.writeMemo.Time(size)
+	c.meter.AccrueSlot(energy.SlotActive, c.p.ActiveW, transfer)
 	c.hostTime += transfer // stall time is cleaning work, counted there
 	if c.inj != nil {
 		// A failed program repeats the whole transfer: full time and energy
 		// per physical attempt, standby power across the backoff waits.
 		if att, backoff := c.inj.Attempts(fault.OpWrite, c.evName, start); att > 1 {
 			extra := transfer * units.Time(att-1)
-			c.meter.Accrue(energy.StateActive, c.p.ActiveW, extra)
-			c.meter.Accrue(energy.StateStandby, c.p.StandbyW, backoff)
+			c.meter.AccrueSlot(energy.SlotActive, c.p.ActiveW, extra)
+			c.meter.AccrueSlot(energy.SlotStandby, c.p.StandbyW, backoff)
 			c.hostTime += extra
 			transfer += extra + backoff
 		}
@@ -450,13 +505,13 @@ func (c *Card) write(addr, size units.Bytes, start units.Time) units.Time {
 // injected transient-fault retries, charging active energy per physical
 // attempt and standby energy for the backoff waits.
 func (c *Card) readService(size units.Bytes, start units.Time) units.Time {
-	service := units.TransferTime(size, c.p.ReadKBs)
-	c.meter.Accrue(energy.StateActive, c.p.ActiveW, service)
+	service := c.readMemo.Time(size)
+	c.meter.AccrueSlot(energy.SlotActive, c.p.ActiveW, service)
 	if c.inj != nil {
 		if att, backoff := c.inj.Attempts(fault.OpRead, c.evName, start); att > 1 {
 			extra := service * units.Time(att-1)
-			c.meter.Accrue(energy.StateActive, c.p.ActiveW, extra)
-			c.meter.Accrue(energy.StateStandby, c.p.StandbyW, backoff)
+			c.meter.AccrueSlot(energy.SlotActive, c.p.ActiveW, extra)
+			c.meter.AccrueSlot(energy.SlotStandby, c.p.StandbyW, backoff)
 			service += extra + backoff
 		}
 	}
@@ -551,7 +606,7 @@ func (c *Card) openSegment(h logHead) {
 	c.segState[s] = segActive
 	c.fillSeq++
 	c.segFillSeq[s] = c.fillSeq
-	c.segBlocks[s] = c.segBlocks[s][:0]
+	c.segFill[s] = 0
 }
 
 // appendBlock writes one logical block at head h's log position,
@@ -574,7 +629,8 @@ func (c *Card) appendBlock(b int32, h logHead) {
 	}
 	c.blockSeg[b] = s
 	c.segLive[s]++
-	c.segBlocks[s] = append(c.segBlocks[s], b)
+	c.segArena[int64(s)*int64(c.blocksPerSeg)+int64(c.segFill[s])] = b
+	c.segFill[s]++
 	c.activeFree[h]--
 	if c.activeFree[h] == 0 {
 		c.segState[s] = segClosed
@@ -582,13 +638,19 @@ func (c *Card) appendBlock(b int32, h logHead) {
 	}
 }
 
+func (c *Card) blockRange(addr, size units.Bytes) (first, last int64) {
+	if c.shiftOK {
+		return int64(addr >> c.blockShift), int64((addr + size - 1) >> c.blockShift)
+	}
+	return int64(addr / c.blockSize), int64((addr + size - 1) / c.blockSize)
+}
+
 // invalidate drops live copies in [addr, addr+size) (file deletion).
 func (c *Card) invalidate(addr, size units.Bytes) {
 	if size <= 0 {
 		return
 	}
-	first := int64(addr / c.blockSize)
-	last := int64((addr + size - 1) / c.blockSize)
+	first, last := c.blockRange(addr, size)
 	for b := first; b <= last; b++ {
 		if s := c.blockSeg[b]; s != noSegment {
 			c.segLive[s]--
@@ -608,7 +670,7 @@ func (c *Card) advance(now units.Time) {
 	if !c.onDemand {
 		spent = c.runCleaner(c.lastUpdate, gap)
 	}
-	c.meter.Accrue(energy.StateStandby, c.p.StandbyW, gap-spent)
+	c.meter.AccrueSlot(energy.SlotStandby, c.p.StandbyW, gap-spent)
 	c.lastUpdate = now
 }
 
@@ -671,22 +733,24 @@ func (c *Card) startJob(at units.Time) {
 // the job. The erase-retry schedule is drawn here, up front, so the job's
 // total duration is fixed when it starts (events are timestamped at).
 func (c *Card) startJobFor(victim int32, at units.Time) {
-	copyBytes := units.Bytes(c.segLive[victim]) * c.blockSize
 	// Copying is a flash read plus a flash write per live byte, followed by
 	// the fixed-cost erase.
-	copyKBs := c.p.CopyKBs
-	if copyKBs == 0 {
-		copyKBs = c.p.WriteKBs
+	live := c.segLive[victim]
+	copyWork := c.copyWorkMemo[live]
+	if copyWork == 0 && live > 0 {
+		copyBytes := units.Bytes(live) * c.blockSize
+		copyWork = units.TransferTime(copyBytes, c.p.ReadKBs) + units.TransferTime(copyBytes, c.copyKBs)
+		c.copyWorkMemo[live] = copyWork
 	}
-	copyWork := units.TransferTime(copyBytes, c.p.ReadKBs) + units.TransferTime(copyBytes, copyKBs)
 	pulses, backoff := int64(1), units.Time(0)
 	if c.inj != nil {
 		pulses, backoff = c.inj.Attempts(fault.OpErase, c.evName, at)
 	}
 	eraseWork := units.Time(pulses)*c.p.EraseTime + backoff
 	total := copyWork + eraseWork
-	c.job = &cleanJob{victim: victim, remaining: total, total: total,
+	c.jobStore = cleanJob{victim: victim, remaining: total, total: total,
 		eraseWork: eraseWork, erasePulses: pulses}
+	c.job = &c.jobStore
 }
 
 // wearLevelVictim returns the least-worn closed segment when the wear
@@ -739,10 +803,10 @@ func (c *Card) accrueJob(step units.Time) {
 	copying := units.Max(0, c.job.remaining-c.job.eraseWork)
 	cp := units.Min(step, copying)
 	if cp > 0 {
-		c.meter.Accrue(energy.StateCleaner, c.p.ActiveW, cp)
+		c.meter.AccrueSlot(energy.SlotCleaner, c.p.ActiveW, cp)
 	}
 	if er := step - cp; er > 0 {
-		c.meter.Accrue(energy.StateErase, c.p.EraseW, er)
+		c.meter.AccrueSlot(energy.SlotErase, c.p.EraseW, er)
 	}
 }
 
@@ -756,7 +820,8 @@ func (c *Card) finishJob(at units.Time) {
 	c.job = nil
 	c.victimLiveSum += int64(c.segLive[v])
 	var copied int64
-	for _, b := range c.segBlocks[v] {
+	base := int64(v) * int64(c.blocksPerSeg)
+	for _, b := range c.segArena[base : base+int64(c.segFill[v])] {
 		if c.blockSeg[b] == v {
 			c.segLive[v]--
 			c.blockSeg[b] = noSegment // avoid double-decrement in appendBlock
@@ -765,7 +830,7 @@ func (c *Card) finishJob(at units.Time) {
 			copied++
 		}
 	}
-	c.segBlocks[v] = c.segBlocks[v][:0]
+	c.segFill[v] = 0
 	if c.segLive[v] != 0 {
 		panic(fmt.Sprintf("flashcard %s: segment %d has %d live blocks after clean", c.p.Name, v, c.segLive[v]))
 	}
@@ -861,7 +926,7 @@ func (c *Card) Crash(at units.Time) {
 // then verifies the rebuilt state. Returns when the scan completes.
 func (c *Card) Recover(at units.Time) units.Time {
 	scan := units.Time(c.nseg) * units.TransferTime(c.blockSize, c.p.ReadKBs)
-	c.meter.Accrue(energy.StateActive, c.p.ActiveW, scan)
+	c.meter.AccrueSlot(energy.SlotActive, c.p.ActiveW, scan)
 	done := at + scan
 	if done > c.lastUpdate {
 		c.lastUpdate = done

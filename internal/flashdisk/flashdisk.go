@@ -53,6 +53,15 @@ type FlashDisk struct {
 	totalSectors int64
 	ops          int64
 
+	// Memoized transfer times for the part's fixed datasheet bandwidths;
+	// results are bit-identical to calling units.TransferTime directly.
+	// perSectorErase is the constant background-erase time per sector.
+	readMemo       units.TransferMemo
+	coupledMemo    units.TransferMemo
+	preErasedMemo  units.TransferMemo
+	eraseMemo      units.TransferMemo
+	perSectorErase units.Time
+
 	// inj injects transient errors and wear-out; deadSectors counts sectors
 	// retired after crossing the wear-out threshold (the controller
 	// wear-levels uniformly, so one sector dies per threshold's worth of
@@ -114,10 +123,15 @@ func New(p device.FlashDiskParams, capacity units.Bytes, opts ...Option) (*Flash
 		return nil, fmt.Errorf("flashdisk %s: capacity %v below one sector", p.Name, capacity)
 	}
 	f := &FlashDisk{
-		p:            p,
-		meter:        energy.NewMeter(),
-		capacity:     capacity,
-		totalSectors: int64(capacity / p.SectorSize),
+		p:              p,
+		meter:          energy.NewMeter(),
+		capacity:       capacity,
+		totalSectors:   int64(capacity / p.SectorSize),
+		readMemo:       units.NewTransferMemo(p.ReadKBs),
+		coupledMemo:    units.NewTransferMemo(p.WriteCoupledKBs),
+		preErasedMemo:  units.NewTransferMemo(p.WritePreErasedKBs),
+		eraseMemo:      units.NewTransferMemo(p.EraseKBs),
+		perSectorErase: units.TransferTime(p.SectorSize, p.EraseKBs),
 	}
 	for _, o := range opts {
 		o(f)
@@ -176,13 +190,13 @@ func (f *FlashDisk) Access(req device.Request) units.Time {
 	var service units.Time
 	switch req.Op {
 	case trace.Read:
-		service = f.p.AccessLatency + units.TransferTime(req.Size, f.p.ReadKBs)
-		f.meter.Accrue(energy.StateActive, f.p.ActiveW, service)
+		service = f.p.AccessLatency + f.readMemo.Time(req.Size)
+		f.meter.AccrueSlot(energy.SlotActive, f.p.ActiveW, service)
 		if f.inj != nil {
 			if att, backoff := f.inj.Attempts(fault.OpRead, f.evName, start); att > 1 {
 				extra := service * units.Time(att-1)
-				f.meter.Accrue(energy.StateActive, f.p.ActiveW, extra)
-				f.meter.Accrue(energy.StateStandby, f.p.StandbyW, backoff)
+				f.meter.AccrueSlot(energy.SlotActive, f.p.ActiveW, extra)
+				f.meter.AccrueSlot(energy.SlotStandby, f.p.StandbyW, backoff)
 				service += extra + backoff
 			}
 		}
@@ -198,7 +212,7 @@ func (f *FlashDisk) Access(req device.Request) units.Time {
 				service += f.writeTime(req.Size, start+service)
 			}
 			if backoff > 0 {
-				f.meter.Accrue(energy.StateStandby, f.p.StandbyW, backoff)
+				f.meter.AccrueSlot(energy.SlotStandby, f.p.StandbyW, backoff)
 				service += backoff
 			}
 		}
@@ -221,8 +235,8 @@ func (f *FlashDisk) writeTime(size units.Bytes, start units.Time) units.Time {
 	sectors := int64(units.CeilDiv(size, f.p.SectorSize))
 	if !f.asyncErase {
 		// Erase coupled with write at the low combined bandwidth.
-		t := f.p.AccessLatency + units.TransferTime(size, f.p.WriteCoupledKBs)
-		f.meter.Accrue(energy.StateActive, f.p.WriteW, t)
+		t := f.p.AccessLatency + f.coupledMemo.Time(size)
+		f.meter.AccrueSlot(energy.SlotActive, f.p.WriteW, t)
 		f.recordErases(sectors, start, true)
 		return t
 	}
@@ -243,14 +257,14 @@ func (f *FlashDisk) writeTime(size units.Bytes, start units.Time) units.Time {
 
 	t := f.p.AccessLatency
 	if fast > 0 {
-		t += units.TransferTime(units.Bytes(fast)*f.p.SectorSize, f.p.WritePreErasedKBs)
+		t += f.preErasedMemo.Time(units.Bytes(fast) * f.p.SectorSize)
 	}
 	if slow > 0 {
 		b := units.Bytes(slow) * f.p.SectorSize
-		t += units.TransferTime(b, f.p.EraseKBs) + units.TransferTime(b, f.p.WritePreErasedKBs)
+		t += f.eraseMemo.Time(b) + f.preErasedMemo.Time(b)
 		f.recordErases(slow, start, true)
 	}
-	f.meter.Accrue(energy.StateActive, f.p.WriteW, t)
+	f.meter.AccrueSlot(energy.SlotActive, f.p.WriteW, t)
 	return t
 }
 
@@ -335,7 +349,7 @@ func (f *FlashDisk) advance(now units.Time) {
 	gap := now - f.lastUpdate
 	var spent units.Time // erase time spent within this gap
 	if f.asyncErase && f.stale > 0 {
-		perSector := units.TransferTime(f.p.SectorSize, f.p.EraseKBs)
+		perSector := f.perSectorErase
 		progress := f.eraseProgress + gap
 		erased := int64(progress / perSector)
 		if erased >= f.stale {
@@ -353,9 +367,9 @@ func (f *FlashDisk) advance(now units.Time) {
 		if erased > 0 {
 			f.recordErases(erased, f.lastUpdate+spent, false)
 		}
-		f.meter.Accrue(energy.StateErase, f.p.WriteW, spent)
+		f.meter.AccrueSlot(energy.SlotErase, f.p.WriteW, spent)
 	}
-	f.meter.Accrue(energy.StateStandby, f.p.StandbyW, gap-spent)
+	f.meter.AccrueSlot(energy.SlotStandby, f.p.StandbyW, gap-spent)
 	f.lastUpdate = now
 }
 

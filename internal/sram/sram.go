@@ -364,7 +364,7 @@ func (b *Buffer) drop(addr, size units.Bytes) {
 // duration.
 func (b *Buffer) accessTime(size units.Bytes) units.Time {
 	t := b.params.AccessTime(size)
-	b.meter.Accrue(energy.StateActive, b.params.ActiveW, t)
+	b.meter.AccrueSlot(energy.SlotActive, b.params.ActiveW, t)
 	return t
 }
 
@@ -372,7 +372,7 @@ func (b *Buffer) accrueStandby(now units.Time) {
 	if now <= b.lastUpdate {
 		return
 	}
-	b.meter.Accrue(energy.StateStandby, b.params.StandbyWPerMB*b.size.MBytes(), now-b.lastUpdate)
+	b.meter.AccrueSlot(energy.SlotStandby, b.params.StandbyWPerMB*b.size.MBytes(), now-b.lastUpdate)
 	b.lastUpdate = now
 }
 

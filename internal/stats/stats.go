@@ -10,6 +10,7 @@ package stats
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"mobilestorage/internal/units"
 )
@@ -139,6 +140,13 @@ type Histogram struct {
 	Bounds   []float64
 	Counts   []int64
 	Overflow int64
+
+	// One-entry memo for the previous in-bounds sample: simulated latencies
+	// repeat exact values (the same transfer size costs the same time), so
+	// re-searching for an identical float is pure waste.
+	memoX  float64
+	memoI  int32
+	memoOK bool
 }
 
 // NewHistogram builds a histogram with the given ascending bucket bounds.
@@ -153,13 +161,18 @@ func NewHistogram(bounds []float64) *Histogram {
 	return &Histogram{Bounds: b, Counts: make([]int64, len(bounds))}
 }
 
-// Add records one sample.
+// Add records one sample. The binary search lands in the same bucket a
+// linear first-bound-≥-x scan would: SearchFloat64s returns the smallest i
+// with Bounds[i] >= x.
 func (h *Histogram) Add(x float64) {
-	for i, b := range h.Bounds {
-		if x <= b {
-			h.Counts[i]++
-			return
-		}
+	if h.memoOK && x == h.memoX {
+		h.Counts[h.memoI]++
+		return
+	}
+	if i := sort.SearchFloat64s(h.Bounds, x); i < len(h.Bounds) {
+		h.Counts[i]++
+		h.memoX, h.memoI, h.memoOK = x, int32(i), true
+		return
 	}
 	h.Overflow++
 }

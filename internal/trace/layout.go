@@ -16,12 +16,29 @@ import (
 // Deleted files release their extent to a free list that is reused
 // first-fit, so the dos and synth traces (which contain deletions) do not
 // grow the address space without bound.
+//
+// File IDs are dense small integers in every real workload, so extents live
+// in a flat slice indexed by file ID — the map lookup this replaces was the
+// single hottest operation in whole-trace replays. IDs past denseFileLimit
+// (possible only in adversarial/fuzzed traces) spill to a map so behavior
+// is unchanged for arbitrary inputs. RefLayout keeps the original map-only
+// implementation for differential testing.
 type Layout struct {
 	blockSize units.Bytes
 	next      units.Bytes
-	extents   map[uint32]extent
-	free      []extent // sorted by offset, coalesced
+	// dense[f] holds file f's extent; size > 0 marks presence (allocate
+	// never returns an empty extent). Grown on demand, never beyond
+	// denseFileLimit entries.
+	dense []extent
+	// sparse holds extents for file IDs ≥ denseFileLimit; nil until needed.
+	sparse map[uint32]extent
+	free   []extent // sorted by offset, coalesced
 }
+
+// denseFileLimit bounds the dense extent table: IDs below it index a slice,
+// IDs at or above it fall back to a map. 1M entries × 16 bytes caps the
+// dense table at 16 MB, and it only grows as far as the largest ID seen.
+const denseFileLimit = 1 << 20
 
 type extent struct {
 	off, size units.Bytes
@@ -32,10 +49,7 @@ func NewLayout(blockSize units.Bytes) *Layout {
 	if blockSize <= 0 {
 		panic("trace: layout block size must be positive")
 	}
-	return &Layout{
-		blockSize: blockSize,
-		extents:   make(map[uint32]extent),
-	}
+	return &Layout{blockSize: blockSize}
 }
 
 // Place returns the device byte address of (file, offset), allocating an
@@ -43,10 +57,23 @@ func NewLayout(blockSize units.Bytes) *Layout {
 // maximum extent (from Trace.MaxFileSizes) so the allocation is stable
 // across the whole trace.
 func (l *Layout) Place(file uint32, offset, sizeHint units.Bytes) units.Bytes {
-	e, ok := l.extents[file]
+	if uint64(file) < uint64(len(l.dense)) {
+		if e := l.dense[file]; e.size > 0 {
+			if offset > e.size {
+				panic(fmt.Sprintf("trace: file %d accessed at %d beyond hinted extent %d", file, offset, e.size))
+			}
+			return e.off + offset
+		}
+	}
+	return l.placeSlow(file, offset, sizeHint)
+}
+
+// placeSlow handles first placement and spilled file IDs.
+func (l *Layout) placeSlow(file uint32, offset, sizeHint units.Bytes) units.Bytes {
+	e, ok := l.lookup(file)
 	if !ok {
-		e = l.allocate(roundUp(sizeHint, l.blockSize))
-		l.extents[file] = e
+		e = refAllocate(&l.free, &l.next, roundUp(sizeHint, l.blockSize), l.blockSize)
+		l.store(file, e)
 	}
 	if offset > e.size {
 		// The hint must cover all accesses; failing this indicates the
@@ -58,19 +85,23 @@ func (l *Layout) Place(file uint32, offset, sizeHint units.Bytes) units.Bytes {
 
 // Extent returns the placement of a file, if it has one.
 func (l *Layout) Extent(file uint32) (off, size units.Bytes, ok bool) {
-	e, found := l.extents[file]
+	e, found := l.lookup(file)
 	return e.off, e.size, found
 }
 
 // Delete releases a file's extent for reuse. Deleting an unplaced file is a
 // no-op (a trace may delete a file it never read or wrote).
 func (l *Layout) Delete(file uint32) {
-	e, ok := l.extents[file]
+	e, ok := l.lookup(file)
 	if !ok {
 		return
 	}
-	delete(l.extents, file)
-	l.release(e)
+	if file < denseFileLimit {
+		l.dense[file] = extent{}
+	} else {
+		delete(l.sparse, file)
+	}
+	refRelease(&l.free, e)
 }
 
 // HighWater returns one past the highest byte address ever allocated: the
@@ -80,52 +111,54 @@ func (l *Layout) HighWater() units.Bytes { return l.next }
 // LiveBytes returns the total bytes currently allocated to files.
 func (l *Layout) LiveBytes() units.Bytes {
 	var total units.Bytes
-	for _, e := range l.extents {
+	for _, e := range l.dense {
+		total += e.size
+	}
+	for _, e := range l.sparse {
 		total += e.size
 	}
 	return total
 }
 
-func (l *Layout) allocate(size units.Bytes) extent {
-	if size <= 0 {
-		size = l.blockSize
-	}
-	// First-fit from the free list.
-	for i, f := range l.free {
-		if f.size >= size {
-			e := extent{off: f.off, size: size}
-			if f.size == size {
-				l.free = append(l.free[:i], l.free[i+1:]...)
-			} else {
-				l.free[i] = extent{off: f.off + size, size: f.size - size}
-			}
-			return e
+func (l *Layout) lookup(file uint32) (extent, bool) {
+	if file < denseFileLimit {
+		if uint64(file) < uint64(len(l.dense)) {
+			e := l.dense[file]
+			return e, e.size > 0
 		}
+		return extent{}, false
 	}
-	e := extent{off: l.next, size: size}
-	l.next += size
-	return e
+	e, ok := l.sparse[file]
+	return e, ok
 }
 
-func (l *Layout) release(e extent) {
-	// Insert sorted by offset, then coalesce neighbours.
-	i := 0
-	for i < len(l.free) && l.free[i].off < e.off {
-		i++
+func (l *Layout) store(file uint32, e extent) {
+	if file < denseFileLimit {
+		if int(file) >= len(l.dense) {
+			if int(file) < cap(l.dense) {
+				// The tail of the backing array is always zero: writes only
+				// land below len, and Delete zeroes in place.
+				l.dense = l.dense[:file+1]
+			} else {
+				n := 2 * cap(l.dense)
+				if n < 64 {
+					n = 64
+				}
+				if int(file) >= n {
+					n = int(file) + 1
+				}
+				grown := make([]extent, int(file)+1, n)
+				copy(grown, l.dense)
+				l.dense = grown
+			}
+		}
+		l.dense[file] = e
+		return
 	}
-	l.free = append(l.free, extent{})
-	copy(l.free[i+1:], l.free[i:])
-	l.free[i] = e
-	// Coalesce with next.
-	if i+1 < len(l.free) && l.free[i].off+l.free[i].size == l.free[i+1].off {
-		l.free[i].size += l.free[i+1].size
-		l.free = append(l.free[:i+1], l.free[i+2:]...)
+	if l.sparse == nil {
+		l.sparse = make(map[uint32]extent)
 	}
-	// Coalesce with previous.
-	if i > 0 && l.free[i-1].off+l.free[i-1].size == l.free[i].off {
-		l.free[i-1].size += l.free[i].size
-		l.free = append(l.free[:i], l.free[i+1:]...)
-	}
+	l.sparse[file] = e
 }
 
 func roundUp(v, to units.Bytes) units.Bytes {

@@ -44,6 +44,46 @@ func TestLayoutDeleteReuse(t *testing.T) {
 	l.Delete(99)
 }
 
+func TestLayoutExtentDeleteRecreate(t *testing.T) {
+	l := NewLayout(512)
+	l.Place(1, 0, 2048)
+	off, size, ok := l.Extent(1)
+	if !ok || off != 0 || size != 2048 {
+		t.Fatalf("Extent(1) = (%d, %d, %v), want (0, 2048, true)", off, size, ok)
+	}
+	l.Delete(1)
+	if _, _, ok := l.Extent(1); ok {
+		t.Fatal("Extent(1) still ok after Delete")
+	}
+	// Re-creating the same file ID allocates afresh: the freed extent is
+	// first-fit reused, and Extent reports the new placement.
+	l.Place(1, 0, 1024)
+	off, size, ok = l.Extent(1)
+	if !ok || off != 0 || size != 1024 {
+		t.Fatalf("re-created Extent(1) = (%d, %d, %v), want (0, 1024, true)", off, size, ok)
+	}
+	// The tail of the original extent remains free for another file.
+	if got := l.Place(2, 0, 1024); got != 1024 {
+		t.Errorf("Place(2) = %d, want 1024 (tail of freed extent)", got)
+	}
+	if l.HighWater() != 2048 {
+		t.Errorf("HighWater = %d, want 2048 (no growth across delete/re-create)", l.HighWater())
+	}
+}
+
+func TestLayoutExtentUnknownFile(t *testing.T) {
+	l := NewLayout(512)
+	if _, _, ok := l.Extent(7); ok {
+		t.Error("Extent of never-placed file reported ok")
+	}
+	l.Place(7, 0, 512)
+	l.Delete(7)
+	l.Delete(7) // double delete is a no-op
+	if _, _, ok := l.Extent(7); ok {
+		t.Error("Extent ok after double delete")
+	}
+}
+
 func TestLayoutCoalesce(t *testing.T) {
 	l := NewLayout(512)
 	l.Place(1, 0, 512)

@@ -1,0 +1,117 @@
+package trace
+
+import (
+	"fmt"
+
+	"mobilestorage/internal/units"
+)
+
+// RefLayout is the original map-backed layout implementation, frozen as the
+// behavioral reference for the simulator's differential test harness
+// (internal/core/difftest). It must stay byte-for-byte equivalent to Layout:
+// same placement addresses, same free-list reuse, same panics. Do not
+// optimize this type — its whole value is being the slow, obviously-correct
+// path the fast one is diffed against.
+type RefLayout struct {
+	blockSize units.Bytes
+	next      units.Bytes
+	extents   map[uint32]extent
+	free      []extent // sorted by offset, coalesced
+}
+
+// NewRefLayout builds a reference layout that rounds file extents to
+// blockSize.
+func NewRefLayout(blockSize units.Bytes) *RefLayout {
+	if blockSize <= 0 {
+		panic("trace: layout block size must be positive")
+	}
+	return &RefLayout{
+		blockSize: blockSize,
+		extents:   make(map[uint32]extent),
+	}
+}
+
+// Place returns the device byte address of (file, offset), allocating an
+// extent the first time a file is seen.
+func (l *RefLayout) Place(file uint32, offset, sizeHint units.Bytes) units.Bytes {
+	e, ok := l.extents[file]
+	if !ok {
+		e = refAllocate(&l.free, &l.next, roundUp(sizeHint, l.blockSize), l.blockSize)
+		l.extents[file] = e
+	}
+	if offset > e.size {
+		panic(fmt.Sprintf("trace: file %d accessed at %d beyond hinted extent %d", file, offset, e.size))
+	}
+	return e.off + offset
+}
+
+// Extent returns the placement of a file, if it has one.
+func (l *RefLayout) Extent(file uint32) (off, size units.Bytes, ok bool) {
+	e, found := l.extents[file]
+	return e.off, e.size, found
+}
+
+// Delete releases a file's extent for reuse.
+func (l *RefLayout) Delete(file uint32) {
+	e, ok := l.extents[file]
+	if !ok {
+		return
+	}
+	delete(l.extents, file)
+	refRelease(&l.free, e)
+}
+
+// HighWater returns one past the highest byte address ever allocated.
+func (l *RefLayout) HighWater() units.Bytes { return l.next }
+
+// LiveBytes returns the total bytes currently allocated to files.
+func (l *RefLayout) LiveBytes() units.Bytes {
+	var total units.Bytes
+	for _, e := range l.extents {
+		total += e.size
+	}
+	return total
+}
+
+// refAllocate is the frozen first-fit allocator shared by RefLayout.
+func refAllocate(free *[]extent, next *units.Bytes, size, blockSize units.Bytes) extent {
+	if size <= 0 {
+		size = blockSize
+	}
+	for i, f := range *free {
+		if f.size >= size {
+			e := extent{off: f.off, size: size}
+			if f.size == size {
+				*free = append((*free)[:i], (*free)[i+1:]...)
+			} else {
+				(*free)[i] = extent{off: f.off + size, size: f.size - size}
+			}
+			return e
+		}
+	}
+	e := extent{off: *next, size: size}
+	*next += size
+	return e
+}
+
+// refRelease is the frozen sorted-insert-and-coalesce release shared by
+// RefLayout.
+func refRelease(freep *[]extent, e extent) {
+	free := *freep
+	i := 0
+	for i < len(free) && free[i].off < e.off {
+		i++
+	}
+	free = append(free, extent{})
+	copy(free[i+1:], free[i:])
+	free[i] = e
+	if i+1 < len(free) && free[i].off+free[i].size == free[i+1].off {
+		free[i].size += free[i+1].size
+		free = append(free[:i+1], free[i+2:]...)
+	}
+	if i > 0 && free[i-1].off+free[i-1].size == free[i].off {
+		free[i-1].size += free[i].size
+		free = append(free[:i], free[i+1:]...)
+	}
+	*freep = free
+}

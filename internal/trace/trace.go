@@ -169,6 +169,65 @@ func (t *Trace) MaxFileSizes() map[uint32]units.Bytes {
 	return sizes
 }
 
+// FileSizes is the dense-slice form of MaxFileSizes, built for the
+// simulator's per-record hot loop: file IDs below denseFileLimit index a
+// flat slice, larger (adversarial) IDs spill to a map. Get returns the same
+// value MaxFileSizes' map would for every ID.
+type FileSizes struct {
+	dense  []units.Bytes
+	sparse map[uint32]units.Bytes
+}
+
+// Get returns the largest extent any record touches for the file, or 0 for
+// a file the trace never touches.
+func (s *FileSizes) Get(file uint32) units.Bytes {
+	if uint64(file) < uint64(len(s.dense)) {
+		return s.dense[file]
+	}
+	if s.sparse != nil {
+		return s.sparse[file]
+	}
+	return 0
+}
+
+// MaxFileExtents returns per-file maximum extents as a FileSizes, the
+// allocation-light equivalent of MaxFileSizes.
+func (t *Trace) MaxFileExtents() *FileSizes {
+	s := &FileSizes{}
+	for _, r := range t.Records {
+		end := r.End()
+		if r.File < denseFileLimit {
+			if int(r.File) >= len(s.dense) {
+				if int(r.File) < cap(s.dense) {
+					s.dense = s.dense[:r.File+1]
+				} else {
+					n := 2 * cap(s.dense)
+					if n < 64 {
+						n = 64
+					}
+					if int(r.File) >= n {
+						n = int(r.File) + 1
+					}
+					grown := make([]units.Bytes, int(r.File)+1, n)
+					copy(grown, s.dense)
+					s.dense = grown
+				}
+			}
+			if end > s.dense[r.File] {
+				s.dense[r.File] = end
+			}
+			continue
+		}
+		if s.sparse == nil {
+			s.sparse = make(map[uint32]units.Bytes)
+		}
+		if end > s.sparse[r.File] {
+			s.sparse[r.File] = end
+		}
+	}
+	return s
+}
+
 // TotalBytes returns the bytes moved by reads and writes (deletes excluded).
 func (t *Trace) TotalBytes() (read, written units.Bytes) {
 	for _, r := range t.Records {

@@ -117,6 +117,70 @@ func TransferTime(b Bytes, kbPerSec float64) Time {
 	return FromSeconds(sec)
 }
 
+// TransferMemo caches TransferTime results for one fixed bandwidth. Device
+// models compute transfer times with a handful of datasheet bandwidths over
+// a heavily repeated set of sizes (trace record sizes, block multiples), and
+// the float divide + round per call was a measurable slice of whole-trace
+// replays. Sizes below transferMemoLimit are cached in a lazily grown dense
+// table; each cached value is produced by the same TransferTime call, so
+// results are bit-identical with or without the memo. Larger sizes fall
+// through to TransferTime. The zero value (zero bandwidth) is usable and
+// simply forwards.
+type TransferMemo struct {
+	kbPerSec float64
+	dense    []Time
+}
+
+// NewTransferMemo returns a memo for the given bandwidth.
+func NewTransferMemo(kbPerSec float64) TransferMemo {
+	return TransferMemo{kbPerSec: kbPerSec}
+}
+
+// transferMemoLimit bounds the dense size table (entries, i.e. bytes of
+// transfer size): 32 K entries × 8 bytes caps a fully grown memo at 256 KB.
+// Workload transfer sizes nearly all fall below it; the rare larger size
+// recomputes directly, which costs less than zeroing a bigger table on
+// every device construction.
+const transferMemoLimit = 32 * 1024
+
+// Time returns TransferTime(b, kbPerSec), cached. Kept small enough to
+// inline; the miss path computes and stores.
+func (m *TransferMemo) Time(b Bytes) Time {
+	// A zero entry is "not cached yet": TransferTime only returns 0 for
+	// sub-round-off sizes, which just recompute (cheaply) every call. The
+	// unsigned compare also routes b ≤ 0 to the slow path's guards.
+	if uint64(b) < uint64(len(m.dense)) {
+		if t := m.dense[b]; t > 0 {
+			return t
+		}
+	}
+	return m.slow(b)
+}
+
+func (m *TransferMemo) slow(b Bytes) Time {
+	t := TransferTime(b, m.kbPerSec)
+	if b > 0 && b < transferMemoLimit {
+		if int64(b) >= int64(len(m.dense)) {
+			if int64(b) < int64(cap(m.dense)) {
+				m.dense = m.dense[:b+1]
+			} else {
+				n := 2 * cap(m.dense)
+				if n < 4096 {
+					n = 4096
+				}
+				if int64(b) >= int64(n) {
+					n = int(b) + 1
+				}
+				grown := make([]Time, int(b)+1, n)
+				copy(grown, m.dense)
+				m.dense = grown
+			}
+		}
+		m.dense[b] = t
+	}
+	return t
+}
+
 // BandwidthKBs returns the bandwidth, in KB/s, implied by transferring b
 // bytes in duration d. Returns 0 when d is zero (infinite bandwidth has no
 // useful finite rendering; callers treat 0 as "not meaningful").
