@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet fmt-check test test-diff race bench bench-smoke bench-gate bench-gate-faults bench-gate-update fuzz-smoke golden-update check
+.PHONY: build vet fmt-check test test-diff race bench bench-smoke bench-gate bench-gate-faults bench-gate-update fuzz-smoke golden-update serve-smoke check
 
 build:
 	$(GO) build ./...
@@ -72,6 +72,13 @@ bench-gate-update:
 		| $(GO) run ./cmd/benchdiff -baseline BENCH_obsreport.json -update
 	$(GO) test -run='^$$' -bench='$(FIGURE_BENCH)' -benchmem -benchtime=1x -count=5 . \
 		| $(GO) run ./cmd/benchdiff -baseline BENCH_figures.json -update
+
+# End-to-end fleet-service smoke: boot `storagesim -service`, submit a
+# grid job over the HTTP API, poll it to completion, fetch every fleet
+# figure and the dashboard, then SIGINT and require a graceful 130 exit.
+# See docs/SERVICE.md.
+serve-smoke:
+	sh scripts/serve_smoke.sh
 
 # Short coverage-guided fuzz burst over the simulator core.
 fuzz-smoke:

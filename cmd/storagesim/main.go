@@ -21,10 +21,11 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"syscall"
 
 	"mobilestorage/internal/core"
-	"mobilestorage/internal/device"
 	"mobilestorage/internal/fault"
+	"mobilestorage/internal/fleet"
 	"mobilestorage/internal/obs"
 	"mobilestorage/internal/obsreport"
 	"mobilestorage/internal/trace"
@@ -64,9 +65,18 @@ func run() (err error) {
 		faults    = flag.String("faults", "", "fault-injection plan (JSON file, see docs/FAULTS.md)")
 		faultSeed = flag.Int64("fault-seed", 1, "fault-injection RNG seed")
 		timeline  = flag.String("timeline", "", "write the sampled metric timeline as CSV to this file (requires -sample)")
-		serve     = flag.String("serve", "", "serve /metrics, /healthz, /plot, and /debug/pprof on this address during the run")
+		serve     = flag.String("serve", "", "serve /metrics, /healthz, /plot/<report>, and /debug/pprof on this address during the run")
+		service   = flag.Bool("service", false, "run as a long-lived fleet simulation service on the -serve address (POST /jobs, SSE /events/<id>; SIGINT/SIGTERM drains and exits 130)")
+		drainS    = flag.Float64("drain", 30, "service mode: seconds to wait for in-flight jobs on shutdown before cancelling them")
 	)
 	flag.Parse()
+
+	if *service {
+		if *serve == "" {
+			return errors.New("-service requires -serve ADDR")
+		}
+		return runService(*serve, *drainS)
+	}
 
 	var t *trace.Trace
 	if *traceFile != "" {
@@ -92,7 +102,7 @@ func run() (err error) {
 		FlashCapacity:    units.Bytes(*capMB) * units.MB,
 		StoredData:       units.Bytes(*storedMB) * units.MB,
 	}
-	if err := selectDevice(&cfg, *devName, *source); err != nil {
+	if err := fleet.SelectDevice(&cfg, *devName, *source); err != nil {
 		return err
 	}
 	if *faults != "" {
@@ -164,7 +174,7 @@ func run() (err error) {
 	defer func() { err = errors.Join(err, runClosers()) }()
 
 	sigc := make(chan os.Signal, 1)
-	signal.Notify(sigc, os.Interrupt)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
 	defer signal.Stop(sigc)
 	go func() {
 		if _, ok := <-sigc; !ok {
@@ -219,20 +229,20 @@ func run() (err error) {
 		})
 		tr = sink
 	}
-	var live *livePlot
+	var live *liveFigures
 	if *serve != "" {
-		live = newLivePlot()
+		live = newLiveFigures()
 		tr = obs.Tee(tr, live)
 	}
 	cfg.Scope = obs.NewScope(reg, tr)
 
 	if *serve != "" {
-		shutdown, addr, err := startServer(*serve, reg, live)
+		shutdown, addr, err := startServer(*serve, reg, live, nil)
 		if err != nil {
 			return err
 		}
 		addCloser(shutdown)
-		fmt.Fprintf(os.Stderr, "storagesim: serving metrics on http://%s/metrics and a live figure on http://%s/plot\n", addr, addr)
+		fmt.Fprintf(os.Stderr, "storagesim: serving metrics on http://%s/metrics and live figures on http://%s/plot/<report>\n", addr, addr)
 	}
 
 	res, err := core.Run(cfg)
@@ -254,70 +264,6 @@ func run() (err error) {
 		fmt.Print(reg.String())
 	}
 	return nil
-}
-
-// selectDevice fills the storage parameters for a device name.
-func selectDevice(cfg *core.Config, name, source string) error {
-	pick := func(measured, datasheet func() bool) error {
-		switch source {
-		case "", "measured":
-			if measured() {
-				return nil
-			}
-			if source == "measured" {
-				return fmt.Errorf("no measured parameters for %q", name)
-			}
-			datasheet()
-			return nil
-		case "datasheet":
-			if datasheet() {
-				return nil
-			}
-			return fmt.Errorf("no datasheet parameters for %q", name)
-		default:
-			return fmt.Errorf("unknown source %q (want measured or datasheet)", source)
-		}
-	}
-	switch name {
-	case "cu140":
-		cfg.Kind = core.MagneticDisk
-		return pick(
-			func() bool { cfg.Disk = device.CU140Measured(); return true },
-			func() bool { cfg.Disk = device.CU140Datasheet(); return true },
-		)
-	case "kh":
-		cfg.Kind = core.MagneticDisk
-		return pick(
-			func() bool { return false },
-			func() bool { cfg.Disk = device.KittyhawkDatasheet(); return true },
-		)
-	case "sdp10":
-		cfg.Kind = core.FlashDisk
-		return pick(
-			func() bool { cfg.FlashDiskParams = device.SDP10Measured(); return true },
-			func() bool { cfg.FlashDiskParams = device.SDP10Datasheet(); return true },
-		)
-	case "sdp5":
-		cfg.Kind = core.FlashDisk
-		return pick(
-			func() bool { return false },
-			func() bool { cfg.FlashDiskParams = device.SDP5Datasheet(); return true },
-		)
-	case "intel":
-		cfg.Kind = core.FlashCard
-		return pick(
-			func() bool { cfg.FlashCardParams = device.IntelSeries2Measured(); return true },
-			func() bool { cfg.FlashCardParams = device.IntelSeries2Datasheet(); return true },
-		)
-	case "intel2+":
-		cfg.Kind = core.FlashCard
-		return pick(
-			func() bool { return false },
-			func() bool { cfg.FlashCardParams = device.IntelSeries2PlusDatasheet(); return true },
-		)
-	default:
-		return fmt.Errorf("unknown device %q", name)
-	}
 }
 
 // readTrace loads a trace file in either format, sniffing the binary magic.

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"mobilestorage/internal/core"
+	"mobilestorage/internal/fleet"
 	"mobilestorage/internal/trace"
 	"mobilestorage/internal/units"
 	"mobilestorage/internal/workload"
@@ -33,7 +34,7 @@ func TestSelectDevice(t *testing.T) {
 	}
 	for _, c := range cases {
 		var cfg core.Config
-		err := selectDevice(&cfg, c.name, c.source)
+		err := fleet.SelectDevice(&cfg, c.name, c.source)
 		if c.wantErr {
 			if err == nil {
 				t.Errorf("selectDevice(%q, %q) accepted", c.name, c.source)

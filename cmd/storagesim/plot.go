@@ -8,37 +8,37 @@ import (
 	"mobilestorage/internal/obsreport"
 )
 
-// livePlot is a Tracer that keeps a live energy aggregation so the -serve
-// endpoint can render the run's cumulative-energy figure while the
+// liveFigures is a Tracer that keeps every report builder aggregating live,
+// so the -serve endpoints can render any /plot/<report> figure while the
 // simulation is still going. Emit runs on the simulation path and SVG on
-// HTTP handler goroutines, so both serialize on the mutex; the energy
-// builder only sees sample.energy events, so the lock is off the hot path
-// for everything else.
-type livePlot struct {
+// HTTP handler goroutines, so both serialize on the mutex.
+type liveFigures struct {
 	mu sync.Mutex
-	b  *obsreport.EnergyBuilder
+	f  *obsreport.FigureSet
 }
 
-func newLivePlot() *livePlot {
-	return &livePlot{b: obsreport.NewEnergyBuilder()}
+func newLiveFigures() *liveFigures {
+	return &liveFigures{f: obsreport.NewFigureSet()}
 }
 
 // Emit implements obs.Tracer.
-func (p *livePlot) Emit(e obs.Event) {
-	if e.Kind != obs.EvEnergySample {
-		return
-	}
+func (p *liveFigures) Emit(e obs.Event) {
 	p.mu.Lock()
-	p.b.Observe(e)
+	p.f.Observe(e)
 	p.mu.Unlock()
 }
 
-// SVG renders a snapshot of the energy chart from the samples seen so far.
-func (p *livePlot) SVG() ([]byte, error) {
+// SVG renders a snapshot of one report kind from the events seen so far.
+// Unknown kinds return obsreport.UnknownKindError.
+func (p *liveFigures) SVG(kind string) ([]byte, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	c, err := p.f.Chart(kind)
+	if err != nil {
+		return nil, err
+	}
 	var buf bytes.Buffer
-	if err := obsreport.EnergyChart(p.b.Finish()).Render(&buf); err != nil {
+	if err := c.Render(&buf); err != nil {
 		return nil, err
 	}
 	return buf.Bytes(), nil

@@ -2,23 +2,29 @@ package main
 
 import (
 	"context"
+	"fmt"
+	"html/template"
 	"net"
 	"net/http"
 	"net/http/pprof"
 	"time"
 
+	"mobilestorage/internal/fleet"
 	"mobilestorage/internal/obs"
+	"mobilestorage/internal/obsreport"
 )
 
 // promNamespace prefixes every exposed metric name.
 const promNamespace = "storagesim"
 
-// newMux builds the telemetry handler: Prometheus text exposition of the
-// live registry at /metrics, a liveness probe at /healthz, a live SVG of
-// the energy figure at /plot, and the standard pprof endpoints. A dedicated
-// mux (not http.DefaultServeMux) keeps the surface explicit. plot may be
-// nil, in which case /plot explains itself instead of rendering.
-func newMux(reg *obs.Registry, plot *livePlot) *http.ServeMux {
+// newMux builds the service handler: Prometheus text exposition of the live
+// registry at /metrics, a liveness probe at /healthz, live SVG figures at
+// /plot/{kind} (bare /plot aliases the energy figure), the fleet job API
+// (when svc is non-nil), an HTML dashboard at /, and the standard pprof
+// endpoints. A dedicated mux (not http.DefaultServeMux) keeps the surface
+// explicit. live may be nil (service mode has no single foreground run), in
+// which case /plot explains itself instead of rendering.
+func newMux(reg *obs.Registry, live *liveFigures, svc *fleet.Service) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -30,18 +36,33 @@ func newMux(reg *obs.Registry, plot *livePlot) *http.ServeMux {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		w.Write([]byte("ok\n"))
 	})
-	mux.HandleFunc("/plot", func(w http.ResponseWriter, r *http.Request) {
-		if plot == nil {
-			http.Error(w, "no live plot attached to this server", http.StatusNotFound)
+	servePlot := func(w http.ResponseWriter, r *http.Request, kind string) {
+		if live == nil {
+			http.Error(w, "no live run attached to this server (figures for submitted jobs are at /jobs/<id>/plot/<report>)", http.StatusNotFound)
 			return
 		}
-		svg, err := plot.SVG()
+		svg, err := live.SVG(kind)
 		if err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
+			// The only SVG error for a live set is an unknown kind; answer
+			// 404 with the valid names so the endpoint documents itself.
+			http.Error(w, err.Error(), http.StatusNotFound)
 			return
 		}
 		w.Header().Set("Content-Type", "image/svg+xml")
 		w.Write(svg)
+	}
+	// Bare /plot (and a trailing slash) keeps the pre-fleet contract: it is
+	// the energy figure, the paper's headline curve.
+	mux.HandleFunc("GET /plot", func(w http.ResponseWriter, r *http.Request) { servePlot(w, r, "energy") })
+	mux.HandleFunc("GET /plot/{$}", func(w http.ResponseWriter, r *http.Request) { servePlot(w, r, "energy") })
+	mux.HandleFunc("GET /plot/{kind}", func(w http.ResponseWriter, r *http.Request) {
+		servePlot(w, r, r.PathValue("kind"))
+	})
+	if svc != nil {
+		svc.RegisterRoutes(mux)
+	}
+	mux.HandleFunc("GET /{$}", func(w http.ResponseWriter, r *http.Request) {
+		serveIndex(w, live, svc)
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -51,20 +72,113 @@ func newMux(reg *obs.Registry, plot *livePlot) *http.ServeMux {
 	return mux
 }
 
-// startServer listens on addr and serves the telemetry mux in the
-// background. It returns a shutdown func (drains in-flight scrapes, then
-// closes) and the bound address — useful when addr ends in :0.
-func startServer(addr string, reg *obs.Registry, plot *livePlot) (shutdown func() error, bound string, err error) {
+// indexTmpl is the dashboard: every live-run figure inline, plus the job
+// table with live SSE-driven progress. It is server-rendered per request;
+// the only client script subscribes unfinished jobs to their /events/<id>
+// streams and rewrites the row (and refreshes the figures) as frames land.
+var indexTmpl = template.Must(template.New("index").Parse(`<!DOCTYPE html>
+<html lang="en"><head><meta charset="utf-8"><title>storagesim</title>
+<style>
+body{font-family:sans-serif;margin:1.5em;max-width:75em}
+img{max-width:100%;border:1px solid #ccc;margin:.25em 0}
+table{border-collapse:collapse}td,th{border:1px solid #ccc;padding:.3em .6em;text-align:left}
+code{background:#f4f4f4;padding:0 .2em}
+</style></head><body>
+<h1>storagesim</h1>
+{{if .HaveLive}}
+<h2>Live run</h2>
+{{range .Kinds}}<h3>{{.}}</h3><img src="/plot/{{.}}" alt="{{.}} figure">
+{{end}}
+{{end}}
+{{if .HaveFleet}}
+<h2>Jobs</h2>
+<p>Submit with <code>POST /jobs</code>; each job streams progress at <code>/events/&lt;id&gt;</code>.</p>
+{{if .Jobs}}
+<table><tr><th>job</th><th>name</th><th>state</th><th>progress</th><th>failed</th><th>energy (J)</th><th>figures</th></tr>
+{{range .Jobs}}<tr data-job="{{.ID}}" data-finished="{{.Finished}}">
+<td><a href="/jobs/{{.ID}}">{{.ID}}</a></td><td>{{.Name}}</td>
+<td class="state">{{.State}}</td>
+<td class="progress">{{.Done}}/{{.Total}}</td>
+<td class="failed">{{.Failed}}</td>
+<td class="energy">{{printf "%.0f" .Report.Energy.TotalJ}}</td>
+<td>{{$id := .ID}}{{range $.Kinds}}<a href="/jobs/{{$id}}/plot/{{.}}">{{.}}</a> {{end}}</td>
+</tr>{{end}}</table>
+<h3>Latest job figures</h3>
+<div id="jobfigs">
+{{range .Kinds}}<h4>{{.}}</h4><img src="/jobs/{{$.Latest}}/plot/{{.}}" alt="{{.}} figure">
+{{end}}</div>
+{{else}}<p>No jobs yet.</p>{{end}}
+<script>
+document.querySelectorAll("tr[data-job]").forEach(function (row) {
+  if (row.dataset.finished === "true") return;
+  var es = new EventSource("/events/" + row.dataset.job);
+  var apply = function (d) {
+    row.querySelector(".state").textContent = d.state || d.State || "";
+    var done = d.done !== undefined ? d.done : d.Done;
+    var total = d.total !== undefined ? d.total : d.Total;
+    row.querySelector(".progress").textContent = done + "/" + total;
+    row.querySelector(".failed").textContent = d.failed !== undefined ? d.failed : d.Failed;
+    var e = d.energy_j !== undefined ? d.energy_j : (d.report ? d.report.energy.total_j : 0);
+    row.querySelector(".energy").textContent = Math.round(e);
+  };
+  es.addEventListener("progress", function (ev) { apply(JSON.parse(ev.data)); });
+  es.addEventListener("done", function (ev) {
+    apply(JSON.parse(ev.data));
+    es.close();
+    document.querySelectorAll("#jobfigs img").forEach(function (img) {
+      img.src = img.src.split("?")[0] + "?t=" + Date.now();
+    });
+  });
+});
+</script>
+{{end}}
+</body></html>
+`))
+
+type indexData struct {
+	HaveLive  bool
+	HaveFleet bool
+	Kinds     []string
+	Jobs      []*fleet.Status
+	Latest    string
+}
+
+func serveIndex(w http.ResponseWriter, live *liveFigures, svc *fleet.Service) {
+	d := indexData{
+		HaveLive:  live != nil,
+		HaveFleet: svc != nil,
+		Kinds:     obsreport.FigureKinds(),
+	}
+	if svc != nil {
+		for _, j := range svc.JobsSnapshot() {
+			d.Jobs = append(d.Jobs, j.Status())
+		}
+		if n := len(d.Jobs); n > 0 {
+			d.Latest = d.Jobs[n-1].ID
+		}
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	if err := indexTmpl.Execute(w, d); err != nil {
+		// Headers are gone; all we can do is log to the response tail.
+		fmt.Fprintf(w, "\n<!-- template error: %v -->\n", err)
+	}
+}
+
+// startServer listens on addr and serves the mux in the background. It
+// returns a shutdown func (drains in-flight requests, then closes) and the
+// bound address — useful when addr ends in :0. live and svc may each be nil.
+func startServer(addr string, reg *obs.Registry, live *liveFigures, svc *fleet.Service) (shutdown func() error, bound string, err error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, "", err
 	}
 	srv := &http.Server{
-		Handler: newMux(reg, plot),
+		Handler: newMux(reg, live, svc),
 		// A stalled client must not pin a connection forever: bound the
 		// header read, and the whole response write. The write timeout
 		// exceeds the default 30 s pprof profile window so profiling still
-		// works.
+		// works; the SSE handler is the one audited exception — it clears
+		// its connection's deadline via ResponseController.
 		ReadHeaderTimeout: 5 * time.Second,
 		WriteTimeout:      90 * time.Second,
 	}

@@ -1,13 +1,17 @@
 package main
 
 import (
+	"encoding/json"
 	"io"
 	"net/http"
 	"regexp"
 	"strings"
 	"testing"
+	"time"
 
+	"mobilestorage/internal/fleet"
 	"mobilestorage/internal/obs"
+	"mobilestorage/internal/obsreport"
 )
 
 func getBody(t *testing.T, url string) (int, string) {
@@ -29,7 +33,7 @@ func TestServeEndpoints(t *testing.T) {
 	reg.Counter("cache.hits").Add(42)
 	reg.Gauge("energy.total_j").Set(3.5)
 
-	shutdown, addr, err := startServer("127.0.0.1:0", reg, nil)
+	shutdown, addr, err := startServer("127.0.0.1:0", reg, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,7 +83,7 @@ func TestServeEndpoints(t *testing.T) {
 		t.Errorf("unknown path: %d, want 404", code)
 	}
 
-	// No livePlot attached: /plot exists but reports 404, not a panic.
+	// No live figures attached: /plot exists but reports 404, not a panic.
 	code, _ = getBody(t, base+"/plot")
 	if code != http.StatusNotFound {
 		t.Errorf("/plot without a live plot: %d, want 404", code)
@@ -87,7 +91,7 @@ func TestServeEndpoints(t *testing.T) {
 }
 
 func TestServePlot(t *testing.T) {
-	plot := newLivePlot()
+	plot := newLiveFigures()
 	// Feed the tracer the way a run does: energy samples interleaved with
 	// events the plot must ignore.
 	plot.Emit(obs.Event{T: 1_000_000, Kind: obs.EvCacheHit, Size: 512})
@@ -95,7 +99,7 @@ func TestServePlot(t *testing.T) {
 	plot.Emit(obs.Event{T: 2_000_000, Kind: obs.EvEnergySample, Dev: "total", Size: 3_500_000})
 	plot.Emit(obs.Event{T: 2_000_000, Kind: obs.EvEnergySample, Dev: "storage", Size: 900_000})
 
-	shutdown, addr, err := startServer("127.0.0.1:0", obs.NewRegistry(), plot)
+	shutdown, addr, err := startServer("127.0.0.1:0", obs.NewRegistry(), plot, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,7 +147,7 @@ func TestServeMetricsGrammar(t *testing.T) {
 	h.Observe(3)
 	h.Observe(5000)
 
-	shutdown, addr, err := startServer("127.0.0.1:0", reg, nil)
+	shutdown, addr, err := startServer("127.0.0.1:0", reg, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -155,5 +159,142 @@ func TestServeMetricsGrammar(t *testing.T) {
 		if !lineRE.MatchString(line) {
 			t.Errorf("bad exposition line: %q", line)
 		}
+	}
+}
+
+// Every figure kind is live at /plot/<kind>; bare /plot is the energy
+// figure; unknown kinds 404 with a body that names the valid ones.
+func TestServePlotKinds(t *testing.T) {
+	live := newLiveFigures()
+	live.Emit(obs.Event{T: 1_000_000, Kind: obs.EvEnergySample, Dev: "total", Size: 2_000_000})
+	live.Emit(obs.Event{T: 1_500_000, Kind: obs.EvDiskSpinDown})
+	live.Emit(obs.Event{T: 2_000_000, Kind: obs.EvDiskSpinUp, Dur: 500_000})
+	live.Emit(obs.Event{T: 2_500_000, Kind: obs.EvCardErase, Addr: 0, Size: 1})
+	live.Emit(obs.Event{T: 3_000_000, Kind: obs.EvCardClean, Dur: 1500})
+
+	shutdown, addr, err := startServer("127.0.0.1:0", obs.NewRegistry(), live, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown()
+	base := "http://" + addr
+
+	for _, kind := range obsreport.FigureKinds() {
+		code, body := getBody(t, base+"/plot/"+kind)
+		if code != http.StatusOK {
+			t.Errorf("/plot/%s: %d (%s)", kind, code, body)
+			continue
+		}
+		if !strings.Contains(body, "<svg") {
+			t.Errorf("/plot/%s is not an SVG", kind)
+		}
+	}
+
+	// Bare /plot and /plot/ serve the same figure as /plot/energy.
+	_, canonical := getBody(t, base+"/plot/energy")
+	for _, path := range []string{"/plot", "/plot/"} {
+		code, body := getBody(t, base+path)
+		if code != http.StatusOK || body != canonical {
+			t.Errorf("%s does not alias /plot/energy (code %d)", path, code)
+		}
+	}
+
+	code, body := getBody(t, base+"/plot/pie")
+	if code != http.StatusNotFound {
+		t.Errorf("/plot/pie: %d, want 404", code)
+	}
+	for _, kind := range obsreport.FigureKinds() {
+		if !strings.Contains(body, kind) {
+			t.Errorf("/plot/pie 404 body does not list %q: %s", kind, body)
+		}
+	}
+}
+
+// The index page embeds every live figure and, in service mode, the job
+// table wired to the SSE streams.
+func TestServeIndex(t *testing.T) {
+	live := newLiveFigures()
+	live.Emit(obs.Event{T: 1_000_000, Kind: obs.EvEnergySample, Dev: "total", Size: 2_000_000})
+
+	shutdown, addr, err := startServer("127.0.0.1:0", obs.NewRegistry(), live, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown()
+
+	code, body := getBody(t, "http://"+addr+"/")
+	if code != http.StatusOK {
+		t.Fatalf("/: %d", code)
+	}
+	for _, kind := range obsreport.FigureKinds() {
+		if !strings.Contains(body, `<img src="/plot/`+kind+`"`) {
+			t.Errorf("index missing live figure img for %q", kind)
+		}
+	}
+	// Run mode has no fleet section.
+	if strings.Contains(body, "POST /jobs") {
+		t.Error("index advertises the job API without a fleet service")
+	}
+}
+
+// Service mode end to end through the real server: submit a grid job over
+// HTTP, watch it finish, and check the dashboard reflects it.
+func TestServeFleetService(t *testing.T) {
+	reg := obs.NewRegistry()
+	svc := fleet.NewService(reg)
+	shutdown, addr, err := startServer("127.0.0.1:0", reg, nil, svc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown()
+	base := "http://" + addr
+
+	resp, err := http.Post(base+"/jobs", "application/json",
+		strings.NewReader(`{"name": "smoke", "synth_ops": 200, "replicas": 2}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st fleet.Status
+	err = json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusAccepted || st.Total != 2 {
+		t.Fatalf("POST /jobs: %d, %+v", resp.StatusCode, st)
+	}
+
+	j := svc.Get(st.ID)
+	select {
+	case <-j.Finished():
+	case <-time.After(60 * time.Second):
+		t.Fatal("job did not finish")
+	}
+
+	code, body := getBody(t, base+"/")
+	if code != http.StatusOK {
+		t.Fatalf("/: %d", code)
+	}
+	for _, want := range []string{
+		"POST /jobs",
+		`data-job="` + st.ID + `"`,
+		">smoke<",
+		"2/2",
+		"/jobs/" + st.ID + "/plot/energy",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("service index missing %q", want)
+		}
+	}
+
+	code, body = getBody(t, base+"/jobs/"+st.ID+"/plot/latency")
+	if code != http.StatusOK || !strings.Contains(body, "<svg") {
+		t.Errorf("job plot: %d", code)
+	}
+
+	// /metrics carries the per-job fleet counters.
+	_, body = getBody(t, base+"/metrics")
+	if !strings.Contains(body, "storagesim_fleet_jobs_submitted_total 1") {
+		t.Errorf("/metrics missing fleet counters:\n%.500s", body)
 	}
 }

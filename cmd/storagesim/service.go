@@ -1,0 +1,48 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"mobilestorage/internal/fleet"
+	"mobilestorage/internal/obs"
+)
+
+// runService runs storagesim as a long-lived fleet simulation service: the
+// job API, SSE streams, per-job figures, and the metrics/pprof surface on
+// addr until SIGINT or SIGTERM. Shutdown is graceful — new jobs are
+// rejected with 503, in-flight runs drain for up to drainS seconds (then
+// their jobs are cancelled; started runs still complete and merge), the
+// HTTP server flushes, and the process exits 130 like an interrupted
+// single-run invocation.
+func runService(addr string, drainS float64) error {
+	reg := obs.NewRegistry()
+	svc := fleet.NewService(reg)
+	shutdown, bound, err := startServer(addr, reg, nil, svc)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "storagesim: fleet service on http://%s/ (POST /jobs, GET /jobs/<id>, /events/<id>, /metrics)\n", bound)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	sig := <-sigc
+	signal.Stop(sigc)
+
+	drain := time.Duration(drainS * float64(time.Second))
+	fmt.Fprintf(os.Stderr, "storagesim: %v; draining in-flight jobs (deadline %s)\n", sig, drain)
+	ctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := svc.Shutdown(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "storagesim: drain deadline exceeded; cancelled remaining runs")
+	}
+	if err := shutdown(); err != nil {
+		fmt.Fprintln(os.Stderr, "storagesim:", err)
+	}
+	os.Exit(130)
+	return nil // unreachable
+}

@@ -1,0 +1,88 @@
+// Package fleet turns the single-run simulator into a simulation service:
+// a job API accepts a config or parameter grid, a bounded sharded worker
+// pool fans the runs out in-process, and fleet-level aggregates (percentile
+// latency, energy, wear, cleaning, faults) stream out through mergeable
+// report builders as shards complete — constant memory in the number of
+// runs, with live progress over Server-Sent Events and per-report SVG
+// figures. See docs/SERVICE.md.
+package fleet
+
+import (
+	"fmt"
+
+	"mobilestorage/internal/core"
+	"mobilestorage/internal/device"
+)
+
+// DeviceNames lists the catalog devices a job may reference.
+func DeviceNames() []string {
+	return []string{"cu140", "kh", "sdp10", "sdp5", "intel", "intel2+"}
+}
+
+// SelectDevice fills cfg's storage kind and parameters for a catalog device
+// name. source picks the parameter provenance: "measured", "datasheet", or
+// "" for the best available (measured when the paper reports it, datasheet
+// otherwise). This is the one device-name resolver shared by the storagesim
+// CLI and the fleet job API.
+func SelectDevice(cfg *core.Config, name, source string) error {
+	pick := func(measured, datasheet func() bool) error {
+		switch source {
+		case "", "measured":
+			if measured() {
+				return nil
+			}
+			if source == "measured" {
+				return fmt.Errorf("no measured parameters for %q", name)
+			}
+			datasheet()
+			return nil
+		case "datasheet":
+			if datasheet() {
+				return nil
+			}
+			return fmt.Errorf("no datasheet parameters for %q", name)
+		default:
+			return fmt.Errorf("unknown source %q (want measured or datasheet)", source)
+		}
+	}
+	switch name {
+	case "cu140":
+		cfg.Kind = core.MagneticDisk
+		return pick(
+			func() bool { cfg.Disk = device.CU140Measured(); return true },
+			func() bool { cfg.Disk = device.CU140Datasheet(); return true },
+		)
+	case "kh":
+		cfg.Kind = core.MagneticDisk
+		return pick(
+			func() bool { return false },
+			func() bool { cfg.Disk = device.KittyhawkDatasheet(); return true },
+		)
+	case "sdp10":
+		cfg.Kind = core.FlashDisk
+		return pick(
+			func() bool { cfg.FlashDiskParams = device.SDP10Measured(); return true },
+			func() bool { cfg.FlashDiskParams = device.SDP10Datasheet(); return true },
+		)
+	case "sdp5":
+		cfg.Kind = core.FlashDisk
+		return pick(
+			func() bool { return false },
+			func() bool { cfg.FlashDiskParams = device.SDP5Datasheet(); return true },
+		)
+	case "intel":
+		cfg.Kind = core.FlashCard
+		return pick(
+			func() bool { cfg.FlashCardParams = device.IntelSeries2Measured(); return true },
+			func() bool { cfg.FlashCardParams = device.IntelSeries2Datasheet(); return true },
+		)
+	case "intel2+":
+		cfg.Kind = core.FlashCard
+		return pick(
+			func() bool { return false },
+			func() bool { cfg.FlashCardParams = device.IntelSeries2PlusDatasheet(); return true },
+		)
+	default:
+		return fmt.Errorf("unknown device %q", name)
+	}
+}

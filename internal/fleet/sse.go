@@ -1,0 +1,145 @@
+package fleet
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+)
+
+// subBuffer is each subscriber's frame buffer. Progress and sample frames
+// are dropped when a slow subscriber's buffer is full (the next frame
+// supersedes them anyway); the terminal frame always gets through.
+const subBuffer = 64
+
+// Frame is one Server-Sent Event: an incrementing ID, an event name, and a
+// JSON data payload.
+type Frame struct {
+	ID    int64
+	Event string
+	Data  []byte
+}
+
+// WriteTo serializes the frame in SSE wire format (id:/event:/data: lines
+// terminated by a blank line). Payloads are JSON and therefore single-line;
+// embedded newlines would need data-line splitting, which mustJSON never
+// produces.
+func (f Frame) WriteTo(w io.Writer) (int64, error) {
+	n, err := fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", f.ID, f.Event, f.Data)
+	return int64(n), err
+}
+
+// String renders the wire format — handy in tests and logs.
+func (f Frame) String() string {
+	var b strings.Builder
+	f.WriteTo(&b)
+	return b.String()
+}
+
+// Broadcaster fans a job's event frames out to any number of SSE
+// subscribers. Frames carry monotonically increasing IDs assigned under the
+// lock, so every subscriber observes the same ordering. Send drops frames
+// to subscribers whose buffers are full; Close delivers one final frame to
+// every subscriber — evicting their oldest buffered frame if needed — then
+// closes their channels. Subscribers arriving after Close receive the last
+// progress frame (if any) and the final frame immediately.
+type Broadcaster struct {
+	mu     sync.Mutex
+	nextID int64
+	subs   map[chan Frame]struct{}
+	last   *Frame // latest progress frame, primes new subscribers
+	final  *Frame // terminal frame once closed
+	closed bool
+}
+
+// NewBroadcaster returns an open broadcaster with no subscribers.
+func NewBroadcaster() *Broadcaster {
+	return &Broadcaster{subs: map[chan Frame]struct{}{}}
+}
+
+// Subscribe registers a new subscriber and returns its frame channel plus a
+// cancel function (idempotent; always call it). The channel is primed with
+// the latest progress frame so a dashboard renders state immediately, and
+// is closed after the terminal frame.
+func (b *Broadcaster) Subscribe() (<-chan Frame, func()) {
+	ch := make(chan Frame, subBuffer)
+	b.mu.Lock()
+	if b.last != nil {
+		ch <- *b.last
+	}
+	if b.closed {
+		if b.final != nil {
+			ch <- *b.final
+		}
+		close(ch)
+		b.mu.Unlock()
+		return ch, func() {}
+	}
+	b.subs[ch] = struct{}{}
+	b.mu.Unlock()
+
+	var once sync.Once
+	return ch, func() {
+		once.Do(func() {
+			b.mu.Lock()
+			if _, ok := b.subs[ch]; ok {
+				delete(b.subs, ch)
+				close(ch)
+			}
+			b.mu.Unlock()
+		})
+	}
+}
+
+// Send broadcasts a frame, dropping it for subscribers with full buffers.
+// No-op after Close.
+func (b *Broadcaster) Send(event string, data []byte) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	b.nextID++
+	f := Frame{ID: b.nextID, Event: event, Data: data}
+	if event == "progress" {
+		last := f
+		b.last = &last
+	}
+	for ch := range b.subs {
+		select {
+		case ch <- f:
+		default: // slow subscriber: drop; a later frame supersedes this one
+		}
+	}
+}
+
+// Close broadcasts the terminal frame — guaranteed delivery: a full
+// subscriber buffer loses its oldest frame to make room — then closes every
+// subscriber channel. Later Subscribe calls replay the terminal frame.
+func (b *Broadcaster) Close(event string, data []byte) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	b.closed = true
+	b.nextID++
+	f := Frame{ID: b.nextID, Event: event, Data: data}
+	b.final = &f
+	for ch := range b.subs {
+		for {
+			select {
+			case ch <- f:
+			default:
+				select {
+				case <-ch: // evict the oldest buffered frame
+				default:
+				}
+				continue
+			}
+			break
+		}
+		close(ch)
+		delete(b.subs, ch)
+	}
+}

@@ -1,0 +1,101 @@
+package fleet
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestBroadcasterOrderingAndTerminal(t *testing.T) {
+	b := NewBroadcaster()
+	ch, cancel := b.Subscribe()
+	defer cancel()
+
+	for i := 0; i < 5; i++ {
+		b.Send("progress", []byte(fmt.Sprintf(`{"n":%d}`, i)))
+	}
+	b.Close("done", []byte(`{"final":true}`))
+
+	var frames []Frame
+	for f := range ch {
+		frames = append(frames, f)
+	}
+	if len(frames) != 6 {
+		t.Fatalf("%d frames, want 6", len(frames))
+	}
+	for i := 1; i < len(frames); i++ {
+		if frames[i].ID <= frames[i-1].ID {
+			t.Errorf("frame IDs not increasing: %d then %d", frames[i-1].ID, frames[i].ID)
+		}
+	}
+	last := frames[len(frames)-1]
+	if last.Event != "done" || string(last.Data) != `{"final":true}` {
+		t.Errorf("terminal frame: %+v", last)
+	}
+}
+
+// A subscriber that never drains still receives the terminal frame: Close
+// evicts its oldest buffered frame to make room.
+func TestBroadcasterSlowSubscriberGetsDone(t *testing.T) {
+	b := NewBroadcaster()
+	ch, cancel := b.Subscribe()
+	defer cancel()
+
+	for i := 0; i < subBuffer*3; i++ { // overflow the buffer; extras drop
+		b.Send("progress", []byte(`{}`))
+	}
+	b.Close("done", []byte(`{"final":true}`))
+
+	var last Frame
+	n := 0
+	for f := range ch {
+		last = f
+		n++
+	}
+	if n > subBuffer {
+		t.Errorf("slow subscriber got %d frames, buffer is %d", n, subBuffer)
+	}
+	if last.Event != "done" {
+		t.Errorf("terminal frame event %q, want done", last.Event)
+	}
+}
+
+func TestBroadcasterLateSubscriber(t *testing.T) {
+	b := NewBroadcaster()
+	b.Send("progress", []byte(`{"n":1}`))
+	b.Close("done", []byte(`{"final":true}`))
+
+	ch, cancel := b.Subscribe()
+	defer cancel()
+	var frames []Frame
+	for f := range ch {
+		frames = append(frames, f)
+	}
+	if len(frames) != 2 {
+		t.Fatalf("late subscriber got %d frames, want progress + done", len(frames))
+	}
+	if frames[0].Event != "progress" || frames[1].Event != "done" {
+		t.Errorf("late subscriber frames: %q then %q", frames[0].Event, frames[1].Event)
+	}
+}
+
+func TestBroadcasterCancelIdempotent(t *testing.T) {
+	b := NewBroadcaster()
+	_, cancel := b.Subscribe()
+	cancel()
+	cancel() // second cancel must not panic
+	b.Send("progress", []byte(`{}`))
+	b.Close("done", []byte(`{}`))
+}
+
+func TestFrameWireFormat(t *testing.T) {
+	f := Frame{ID: 7, Event: "progress", Data: []byte(`{"done":3}`)}
+	got := f.String()
+	want := "id: 7\nevent: progress\ndata: {\"done\":3}\n\n"
+	if got != want {
+		t.Errorf("wire format:\n%q\nwant\n%q", got, want)
+	}
+	if !strings.HasSuffix(got, "\n\n") {
+		t.Error("frame must end with a blank line")
+	}
+}

@@ -62,6 +62,22 @@ func (g *Gauge) Set(v float64) {
 	g.bits.Store(math.Float64bits(v))
 }
 
+// Add shifts the gauge by delta (negative to decrease) with a CAS loop, so
+// concurrent adjusters — e.g. fleet workers tracking queue depth and busy
+// workers — never lose an update.
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
 // Value returns the last value set.
 func (g *Gauge) Value() float64 {
 	if g == nil {

@@ -261,3 +261,35 @@ func TestRegistryString(t *testing.T) {
 		t.Errorf("gauge missing:\n%s", out)
 	}
 }
+
+// Gauge.Add must not lose updates under concurrency (it backs the fleet
+// scheduler's queue-depth and busy-worker gauges) and must tolerate nil.
+func TestGaugeAdd(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("depth")
+	g.Set(10)
+	g.Add(2.5)
+	g.Add(-0.5)
+	if got := g.Value(); got != 12 {
+		t.Errorf("Get() = %g, want 12", got)
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				g.Add(1)
+				g.Add(-1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := g.Value(); got != 12 {
+		t.Errorf("after balanced concurrent adds Get() = %g, want 12", got)
+	}
+
+	var nilG *Gauge
+	nilG.Add(1) // must not panic
+}

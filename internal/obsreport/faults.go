@@ -42,12 +42,16 @@ type FaultsReport struct {
 	// BackoffUs is the cumulative simulated backoff delay.
 	BackoffUs int64 `json:"backoff_us"`
 	// BackoffHist is the distribution of individual backoff delays in ms.
-	BackoffHist     *Hist   `json:"backoff_hist"`
-	Remaps          int64   `json:"remaps"`
-	SparesExhausted int64   `json:"spares_exhausted"`
-	Reclaims        int64   `json:"reclaims"`
-	PowerFailUs     []int64 `json:"power_fail_us"`
-	ReplayedBlocks  int64   `json:"replayed_blocks"`
+	BackoffHist     *Hist `json:"backoff_hist"`
+	Remaps          int64 `json:"remaps"`
+	SparesExhausted int64 `json:"spares_exhausted"`
+	Reclaims        int64 `json:"reclaims"`
+	// PowerFailures counts injected power failures; PowerFailUs carries the
+	// individual failure times (dropped by Merge, which keeps only the
+	// count).
+	PowerFailures  int64   `json:"power_failures"`
+	PowerFailUs    []int64 `json:"power_fail_us"`
+	ReplayedBlocks int64   `json:"replayed_blocks"`
 }
 
 // backoffBounds covers retry backoff delays from 1 µs to 1 s, in ms.
@@ -114,6 +118,7 @@ func (b *FaultsBuilder) Observe(e obs.Event) {
 		d.Reclaims++
 		b.r.Reclaims++
 	case obs.EvPowerFail:
+		b.r.PowerFailures++
 		b.r.PowerFailUs = append(b.r.PowerFailUs, e.T)
 	case obs.EvRecoveryReplayed:
 		b.get(e.Dev).ReplayedBlocks += e.Size

@@ -1,0 +1,157 @@
+package obsreport
+
+// Mergeable builders: every report builder can fold another builder's
+// accumulated state into itself, which is what lets a fleet of simulated
+// devices aggregate at constant memory — each run feeds its own private
+// builder set, and finished shards merge into one fleet-level set as they
+// complete, in run order, without retaining any per-run event data.
+//
+// Merging is exact for counts, histogram buckets, and extremes. Float sums
+// are added shard-by-shard, so a deterministic merged result additionally
+// requires a deterministic merge order; internal/fleet merges shards in run
+// index order regardless of worker count for exactly this reason.
+//
+// Unbounded per-run detail (timeline sleep intervals, fault injection
+// timestamps, energy sample series) is deliberately NOT merged: a merged
+// builder carries distributions and totals only, so fleet memory stays
+// constant in the number of runs. The per-run builders keep that detail for
+// single-run reports.
+
+// Merge folds o's samples into h. Both histograms must share the same
+// bucket layout (they do when built by the same constructor); mismatched
+// bounds are a programming error and panic like NewHist does.
+//
+// Exact observed extremes survive a merge only when both sides know theirs;
+// merging in a width-only histogram (FromStats) yields a width-only result,
+// matching Quantile's "extremes unknown" behavior.
+func (h *Hist) Merge(o *Hist) {
+	if o == nil || h == o {
+		return
+	}
+	if len(h.Bounds) != len(o.Bounds) {
+		panic("obsreport: merging histograms with different bucket layouts")
+	}
+	for i, b := range h.Bounds {
+		if o.Bounds[i] != b {
+			panic("obsreport: merging histograms with different bucket layouts")
+		}
+	}
+	if o.N == 0 {
+		return
+	}
+	if h.N == 0 {
+		copy(h.Counts, o.Counts)
+		h.Overflow = o.Overflow
+		h.N = o.N
+		h.Sum = o.Sum
+		h.Min = o.Min
+		h.Max = o.Max
+		return
+	}
+	known := h.Max > 0 && o.Max > 0
+	for i, c := range o.Counts {
+		h.Counts[i] += c
+	}
+	h.Overflow += o.Overflow
+	h.N += o.N
+	h.Sum += o.Sum
+	if known {
+		if o.Min < h.Min {
+			h.Min = o.Min
+		}
+		if o.Max > h.Max {
+			h.Max = o.Max
+		}
+	} else {
+		h.Min, h.Max = 0, 0
+	}
+}
+
+// Merge folds o's per-device spin history into b: spin counts, completed
+// sleep totals, and the sleep-duration distributions. The per-interval
+// Sleeps lists and the trailing OpenSleepUs are per-run detail and are not
+// merged — overlapping runs have no single interval timeline — so a merged
+// builder renders as distributions (see SleepChart), not as square waves.
+func (b *TimelineBuilder) Merge(o *TimelineBuilder) {
+	if o == nil || b == o {
+		return
+	}
+	for dev, otl := range o.byDev {
+		tl := b.get(dev)
+		tl.SpinUps += otl.SpinUps
+		tl.SpinDowns += otl.SpinDowns
+		tl.TotalSleepUs += otl.TotalSleepUs
+		tl.SleepHist.Merge(otl.SleepHist)
+	}
+}
+
+// Merge folds o's per-kind duration distributions into b.
+func (b *LatencyBuilder) Merge(o *LatencyBuilder) {
+	if o == nil || b == o {
+		return
+	}
+	for kind, oh := range o.hists {
+		h, ok := b.hists[kind]
+		if !ok {
+			h = NewHist(latencyBounds())
+			b.hists[kind] = h
+		}
+		h.Merge(oh)
+	}
+}
+
+// Merge folds o's per-segment erase counts into b by summing final counts:
+// the merged report answers "how many erasures did segment i absorb across
+// the fleet", so replicas of one device stack their wear.
+func (b *WearBuilder) Merge(o *WearBuilder) {
+	if o == nil || b == o {
+		return
+	}
+	for seg, c := range o.counts {
+		b.counts[seg] += c
+	}
+	b.total += o.total
+}
+
+// Merge folds o's cleaner work into b.
+func (b *CleaningBuilder) Merge(o *CleaningBuilder) {
+	if o == nil || b == o {
+		return
+	}
+	b.r.Cleans += o.r.Cleans
+	b.r.CopiedBlocks += o.r.CopiedBlocks
+	b.r.Stalls += o.r.Stalls
+	b.r.TotalCleanUs += o.r.TotalCleanUs
+	b.r.LivePerClean.Merge(o.r.LivePerClean)
+}
+
+// Merge folds o's fault activity into b: totals, per-device counters, and
+// the backoff distribution. The raw injection and power-fail timestamp
+// series are per-run detail and are not merged; the merged PowerFailures
+// count still reflects every failure.
+func (b *FaultsBuilder) Merge(o *FaultsBuilder) {
+	if o == nil || b == o {
+		return
+	}
+	for dev, od := range o.byDev {
+		d := b.get(dev)
+		d.ReadFaults += od.ReadFaults
+		d.WriteFaults += od.WriteFaults
+		d.EraseFaults += od.EraseFaults
+		d.Retries += od.Retries
+		d.BackoffUs += od.BackoffUs
+		d.Remaps += od.Remaps
+		d.SparesExhausted += od.SparesExhausted
+		d.Reclaims += od.Reclaims
+		d.ReplayedBlocks += od.ReplayedBlocks
+	}
+	b.r.Injected += o.r.Injected
+	b.r.Retries += o.r.Retries
+	b.r.BackoffUs += o.r.BackoffUs
+	b.r.BackoffHist.Merge(o.r.BackoffHist)
+	b.r.Remaps += o.r.Remaps
+	b.r.SparesExhausted += o.r.SparesExhausted
+	b.r.Reclaims += o.r.Reclaims
+	b.r.PowerFailures += o.r.PowerFailures
+	b.r.ReplayedBlocks += o.r.ReplayedBlocks
+}

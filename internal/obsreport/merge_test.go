@@ -1,0 +1,367 @@
+package obsreport
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"mobilestorage/internal/obs"
+)
+
+func TestHistMergeCounts(t *testing.T) {
+	a := NewHist(latencyBounds())
+	b := NewHist(latencyBounds())
+	for _, v := range []float64{0.5, 2, 40} {
+		a.Add(v)
+	}
+	for _, v := range []float64{0.1, 2, 1e9} { // 1e9 overflows the top bound
+		b.Add(v)
+	}
+	a.Merge(b)
+	if a.N != 6 {
+		t.Errorf("N = %d, want 6", a.N)
+	}
+	if a.Overflow != 1 {
+		t.Errorf("Overflow = %d, want 1", a.Overflow)
+	}
+	if want := 0.5 + 2 + 40 + 0.1 + 2 + 1e9; a.Sum != want {
+		t.Errorf("Sum = %g, want %g", a.Sum, want)
+	}
+	if a.Min != 0.1 || a.Max != 1e9 {
+		t.Errorf("extremes [%g, %g], want [0.1, 1e9]", a.Min, a.Max)
+	}
+	var total int64
+	for _, c := range a.Counts {
+		total += c
+	}
+	if total+a.Overflow != a.N {
+		t.Errorf("bucket total %d + overflow %d != N %d", total, a.Overflow, a.N)
+	}
+}
+
+func TestHistMergeIntoEmptyCopies(t *testing.T) {
+	a := NewHist(latencyBounds())
+	b := NewHist(latencyBounds())
+	b.Add(3)
+	b.Add(7)
+	a.Merge(b)
+	if a.N != 2 || a.Min != 3 || a.Max != 7 {
+		t.Errorf("empty.Merge(b): N=%d Min=%g Max=%g", a.N, a.Min, a.Max)
+	}
+	// And the other direction: merging an empty histogram is a no-op.
+	before := *a
+	a.Merge(NewHist(latencyBounds()))
+	if a.N != before.N || a.Sum != before.Sum {
+		t.Error("merging an empty histogram changed state")
+	}
+}
+
+// Merging a width-only histogram (extremes unknown, as FromStats builds)
+// must yield a width-only result, not fabricate extremes.
+func TestHistMergeWidthOnly(t *testing.T) {
+	known := NewHist(latencyBounds())
+	known.Add(5)
+	widthOnly := NewHist(latencyBounds())
+	widthOnly.Counts[10] = 3
+	widthOnly.N = 3
+	widthOnly.Sum = 12 // Max stays 0: extremes unknown
+
+	known.Merge(widthOnly)
+	if known.Min != 0 || known.Max != 0 {
+		t.Errorf("extremes [%g, %g] after width-only merge, want [0, 0]", known.Min, known.Max)
+	}
+	if known.N != 4 {
+		t.Errorf("N = %d, want 4", known.N)
+	}
+}
+
+func TestHistMergeLayoutMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("merging different bucket layouts did not panic")
+		}
+	}()
+	NewHist(latencyBounds()).Merge(NewHist(sleepBounds()))
+}
+
+// mergeStream is a deterministic event mix covering every builder: spin
+// transitions, latency-kind durations, erases, cleans, and faults.
+func mergeStream(n int) []obs.Event {
+	var evs []obs.Event
+	for i := 0; i < n; i++ {
+		tUs := int64(i+1) * 500_000
+		switch i % 8 {
+		case 0:
+			evs = append(evs, obs.Event{T: tUs, Kind: obs.EvDiskSpinDown, Dev: "disk"})
+		case 1:
+			evs = append(evs, obs.Event{T: tUs, Kind: obs.EvDiskSpinUp, Dev: "disk",
+				Dur: int64(100_000 * (i%40 + 1))})
+		case 2:
+			evs = append(evs, obs.Event{T: tUs, Kind: obs.EvSRAMFlush, Dev: "sram",
+				Size: 8192, Dur: int64(1000 + i%5000)})
+		case 3:
+			evs = append(evs, obs.Event{T: tUs, Kind: obs.EvCardErase, Dev: "fc",
+				Addr: int64(i % 16), Size: int64(i/16 + 1)})
+		case 4:
+			evs = append(evs, obs.Event{T: tUs, Kind: obs.EvCardClean, Dev: "fc",
+				Addr: int64(i % 16), Size: int64(i % 30), Dur: 40_000})
+		case 5:
+			evs = append(evs, obs.Event{T: tUs, Kind: obs.EvFaultInjected, Dev: "fc",
+				Addr: 1, Size: int64(i % 3)})
+		case 6:
+			evs = append(evs, obs.Event{T: tUs, Kind: obs.EvRetryAttempt, Dev: "fc",
+				Dur: int64(200 + i%900)})
+		default:
+			evs = append(evs, obs.Event{T: tUs, Kind: obs.EvCardStall, Dev: "fc",
+				Dur: int64(10_000 + i%777)})
+		}
+	}
+	return evs
+}
+
+// Splitting a stream across two builder sets and merging must equal one
+// builder observing everything, for every field a merge retains.
+func TestFigureSetMergeMatchesSequential(t *testing.T) {
+	events := mergeStream(400)
+
+	whole := NewFigureSet()
+	for _, e := range events {
+		whole.Observe(e)
+	}
+	partA, partB := NewFigureSet(), NewFigureSet()
+	for i, e := range events {
+		if i < len(events)/3 {
+			partA.Observe(e)
+		} else {
+			partB.Observe(e)
+		}
+	}
+	merged := NewFigureSet()
+	merged.Merge(partA)
+	merged.Merge(partB)
+
+	// Timeline: merged retains spin counts, sleep totals, and the
+	// distribution — not the interval lists.
+	wTL, mTL := whole.Timeline.Finish(), merged.Timeline.Finish()
+	if len(wTL) != len(mTL) {
+		t.Fatalf("timeline device counts differ: %d vs %d", len(wTL), len(mTL))
+	}
+	for i := range wTL {
+		w, m := wTL[i], mTL[i]
+		if w.Dev != m.Dev || w.SpinUps != m.SpinUps || w.SpinDowns != m.SpinDowns ||
+			w.TotalSleepUs != m.TotalSleepUs {
+			t.Errorf("timeline[%s]: merged %+v != whole %+v", w.Dev, m, w)
+		}
+		if !reflect.DeepEqual(w.SleepHist, m.SleepHist) {
+			t.Errorf("timeline[%s]: sleep hist differs", w.Dev)
+		}
+		if len(m.Sleeps) != 0 {
+			t.Errorf("timeline[%s]: merged builder retained %d sleep intervals", m.Dev, len(m.Sleeps))
+		}
+	}
+
+	// Latency: counts, bounds, and extremes merge exactly; the float Sum
+	// (and so the mean) differs only by association order across the split,
+	// hence the epsilon. Byte-identical fleet reports come from merging in
+	// a fixed order, which this whole-vs-split comparison deliberately
+	// does not do.
+	wLat, mLat := whole.Latency.Finish(), merged.Latency.Finish()
+	if len(wLat) != len(mLat) {
+		t.Fatalf("latency kind counts differ: %d vs %d", len(wLat), len(mLat))
+	}
+	for i := range wLat {
+		w, m := wLat[i], mLat[i]
+		if w.Kind != m.Kind || w.N != m.N || w.MaxMs != m.MaxMs ||
+			w.P50Ms != m.P50Ms || w.P90Ms != m.P90Ms || w.P99Ms != m.P99Ms {
+			t.Errorf("latency[%s]: merged %+v != whole %+v", w.Kind, m, w)
+		}
+		if !histEqual(w.Hist, m.Hist) {
+			t.Errorf("latency[%s]: hist differs", w.Kind)
+		}
+	}
+	if w, m := whole.Cleaning.Finish(), merged.Cleaning.Finish(); !reflect.DeepEqual(w, m) {
+		t.Errorf("cleaning reports differ:\nwhole  %+v\nmerged %+v", w, m)
+	}
+
+	wF, mF := whole.Faults.Finish(), merged.Faults.Finish()
+	if wF.Injected != mF.Injected || wF.Retries != mF.Retries || wF.BackoffUs != mF.BackoffUs ||
+		wF.PowerFailures != mF.PowerFailures {
+		t.Errorf("fault totals differ:\nwhole  %+v\nmerged %+v", wF, mF)
+	}
+	if !reflect.DeepEqual(wF.BackoffHist, mF.BackoffHist) {
+		t.Error("backoff hist differs")
+	}
+	if len(wF.Devices) != len(mF.Devices) {
+		t.Fatalf("fault device counts differ: %d vs %d", len(wF.Devices), len(mF.Devices))
+	}
+	for i := range wF.Devices {
+		w, m := wF.Devices[i], mF.Devices[i]
+		// Injection timestamps are per-run detail a merge drops; blank them
+		// before comparing the counters.
+		w.InjectionTimesUs = nil
+		if len(m.InjectionTimesUs) != 0 {
+			t.Errorf("merged builder retained %d injection timestamps for %s", len(m.InjectionTimesUs), m.Dev)
+		}
+		m.InjectionTimesUs = nil
+		if !reflect.DeepEqual(w, m) {
+			t.Errorf("fault device %s: merged %+v != whole %+v", w.Dev, m, w)
+		}
+	}
+}
+
+// histEqual compares histograms exactly except for the float Sum, which may
+// differ by association order.
+func histEqual(a, b *Hist) bool {
+	if a.N != b.N || a.Overflow != b.Overflow || a.Min != b.Min || a.Max != b.Max {
+		return false
+	}
+	if !reflect.DeepEqual(a.Counts, b.Counts) || !reflect.DeepEqual(a.Bounds, b.Bounds) {
+		return false
+	}
+	diff := a.Sum - b.Sum
+	if diff < 0 {
+		diff = -diff
+	}
+	return diff <= 1e-9*(1+a.Sum)
+}
+
+// Wear events carry cumulative per-segment counts, so WearBuilder.Merge sums
+// FINAL counts — the right semantics for independent runs (replica wear
+// stacks), not for splitting one run's stream. Feed it two whole runs.
+func TestWearMergeStacksRuns(t *testing.T) {
+	runA, runB := NewWearBuilder(), NewWearBuilder()
+	for i := 1; i <= 5; i++ { // run A: segment 0 erased 5 times, segment 1 thrice
+		runA.Observe(obs.Event{Kind: obs.EvCardErase, Addr: 0, Size: int64(i)})
+	}
+	for i := 1; i <= 3; i++ {
+		runA.Observe(obs.Event{Kind: obs.EvCardErase, Addr: 1, Size: int64(i)})
+		runB.Observe(obs.Event{Kind: obs.EvCardErase, Addr: 0, Size: int64(i)})
+	}
+	m := NewWearBuilder()
+	m.Merge(runA)
+	m.Merge(runB)
+	r := m.Finish()
+	if len(r.Segments) != 2 {
+		t.Fatalf("segments: %+v", r.Segments)
+	}
+	if r.Segments[0].Erases != 8 { // 5 from run A + 3 from run B
+		t.Errorf("segment 0 erases = %d, want 8", r.Segments[0].Erases)
+	}
+	if r.Segments[1].Erases != 3 {
+		t.Errorf("segment 1 erases = %d, want 3", r.Segments[1].Erases)
+	}
+	if r.TotalErases != 11 {
+		t.Errorf("total erases = %d, want 11", r.TotalErases)
+	}
+}
+
+// Splitting mid-sleep must not lose the interval: spin-up events carry the
+// sleep duration, so the second shard reconstructs it alone.
+func TestTimelineMergeSplitMidSleep(t *testing.T) {
+	down := obs.Event{T: 1_000_000, Kind: obs.EvDiskSpinDown, Dev: "d"}
+	up := obs.Event{T: 4_000_000, Kind: obs.EvDiskSpinUp, Dev: "d", Dur: 3_000_000}
+
+	a, b := NewTimelineBuilder(), NewTimelineBuilder()
+	a.Observe(down)
+	b.Observe(up)
+	m := NewTimelineBuilder()
+	m.Merge(a)
+	m.Merge(b)
+
+	tl := m.Finish()[0]
+	if tl.SpinDowns != 1 || tl.SpinUps != 1 || tl.TotalSleepUs != 3_000_000 {
+		t.Errorf("split-sleep merge: %+v", tl)
+	}
+	if tl.SleepHist.N != 1 {
+		t.Errorf("sleep hist N = %d, want 1", tl.SleepHist.N)
+	}
+}
+
+func TestFigureKindsAndUnknownKindError(t *testing.T) {
+	kinds := FigureKinds()
+	if len(kinds) != 6 {
+		t.Fatalf("FigureKinds() = %v, want 6 kinds", kinds)
+	}
+	err := UnknownKindError("bogus")
+	for _, k := range kinds {
+		if !strings.Contains(err.Error(), k) {
+			t.Errorf("UnknownKindError does not list %q: %v", k, err)
+		}
+	}
+	if !strings.Contains(err.Error(), "bogus") {
+		t.Errorf("UnknownKindError does not echo the bad kind: %v", err)
+	}
+}
+
+// Every kind must render a chart from both a live set and a merged set.
+func TestFigureSetCharts(t *testing.T) {
+	live := NewFigureSet()
+	for _, e := range mergeStream(100) {
+		live.Observe(e)
+	}
+	merged := NewFigureSet()
+	merged.Merge(live)
+
+	for _, set := range []*FigureSet{live, merged} {
+		for _, kind := range FigureKinds() {
+			c, err := set.Chart(kind)
+			if err != nil {
+				t.Fatalf("Chart(%q): %v", kind, err)
+			}
+			if c == nil {
+				t.Fatalf("Chart(%q) returned nil", kind)
+			}
+		}
+	}
+	if _, err := live.Chart("bogus"); err == nil {
+		t.Error("Chart(bogus) did not error")
+	}
+}
+
+// SleepChart renders merged timelines as distributions with one series per
+// device that actually slept.
+func TestSleepChart(t *testing.T) {
+	b := NewTimelineBuilder()
+	b.Observe(obs.Event{T: 2_000_000, Kind: obs.EvDiskSpinUp, Dev: "d0", Dur: 1_500_000})
+	b.Observe(obs.Event{T: 9_000_000, Kind: obs.EvDiskSpinUp, Dev: "d0", Dur: 4_000_000})
+	// d1 never sleeps: spin-down without a spin-up leaves its hist empty.
+	b.Observe(obs.Event{T: 1_000_000, Kind: obs.EvDiskSpinDown, Dev: "d1"})
+
+	c := SleepChart(b.Finish())
+	if len(c.Series) != 1 {
+		t.Fatalf("%d series, want 1 (only d0 slept)", len(c.Series))
+	}
+	if c.Series[0].Name != "d0" || !c.Series[0].Step {
+		t.Errorf("series %+v, want step series named d0", c.Series[0])
+	}
+	if !c.LogX {
+		t.Error("sleep chart should use a log X axis")
+	}
+}
+
+// BenchmarkFleetAggregate measures the per-shard merge cost of fleet
+// aggregation: folding one populated run-level figure set plus its two
+// latency histograms into a fleet-level set — the obsreport share of the
+// work internal/fleet does per completed run.
+func BenchmarkFleetAggregate(b *testing.B) {
+	run := NewFigureSet()
+	for _, e := range mergeStream(1000) {
+		run.Observe(e)
+	}
+	readH := NewHist(latencyBounds())
+	writeH := NewHist(latencyBounds())
+	for i := 0; i < 200; i++ {
+		readH.Add(float64(i%50) + 0.5)
+		writeH.Add(float64(i%80) + 0.25)
+	}
+	fleet := NewFigureSet()
+	fleetRead := NewHist(latencyBounds())
+	fleetWrite := NewHist(latencyBounds())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fleet.Merge(run)
+		fleetRead.Merge(readH)
+		fleetWrite.Merge(writeH)
+	}
+}

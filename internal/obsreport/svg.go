@@ -59,7 +59,7 @@ func LatencyChart(kinds []KindLatency) *plot.Chart {
 		LogX:   true,
 	}
 	for _, k := range kinds {
-		c.Series = append(c.Series, plot.Series{Name: k.Kind, Step: true, Points: histPoints(k.Hist)})
+		c.Series = append(c.Series, plot.Series{Name: k.Kind, Step: true, Points: HistPoints(k.Hist)})
 	}
 	return c
 }
@@ -117,16 +117,16 @@ func CleaningChart(r *CleaningReport) *plot.Chart {
 		LogX:   true,
 	}
 	if r.Cleans > 0 {
-		c.Series = append(c.Series, plot.Series{Name: "cleans", Step: true, Points: histPoints(r.LivePerClean)})
+		c.Series = append(c.Series, plot.Series{Name: "cleans", Step: true, Points: HistPoints(r.LivePerClean)})
 	}
 	return c
 }
 
-// histPoints converts a histogram to step-outline points over its bucket
+// HistPoints converts a histogram to step-outline points over its bucket
 // upper bounds, trimming the all-zero tail (but keeping interior zeros so
 // gaps in the distribution stay visible). The overflow count, if any,
 // lands one bucket ratio past the last bound.
-func histPoints(h *Hist) []plot.Point {
+func HistPoints(h *Hist) []plot.Point {
 	if h == nil {
 		return nil
 	}
