@@ -44,8 +44,11 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	j, err := s.Submit(spec)
 	if err != nil {
 		code := http.StatusBadRequest
-		if errors.Is(err, errDraining) {
+		switch {
+		case errors.Is(err, errDraining):
 			code = http.StatusServiceUnavailable
+		case errors.Is(err, errBusy):
+			code = http.StatusTooManyRequests
 		}
 		http.Error(w, err.Error(), code)
 		return

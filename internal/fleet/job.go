@@ -160,10 +160,21 @@ type expandedJob struct {
 	runs  []RunSpec
 }
 
-// expand validates the spec and materializes the grid. Replicas iterate
-// outermost so consecutive run indices share a (trace, seed) pair — that is
-// what makes the scheduler's small trace cache effective.
-func expand(s Spec) (*expandedJob, error) {
+// validated is a normalized, fully-checked spec plus its grid size — the
+// cheap half of expansion. The scheduler admits or rejects a job from this
+// before materialize allocates the run slice.
+type validated struct {
+	spec  Spec
+	plans []*fault.Plan
+	total int
+}
+
+// validate normalizes the spec and checks every axis. The grid is sized
+// with stepwise int64 multiplication checked against maxRuns after every
+// factor: Replicas and the axis lengths arrive from untrusted JSON, and a
+// single unchecked int product can wrap a huge grid to a small positive
+// total that slips past the cap.
+func validate(s Spec) (*validated, error) {
 	s = s.withDefaults()
 	var probe core.Config
 	for _, d := range s.Devices {
@@ -189,6 +200,9 @@ func expand(s Spec) (*expandedJob, error) {
 	if s.SynthOps < 0 {
 		return nil, fmt.Errorf("negative synth_ops %d", s.SynthOps)
 	}
+	if s.Replicas > maxRuns {
+		return nil, fmt.Errorf("replicas %d exceeds the %d-run limit", s.Replicas, maxRuns)
+	}
 	if s.Workers < 0 || s.Workers > maxWorkers {
 		return nil, fmt.Errorf("workers %d out of [0, %d]", s.Workers, maxWorkers)
 	}
@@ -208,13 +222,31 @@ func expand(s Spec) (*expandedJob, error) {
 		planAxis = 1 // one fault-free cell
 	}
 
-	total := s.Replicas * len(s.Traces) * planAxis * len(s.Devices) *
-		len(s.Utilizations) * len(s.Cleaning) * len(s.DRAMKB) * len(s.SRAMKB) * len(s.SpinDownS)
-	if total <= 0 || total > maxRuns {
-		return nil, fmt.Errorf("grid expands to %d runs (limit %d)", total, maxRuns)
+	// Every factor below is ≤ maxRuns (replicas checked above, axis lengths
+	// bounded by the request body), so the running int64 product cannot wrap
+	// before the per-step cap check rejects it.
+	total := int64(s.Replicas)
+	for _, axis := range []int{len(s.Traces), planAxis, len(s.Devices),
+		len(s.Utilizations), len(s.Cleaning), len(s.DRAMKB), len(s.SRAMKB), len(s.SpinDownS)} {
+		total *= int64(axis)
+		if total > maxRuns {
+			return nil, fmt.Errorf("grid expands to more than %d runs", maxRuns)
+		}
 	}
+	return &validated{spec: s, plans: plans, total: int(total)}, nil
+}
 
-	ej := &expandedJob{spec: s, plans: plans, runs: make([]RunSpec, 0, total)}
+// materialize builds the run grid. Replicas iterate outermost so consecutive
+// run indices share a (trace, seed) pair — that is what makes the
+// scheduler's small trace cache effective.
+func (v *validated) materialize() *expandedJob {
+	s := v.spec
+	plans := v.plans
+	planAxis := len(plans)
+	if planAxis == 0 {
+		planAxis = 1
+	}
+	ej := &expandedJob{spec: s, plans: plans, runs: make([]RunSpec, 0, v.total)}
 	idx := 0
 	for rep := 0; rep < s.Replicas; rep++ {
 		traceSeed := deriveSeed(s.Seed, seedTagTrace, rep)
@@ -254,7 +286,16 @@ func expand(s Spec) (*expandedJob, error) {
 			}
 		}
 	}
-	return ej, nil
+	return ej
+}
+
+// expand validates the spec and materializes the grid in one step.
+func expand(s Spec) (*expandedJob, error) {
+	v, err := validate(s)
+	if err != nil {
+		return nil, err
+	}
+	return v.materialize(), nil
 }
 
 func knownTrace(name string) bool {

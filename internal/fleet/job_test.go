@@ -98,6 +98,18 @@ func TestExpandValidation(t *testing.T) {
 		{"negative sample", Spec{SampleEveryS: -1}, "sample_every_s"},
 		{"bad fault plan", Spec{FaultPlans: []json.RawMessage{json.RawMessage(`{"nope`)}}, "fault_plans[0]"},
 		{"grid too big", Spec{Replicas: maxRuns + 1}, "limit"},
+		// A replica count chosen so the naive 9-factor int product wraps to a
+		// tiny positive total (4 devices × (2^62+1) ≡ 4 mod 2^64) must still
+		// be rejected, not expanded for ~4.6e18 iterations.
+		{"overflowing grid", Spec{
+			Replicas: 4611686018427387905,
+			Devices:  []string{"cu140", "cu140", "cu140", "cu140"},
+		}, "limit"},
+		{"overflowing axes", Spec{
+			Replicas:     maxRuns,
+			Devices:      []string{"cu140", "cu140"},
+			Utilizations: []float64{0.5, 0.8},
+		}, "expands"},
 	}
 	for _, c := range cases {
 		_, err := expand(c.spec)

@@ -19,9 +19,23 @@ import (
 // maxStoredErrors bounds the per-job error list in job status output.
 const maxStoredErrors = 8
 
+// maxPendingRuns caps expanded-but-unfinished runs across all jobs — the
+// admission control for materialization memory (a max-size grid's RunSpec
+// slice is ~100 MB). Vars, not consts, so tests can shrink them.
+var maxPendingRuns = 2 * maxRuns
+
+// maxFinishedJobs bounds how many terminal jobs the service retains for
+// GET /jobs; older finished jobs are dropped along with their per-job
+// registry metrics, keeping a long-lived service's memory flat.
+var maxFinishedJobs = 128
+
 // errDraining rejects submissions during graceful shutdown; the HTTP layer
 // maps it to 503.
 var errDraining = errors.New("service is shutting down; not accepting jobs")
+
+// errBusy rejects submissions that would exceed the pending-run cap; the
+// HTTP layer maps it to 429.
+var errBusy = errors.New("too many queued runs; retry after running jobs finish")
 
 // Job states.
 const (
@@ -151,6 +165,8 @@ type Service struct {
 	mu       sync.Mutex
 	jobs     map[string]*Job
 	order    []string
+	finished []string // terminal job IDs, oldest first, for retention eviction
+	pending  int      // expanded-but-unfinished runs across all jobs
 	nextID   int
 	draining bool
 	wg       sync.WaitGroup
@@ -184,16 +200,19 @@ func (s *Service) JobsSnapshot() []*Job {
 // run fan-out. It returns immediately; progress streams via the job's
 // broadcaster and Status.
 func (s *Service) Submit(spec Spec) (*Job, error) {
-	ej, err := expand(spec)
+	// Validate and size the grid without materializing it, so admission
+	// control — drain state and the fleet-wide pending-run cap — runs before
+	// the expansion allocates anything proportional to the grid.
+	v, err := validate(spec)
 	if err != nil {
 		return nil, err
 	}
-	workers := ej.spec.Workers
+	workers := v.spec.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(ej.runs) {
-		workers = len(ej.runs)
+	if workers > v.total {
+		workers = v.total
 	}
 
 	s.mu.Lock()
@@ -201,8 +220,21 @@ func (s *Service) Submit(spec Spec) (*Job, error) {
 		s.mu.Unlock()
 		return nil, errDraining
 	}
+	if s.pending+v.total > maxPendingRuns {
+		queued := s.pending
+		s.mu.Unlock()
+		return nil, fmt.Errorf("%w (%d runs queued, job adds %d, cap %d)",
+			errBusy, queued, v.total, maxPendingRuns)
+	}
+	s.pending += v.total
 	s.nextID++
 	id := fmt.Sprintf("j%d", s.nextID)
+	// Reserve the drain barrier with the run reservation: Shutdown observes
+	// either the rejection above or a wg it must wait on.
+	s.wg.Add(1)
+	s.mu.Unlock()
+
+	ej := v.materialize()
 	ctx, cancel := context.WithCancel(context.Background())
 	j := &Job{
 		ID:        id,
@@ -217,9 +249,9 @@ func (s *Service) Submit(spec Spec) (*Job, error) {
 		agg:       NewAggregator(),
 		created:   time.Now(),
 	}
+	s.mu.Lock()
 	s.jobs[id] = j
 	s.order = append(s.order, id)
-	s.wg.Add(1)
 	s.mu.Unlock()
 
 	s.reg.Counter("fleet.jobs.submitted").Inc()
@@ -344,7 +376,10 @@ func (s *Service) mergeOne(j *Job, o runOut, doneC, failedC *obs.Counter) {
 	j.broadcast.Send("progress", mustJSON(ev))
 }
 
-// finish marks the job terminal and broadcasts the guaranteed final frame.
+// finish marks the job terminal, broadcasts the guaranteed final frame,
+// drops the expanded grid (dead weight once every run has merged), and
+// retires the oldest finished jobs past the retention cap — unregistering
+// their per-job metrics so a long-lived service stays flat.
 func (s *Service) finish(j *Job, cancelled bool) {
 	j.mu.Lock()
 	if cancelled && j.done < j.Total {
@@ -353,8 +388,33 @@ func (s *Service) finish(j *Job, cancelled bool) {
 		j.state = StateDone
 	}
 	j.ended = time.Now()
+	j.ej = nil // up to maxRuns RunSpecs; everything is merged into j.agg now
 	j.mu.Unlock()
 
+	s.mu.Lock()
+	s.pending -= j.Total
+	s.finished = append(s.finished, j.ID)
+	var evicted []string
+	for len(s.finished) > maxFinishedJobs {
+		id := s.finished[0]
+		s.finished = s.finished[1:]
+		delete(s.jobs, id)
+		evicted = append(evicted, id)
+	}
+	if len(evicted) > 0 {
+		keep := s.order[:0]
+		for _, id := range s.order {
+			if _, ok := s.jobs[id]; ok {
+				keep = append(keep, id)
+			}
+		}
+		s.order = keep
+	}
+	s.mu.Unlock()
+
+	for _, id := range evicted {
+		s.reg.Unregister("fleet.job." + id + ".")
+	}
 	s.reg.Gauge("fleet.jobs.active").Add(-1)
 	s.reg.Gauge(jobMetric(j.ID, "queue_depth")).Set(0)
 	j.broadcast.Close("done", mustJSON(j.Status()))
@@ -368,10 +428,6 @@ func (s *Service) finish(j *Job, cancelled bool) {
 func (s *Service) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	s.draining = true
-	jobs := make([]*Job, 0, len(s.order))
-	for _, id := range s.order {
-		jobs = append(jobs, s.jobs[id])
-	}
 	s.mu.Unlock()
 
 	drained := make(chan struct{})
@@ -383,7 +439,9 @@ func (s *Service) Shutdown(ctx context.Context) error {
 	case <-drained:
 		return nil
 	case <-ctx.Done():
-		for _, j := range jobs {
+		// Snapshot at cancel time, not drain start: a submission admitted
+		// just before draining flipped may register its job afterwards.
+		for _, j := range s.JobsSnapshot() {
 			j.Cancel()
 		}
 		<-drained

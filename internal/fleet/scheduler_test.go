@@ -3,6 +3,7 @@ package fleet
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"testing"
 	"time"
 
@@ -244,6 +245,60 @@ func TestShutdownDeadlineCancels(t *testing.T) {
 	}
 	if last.Event != "done" {
 		t.Errorf("terminal frame event %q", last.Event)
+	}
+}
+
+// Admission control sizes the grid before materializing it: a job that
+// would push the fleet-wide pending-run total past the cap is rejected with
+// errBusy, and capacity frees up again once jobs finish.
+func TestSubmitPendingRunCap(t *testing.T) {
+	old := maxPendingRuns
+	maxPendingRuns = 4
+	defer func() { maxPendingRuns = old }()
+
+	svc := NewService(obs.NewRegistry())
+	_, err := svc.Submit(Spec{SynthOps: 50, Replicas: 5})
+	if !errors.Is(err, errBusy) {
+		t.Fatalf("oversized submission: err = %v, want errBusy", err)
+	}
+	// Within the cap it runs; afterwards the reservation is released.
+	runJob(t, svc, Spec{SynthOps: 50, Replicas: 4})
+	if _, err := svc.Submit(Spec{SynthOps: 50, Replicas: 4}); err != nil {
+		t.Fatalf("submission after capacity freed: %v", err)
+	}
+}
+
+// Finished jobs drop their expanded grid immediately and are retired past
+// the retention cap, taking their per-job registry metrics with them.
+func TestFinishedJobRetention(t *testing.T) {
+	old := maxFinishedJobs
+	maxFinishedJobs = 2
+	defer func() { maxFinishedJobs = old }()
+
+	reg := obs.NewRegistry()
+	svc := NewService(reg)
+	var jobs []*Job
+	for i := 0; i < 3; i++ {
+		jobs = append(jobs, runJob(t, svc, Spec{SynthOps: 50}))
+	}
+	first := jobs[0]
+	first.mu.Lock()
+	if first.ej != nil {
+		t.Error("finished job retained its expanded grid")
+	}
+	first.mu.Unlock()
+	if svc.Get(first.ID) != nil {
+		t.Errorf("job %s not retired past the retention cap", first.ID)
+	}
+	if got := svc.JobsSnapshot(); len(got) != 2 {
+		t.Errorf("%d jobs listed, want 2", len(got))
+	}
+	if snap := reg.String(); containsStr(snap, jobMetric(first.ID, "runs_done")) {
+		t.Errorf("retired job's metrics still registered:\n%s", snap)
+	}
+	// The retained jobs keep theirs.
+	if snap := reg.String(); !containsStr(snap, jobMetric(jobs[2].ID, "runs_done")) {
+		t.Errorf("live job's metrics missing:\n%s", snap)
 	}
 }
 

@@ -371,6 +371,33 @@ func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 	return h
 }
 
+// Unregister drops every metric whose name starts with prefix. Handles
+// callers already hold keep working; the metrics simply stop being exported.
+// This is how the fleet service expires per-job metrics when it retires old
+// jobs.
+func (r *Registry) Unregister(prefix string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name := range r.counters {
+		if strings.HasPrefix(name, prefix) {
+			delete(r.counters, name)
+		}
+	}
+	for name := range r.gauges {
+		if strings.HasPrefix(name, prefix) {
+			delete(r.gauges, name)
+		}
+	}
+	for name := range r.hists {
+		if strings.HasPrefix(name, prefix) {
+			delete(r.hists, name)
+		}
+	}
+}
+
 // Counters returns a snapshot of every counter value, keyed by name.
 func (r *Registry) Counters() map[string]int64 {
 	if r == nil {

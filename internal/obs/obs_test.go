@@ -262,6 +262,32 @@ func TestRegistryString(t *testing.T) {
 	}
 }
 
+// Unregister drops every metric under a prefix (how the fleet service
+// expires a retired job's metrics) while held handles keep working.
+func TestRegistryUnregister(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("fleet.job.j1.runs_done")
+	c.Inc()
+	r.Gauge("fleet.job.j1.queue_depth").Set(3)
+	r.Histogram("fleet.job.j1.lat", []float64{1, 10}).Observe(2)
+	r.Counter("fleet.job.j2.runs_done").Inc()
+
+	r.Unregister("fleet.job.j1.")
+	out := r.String()
+	if strings.Contains(out, "fleet.job.j1.") {
+		t.Errorf("j1 metrics survived Unregister:\n%s", out)
+	}
+	if !strings.Contains(out, "fleet.job.j2.runs_done") {
+		t.Errorf("j2 metrics lost:\n%s", out)
+	}
+	c.Inc() // stale handle: harmless, just no longer exported
+	if got := c.Value(); got != 2 {
+		t.Errorf("held handle = %d, want 2", got)
+	}
+	var nilReg *Registry
+	nilReg.Unregister("x") // must not panic
+}
+
 // Gauge.Add must not lose updates under concurrency (it backs the fleet
 // scheduler's queue-depth and busy-worker gauges) and must tolerate nil.
 func TestGaugeAdd(t *testing.T) {

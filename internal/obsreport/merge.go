@@ -46,9 +46,10 @@ func (h *Hist) Merge(o *Hist) {
 		h.Sum = o.Sum
 		h.Min = o.Min
 		h.Max = o.Max
+		h.ExtremesKnown = o.ExtremesKnown
 		return
 	}
-	known := h.Max > 0 && o.Max > 0
+	known := h.ExtremesKnown && o.ExtremesKnown
 	for i, c := range o.Counts {
 		h.Counts[i] += c
 	}
@@ -64,6 +65,7 @@ func (h *Hist) Merge(o *Hist) {
 		}
 	} else {
 		h.Min, h.Max = 0, 0
+		h.ExtremesKnown = false
 	}
 }
 

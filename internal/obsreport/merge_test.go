@@ -75,6 +75,39 @@ func TestHistMergeWidthOnly(t *testing.T) {
 	}
 }
 
+// A histogram whose samples are legitimately all zero still knows its exact
+// extremes; merging it must keep the other side's Min/Max instead of
+// degrading to width-only (regression: Max > 0 was the 'extremes known'
+// sentinel, so an all-zero side looked like a FromStats histogram).
+func TestHistMergeAllZeroSamplesKeepsExtremes(t *testing.T) {
+	zero := NewHist(latencyBounds())
+	zero.Add(0)
+	zero.Add(0)
+	if !zero.ExtremesKnown {
+		t.Fatal("Add-built histogram must know its extremes")
+	}
+	if q := zero.Quantile(0.99); q != 0 {
+		t.Errorf("all-zero p99 = %g, want exactly 0", q)
+	}
+
+	known := NewHist(latencyBounds())
+	known.Add(5)
+	known.Merge(zero)
+	if !known.ExtremesKnown {
+		t.Error("merge with an all-zero histogram lost the extremes")
+	}
+	if known.Min != 0 || known.Max != 5 {
+		t.Errorf("extremes [%g, %g], want [0, 5]", known.Min, known.Max)
+	}
+
+	// And the symmetric direction: folding known samples into the zero side.
+	zero.Merge(known)
+	if !zero.ExtremesKnown || zero.Min != 0 || zero.Max != 5 {
+		t.Errorf("reverse merge: known=%v extremes [%g, %g], want [0, 5]",
+			zero.ExtremesKnown, zero.Min, zero.Max)
+	}
+}
+
 func TestHistMergeLayoutMismatchPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {

@@ -25,6 +25,13 @@ type Hist struct {
 	Sum      float64   `json:"sum"`
 	Min      float64   `json:"min"`
 	Max      float64   `json:"max"`
+	// ExtremesKnown reports whether Min/Max are exact observed extremes
+	// (sample-fed via Add, or adapted from a snapshot that tracks them)
+	// rather than the zero placeholders of a width-only histogram
+	// (FromStats). An explicit flag, not inferred from Max > 0: a
+	// distribution whose samples are legitimately all zero has exact
+	// extremes too.
+	ExtremesKnown bool `json:"extremes_known,omitempty"`
 }
 
 // NewHist builds an empty histogram over ascending bucket bounds.
@@ -54,6 +61,7 @@ func (h *Hist) Add(x float64) {
 	if h.N == 0 || x > h.Max {
 		h.Max = x
 	}
+	h.ExtremesKnown = true
 	h.N++
 	h.Sum += x
 	for i, b := range h.Bounds {
@@ -85,7 +93,7 @@ func (h *Hist) Quantile(q float64) float64 {
 		return 0
 	}
 	// The extreme quantiles are the observed extremes, exactly, when known.
-	if h.Max > 0 {
+	if h.ExtremesKnown {
 		if q <= 0 {
 			return h.Min
 		}
@@ -109,7 +117,7 @@ func (h *Hist) Quantile(q float64) float64 {
 		seen += c
 	}
 	// Overflow bucket.
-	if h.Max > 0 {
+	if h.ExtremesKnown {
 		return h.Max
 	}
 	return math.Inf(1)
@@ -139,9 +147,9 @@ func (h *Hist) lower(i int) float64 {
 }
 
 // clamp limits an estimate to the observed sample range when it is known
-// (Max stays zero for stats-built histograms: extremes unknown).
+// (ExtremesKnown stays false for stats-built histograms).
 func (h *Hist) clamp(v float64) float64 {
-	if h.Max <= 0 {
+	if !h.ExtremesKnown {
 		return v
 	}
 	if v < h.Min {
@@ -184,6 +192,7 @@ func FromSnapshot(s obs.HistogramSnapshot) *Hist {
 		h.N += c
 	}
 	h.N += h.Overflow
+	h.ExtremesKnown = h.N > 0
 	return h
 }
 
