@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet fmt-check test test-diff race bench bench-smoke bench-gate bench-gate-faults bench-gate-update fuzz-smoke golden-update serve-smoke check
+.PHONY: build vet fmt-check test test-diff race bench bench-smoke bench-gate bench-gate-faults bench-gate-update profile-fig2 profile-fig4 fuzz-smoke golden-update serve-smoke check
 
 build:
 	$(GO) build ./...
@@ -42,7 +42,7 @@ bench-smoke:
 # The repo-root figure benchmarks replay full paper simulations, so one
 # iteration is a whole run; best-of-3 with a wider threshold than the
 # obsreport microbenchmarks (single-iteration full runs jitter more).
-FIGURE_BENCH = ^(BenchmarkTable[1-4]|BenchmarkFig[1-4])
+FIGURE_BENCH = ^(BenchmarkTable[1-4]|BenchmarkFig[1-4]|BenchmarkFig2Seq|BenchmarkExtentCoalesce)
 
 # Regression gate: re-measure the obsreport benchmarks and the paper-figure
 # benchmarks and fail when any gets slower or allocation-heavier than the
@@ -72,6 +72,16 @@ bench-gate-update:
 		| $(GO) run ./cmd/benchdiff -baseline BENCH_obsreport.json -update
 	$(GO) test -run='^$$' -bench='$(FIGURE_BENCH)' -benchmem -benchtime=1x -count=5 . \
 		| $(GO) run ./cmd/benchdiff -baseline BENCH_figures.json -update
+
+# CPU and allocation profiles of the two headline figure replays; open the
+# output with `go tool pprof cpu-fig2.pprof`. Ten iterations give pprof's
+# 100 Hz sampler enough samples for a stable flat profile.
+profile-fig2:
+	$(GO) test -run='^$$' -bench='^BenchmarkFig2$$' -benchtime=10x \
+		-cpuprofile cpu-fig2.pprof -memprofile mem-fig2.pprof .
+profile-fig4:
+	$(GO) test -run='^$$' -bench='^BenchmarkFig4$$' -benchtime=10x \
+		-cpuprofile cpu-fig4.pprof -memprofile mem-fig4.pprof .
 
 # End-to-end fleet-service smoke: boot `storagesim -service`, submit a
 # grid job over the HTTP API, poll it to completion, fetch every fleet

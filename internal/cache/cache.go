@@ -233,6 +233,11 @@ func (c *Cache) Insert(addr, size units.Bytes, dirty bool) []Extent {
 		c.pushFront(idx)
 		c.used++
 	}
+	if evicted == nil {
+		// The common case for write-through (nothing is ever dirty): skip
+		// the coalesce call entirely.
+		return nil
+	}
 	return coalesce(evicted)
 }
 

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"testing"
+
+	"mobilestorage/internal/trace"
+	"mobilestorage/internal/units"
+)
+
+// rec builds a record with millisecond timestamps for readability.
+func rec(ms int64, op trace.Op, file uint32, off, size units.Bytes) trace.Record {
+	return trace.Record{Time: units.Time(ms) * units.Millisecond, Op: op, File: file, Offset: off, Size: size}
+}
+
+// runEndsOf prepares a hand-built 1 KB-block trace and returns its run table.
+func runEndsOf(t *testing.T, recs ...trace.Record) []int32 {
+	t.Helper()
+	tr := &trace.Trace{Name: "unit", BlockSize: units.KB, Records: recs}
+	p := PrepareTrace(tr)
+	if p.err != nil {
+		t.Fatalf("PrepareTrace: %v", p.err)
+	}
+	return p.runEnds
+}
+
+func wantEnds(t *testing.T, got []int32, want ...int32) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("runEnds length: got %d want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("runEnds = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestCoalesceRuns pins the boundary behaviour of the extent coalescer: runs
+// extend only across consecutive same-op, same-file, byte-contiguous
+// records, and every record inside a chain sees the same (capped) end.
+func TestCoalesceRuns(t *testing.T) {
+	k := units.KB
+
+	t.Run("op change splits", func(t *testing.T) {
+		ends := runEndsOf(t,
+			rec(0, trace.Write, 0, 0, k),
+			rec(1, trace.Write, 0, k, k),
+			rec(2, trace.Write, 0, 2*k, k),
+			rec(3, trace.Read, 0, 0, k),
+			rec(4, trace.Read, 0, k, k),
+		)
+		wantEnds(t, ends, 3, 3, 3, 5, 5)
+	})
+
+	t.Run("file change splits", func(t *testing.T) {
+		ends := runEndsOf(t,
+			rec(0, trace.Write, 0, 0, k),
+			rec(1, trace.Write, 0, k, k),
+			rec(2, trace.Write, 1, 0, k),
+			rec(3, trace.Write, 1, k, k),
+		)
+		wantEnds(t, ends, 2, 2, 4, 4)
+	})
+
+	t.Run("offset gap splits", func(t *testing.T) {
+		ends := runEndsOf(t,
+			rec(0, trace.Write, 0, 0, k),
+			rec(1, trace.Write, 0, 3*k, k), // hole at [1k, 3k)
+		)
+		wantEnds(t, ends, 1, 2)
+	})
+
+	t.Run("rewrite of the same offset splits", func(t *testing.T) {
+		ends := runEndsOf(t,
+			rec(0, trace.Write, 0, 0, k),
+			rec(1, trace.Write, 0, 0, k),
+		)
+		wantEnds(t, ends, 1, 2)
+	})
+
+	t.Run("sub-block records chain when offsets are dense", func(t *testing.T) {
+		// Placement is file base + offset, so byte-dense sub-block writes
+		// still form an extent; the 1 KB block size does not quantize runs.
+		ends := runEndsOf(t,
+			rec(0, trace.Write, 0, 0, 512),
+			rec(1, trace.Write, 0, 512, 512),
+			rec(2, trace.Write, 0, k, k),
+		)
+		wantEnds(t, ends, 3, 3, 3)
+	})
+
+	t.Run("mixed sizes chain", func(t *testing.T) {
+		ends := runEndsOf(t,
+			rec(0, trace.Write, 0, 0, 3*k),
+			rec(1, trace.Write, 0, 3*k, k),
+		)
+		wantEnds(t, ends, 2, 2)
+	})
+
+	t.Run("delete is always a singleton and splits its neighbours", func(t *testing.T) {
+		ends := runEndsOf(t,
+			rec(0, trace.Write, 0, 0, k),
+			rec(1, trace.Write, 0, k, k),
+			rec(2, trace.Delete, 0, 0, 2*k),
+			rec(3, trace.Write, 0, 0, k),
+		)
+		wantEnds(t, ends, 2, 2, 3, 4)
+	})
+
+	t.Run("cap at maxExtentLen", func(t *testing.T) {
+		n := maxExtentLen + 6
+		recs := make([]trace.Record, n)
+		for i := range recs {
+			recs[i] = rec(int64(i), trace.Write, 0, units.Bytes(i)*k, k)
+		}
+		ends := runEndsOf(t, recs...)
+		for i := range ends {
+			want := int32(i + maxExtentLen)
+			if want > int32(n) {
+				want = int32(n)
+			}
+			if ends[i] != want {
+				t.Fatalf("ends[%d] = %d, want %d (cap %d over chain of %d)",
+					i, ends[i], want, maxExtentLen, n)
+			}
+		}
+	})
+
+	t.Run("singletons", func(t *testing.T) {
+		ends := runEndsOf(t,
+			rec(0, trace.Write, 0, 0, k),
+			rec(1, trace.Read, 0, 0, k),
+			rec(2, trace.Write, 1, 0, k),
+		)
+		wantEnds(t, ends, 1, 2, 3)
+	})
+}

@@ -30,6 +30,14 @@ func matrixDevices() []matrixDevice {
 			c.Kind = core.FlashCard
 			c.FlashCardParams = device.IntelSeries2Measured()
 		}},
+		{"flashcard-ondemand", func(c *core.Config) {
+			// On-demand cleaning defers all cleaning work to the write
+			// path, so extent-batched writes hit the cleaner-threshold
+			// check with maximal pressure mid-extent.
+			c.Kind = core.FlashCard
+			c.FlashCardParams = device.IntelSeries2Measured()
+			c.OnDemandCleaning = true
+		}},
 		{"flashcache", func(c *core.Config) {
 			c.Kind = core.FlashCache
 			c.Disk = device.CU140Measured()

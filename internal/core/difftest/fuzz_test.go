@@ -16,9 +16,9 @@ import (
 const fuzzBlockSize = 512 * units.B
 
 // traceFromBytes decodes fuzz input into a small valid trace: each 6-byte
-// group becomes one record (op, file, offset, size, inter-arrival gap).
-// The decoder is total — any byte string yields a valid trace — so the
-// fuzzer explores structure, not the validator.
+// group becomes one record (op, file, offset, size, inter-arrival gap,
+// sequential run length). The decoder is total — any byte string yields a
+// valid trace — so the fuzzer explores structure, not the validator.
 func traceFromBytes(data []byte) *trace.Trace {
 	const maxRecords = 96
 	tr := &trace.Trace{Name: "fuzz", BlockSize: fuzzBlockSize}
@@ -43,7 +43,19 @@ func traceFromBytes(data []byte) *trace.Trace {
 		tr.Records = append(tr.Records, trace.Record{
 			Time: now, Op: op, File: file, Offset: offset, Size: size,
 		})
-		_ = data[i+5] // reserved: keeps the record stride a round 6 bytes
+		// Byte 5 extends the record into a sequential run: follow-on
+		// records continue the same op on the same file at consecutive
+		// byte offsets, the exact pattern the replay loop coalesces into
+		// extents. Deletes never run (the coalescer keeps them single).
+		if op != trace.Delete {
+			for run := int(data[i+5] % 8); run > 0 && len(tr.Records) < maxRecords; run-- {
+				offset += size
+				now += 13 * units.Microsecond
+				tr.Records = append(tr.Records, trace.Record{
+					Time: now, Op: op, File: file, Offset: offset, Size: size,
+				})
+			}
+		}
 	}
 	return tr
 }
@@ -70,6 +82,17 @@ func FuzzRunEquivalence(f *testing.F) {
 		var b []byte
 		for i := 0; i < 64; i++ {
 			b = append(b, 2, 3, byte(i%4), 15, 3, 0)
+		}
+		return b
+	}())
+	// Sequential bursts: byte 5 spawns follow-on records that the replay
+	// loop coalesces into multi-record extents, alternating write and read
+	// sweeps over a few files.
+	f.Add(func() []byte {
+		var b []byte
+		for i := 0; i < 10; i++ {
+			b = append(b, 2, byte(i%3), 0, 7, 40, 7)
+			b = append(b, 0, byte(i%3), 0, 7, 90, 5)
 		}
 		return b
 	}())

@@ -3,6 +3,7 @@ package core
 import (
 	"math"
 
+	"mobilestorage/internal/energy"
 	"mobilestorage/internal/obs"
 )
 
@@ -35,6 +36,10 @@ func newSampler(cfg Config, sc *obs.Scope, st *stack, dram dramCache) *obs.Sampl
 	storage := sc.Gauge(gaugeEnergyStorage)
 	dramG := sc.Gauge(gaugeEnergyDRAM)
 	sramG := sc.Gauge(gaugeEnergySRAM)
+	// Scratch meter reused across ticks: the hybrid stack has no single
+	// component meter, and rebuilding its disk+flash aggregate used to
+	// allocate a fresh Meter every sampling boundary.
+	scratch := energy.NewMeter()
 	return obs.NewSampler(reg, int64(cfg.SampleEvery), func(tUs int64) {
 		var storageJ, sramJ, dramJ float64
 		switch {
@@ -45,7 +50,8 @@ func newSampler(cfg Config, sc *obs.Scope, st *stack, dram dramCache) *obs.Sampl
 		case st.fcard != nil:
 			storageJ = st.fcard.Meter().TotalJ()
 		case st.hyb != nil:
-			storageJ = st.hyb.Meter().TotalJ()
+			st.hyb.MeterInto(scratch)
+			storageJ = scratch.TotalJ()
 		}
 		if st.buffer != nil {
 			sramJ = st.buffer.Meter().TotalJ()

@@ -61,6 +61,21 @@ func Workload(name string, seed int64) (*trace.Trace, error) {
 	return t, nil
 }
 
+// prepCache memoizes trace preprocessing the same way: a TracePrep is a
+// pure function of the (immutable, cached) trace, and the figure sweeps
+// re-prepare the same traces on every call.
+var prepCache sync.Map // *trace.Trace → *core.TracePrep
+
+// prepare returns the memoized TracePrep for a cached trace.
+func prepare(t *trace.Trace) *core.TracePrep {
+	if v, ok := prepCache.Load(t); ok {
+		return v.(*core.TracePrep)
+	}
+	p := core.PrepareTrace(t)
+	prepCache.Store(t, p)
+	return p
+}
+
 // dramFor returns the DRAM cache size for a trace: the hp trace was
 // captured below the buffer cache, so it must run cacheless (§4.1).
 func dramFor(traceName string) units.Bytes {

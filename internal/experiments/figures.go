@@ -94,7 +94,7 @@ func Fig2(seed int64) ([]Fig2Point, error) {
 		}
 		// One prep per trace: the eight utilization runs share the same
 		// validation, hints, and footprint.
-		prep := core.PrepareTrace(t)
+		prep := prepare(t)
 		// Fix the card size so the lowest utilization in the sweep still
 		// holds the whole trace footprint, then set utilization by filler.
 		seg := device.IntelSeries2Datasheet().SegmentSize
@@ -216,7 +216,7 @@ func Fig4(seed int64) ([]Fig4Point, error) {
 		return nil, err
 	}
 	const stored = 32 * units.MB
-	prep := core.PrepareTrace(t)
+	prep := prepare(t)
 	var out []Fig4Point
 	for flashMB := 34; flashMB <= 38; flashMB++ {
 		for _, dram := range Fig4DRAMSizes {
@@ -305,7 +305,7 @@ func Fig5(seed int64) ([]Fig5Point, error) {
 		if err != nil {
 			return nil, err
 		}
-		prep := core.PrepareTrace(t)
+		prep := prepare(t)
 		var baseEnergy, baseWrite float64
 		for _, sram := range Fig5SRAMSizes {
 			cfg := core.Config{

@@ -83,7 +83,12 @@ type Card struct {
 	blockShift uint8
 	shiftOK    bool
 
-	// blockSeg[b] is the segment holding logical block b's live copy.
+	// blockSeg[b] is the segment holding logical block b's live copy,
+	// stored as segment+1 so the zero value means "no live copy": New can
+	// rely on make's zeroing instead of a second full fill pass (the array
+	// covers every block on the card, and Figure 4 constructs a fresh card
+	// per sweep point). Readers subtract 1, which maps empty entries to
+	// noSegment (-1) so existing comparisons hold unchanged.
 	blockSeg []int32
 	// segLive[s] counts live blocks in segment s.
 	segLive []int32
@@ -112,6 +117,15 @@ type Card struct {
 	// the inline store keeps the per-clean record off the heap.
 	job      *cleanJob
 	jobStore cleanJob
+
+	// stateGen counts mutations that could change cleaning-victim selection
+	// (segment closes, closed-segment live counts, the erased pool);
+	// noVictimAtGen caches that startJob's scan came up empty at that
+	// generation, so back-to-back scans over unchanged state are skipped.
+	// The memo is bypassed under wear leveling, whose selection alternates
+	// statefully (startJob mutates lastLevel even when state is unchanged).
+	stateGen      int64
+	noVictimAtGen int64
 
 	// Memoized transfer times for the card's fixed datasheet bandwidths;
 	// results are bit-identical to calling units.TransferTime directly.
@@ -259,9 +273,6 @@ func New(p device.FlashCardParams, capacity units.Bytes, blockSize units.Bytes, 
 		c.blockShift = uint8(bits.TrailingZeros64(uint64(blockSize)))
 	}
 	c.blockSeg = make([]int32, c.capacity/blockSize)
-	for i := range c.blockSeg {
-		c.blockSeg[i] = noSegment
-	}
 	c.segArena = make([]int32, int(nseg)*int(c.blocksPerSeg))
 	c.erased = make([]int32, nseg)
 	for i := range c.erased {
@@ -269,6 +280,7 @@ func New(p device.FlashCardParams, capacity units.Bytes, blockSize units.Bytes, 
 	}
 	c.readMemo = units.NewTransferMemo(p.ReadKBs)
 	c.writeMemo = units.NewTransferMemo(p.WriteKBs)
+	c.noVictimAtGen = -1
 	c.copyKBs = p.CopyKBs
 	if c.copyKBs == 0 {
 		c.copyKBs = p.WriteKBs
@@ -312,7 +324,7 @@ func (c *Card) Prefill(data units.Bytes) error {
 		base := int64(s) * bps
 		for i := int64(0); i < n; i++ {
 			c.segArena[base+i] = int32(b + i)
-			c.blockSeg[b+i] = s
+			c.blockSeg[b+i] = s + 1
 		}
 		c.segFill[s] = int32(n)
 		c.segLive[s] = int32(n)
@@ -469,12 +481,7 @@ func (c *Card) Background(req device.Request) units.Time {
 // is the arrival instant, used to timestamp events.
 func (c *Card) write(addr, size units.Bytes, start units.Time) units.Time {
 	first, last := c.blockRange(addr, size)
-	var stall units.Time
-	for b := first; b <= last; b++ {
-		stall += c.ensureSpace(hostHead, start+stall)
-		c.appendBlock(int32(b), hostHead)
-		c.hostWrites++
-	}
+	stall := c.appendHostRun(first, last, start)
 	c.cHostBlks.Add(last - first + 1)
 	transfer := c.writeMemo.Time(size)
 	c.meter.AccrueSlot(energy.SlotActive, c.p.ActiveW, transfer)
@@ -588,6 +595,7 @@ func (c *Card) reclaimRetired(at units.Time) bool {
 	c.segState[best] = segErased
 	c.erased = append(c.erased, best)
 	c.badSegs--
+	c.stateGen++
 	c.inj.RecordReclaim(c.evName, int64(best), at)
 	return true
 }
@@ -607,6 +615,7 @@ func (c *Card) openSegment(h logHead) {
 	c.fillSeq++
 	c.segFillSeq[s] = c.fillSeq
 	c.segFill[s] = 0
+	c.stateGen++ // the smaller erased pool can change what relocation fits
 }
 
 // appendBlock writes one logical block at head h's log position,
@@ -624,10 +633,10 @@ func (c *Card) appendBlock(b int32, h logHead) {
 		c.openSegment(h)
 	}
 	s := c.active[h]
-	if old := c.blockSeg[b]; old != noSegment {
+	if old := c.blockSeg[b] - 1; old != noSegment {
 		c.segLive[old]--
 	}
-	c.blockSeg[b] = s
+	c.blockSeg[b] = s + 1
 	c.segLive[s]++
 	c.segArena[int64(s)*int64(c.blocksPerSeg)+int64(c.segFill[s])] = b
 	c.segFill[s]++
@@ -636,6 +645,54 @@ func (c *Card) appendBlock(b int32, h logHead) {
 		c.segState[s] = segClosed
 		c.active[h] = noSegment
 	}
+}
+
+// appendHostRun appends logical blocks [first, last] to the host log,
+// returning the synchronous stall time spent waiting for erased space.
+// State-identical to the per-block ensureSpace+appendBlock loop it replaced:
+// blocks land in the same arena slots, segments close and open at the same
+// points, and ensureSpace runs exactly where the per-block loop would have
+// done non-trivial work (at rollover, with the stall accumulated so far —
+// for every other block it returned immediately). The live counts batch as
+// plain integer sums, so the final state is identical, not just equivalent.
+func (c *Card) appendHostRun(first, last int64, start units.Time) units.Time {
+	var stall units.Time
+	bps := int64(c.blocksPerSeg)
+	for b := first; b <= last; {
+		if c.active[hostHead] == noSegment || c.activeFree[hostHead] == 0 {
+			stall += c.ensureSpace(hostHead, start+stall)
+		}
+		s := c.active[hostHead]
+		n := last - b + 1
+		if free := int64(c.activeFree[hostHead]); n > free {
+			n = free
+		}
+		base := int64(s)*bps + int64(c.segFill[s])
+		invalidated := false
+		for i := int64(0); i < n; i++ {
+			blk := int32(b + i)
+			if old := c.blockSeg[blk] - 1; old != noSegment {
+				c.segLive[old]--
+				invalidated = true
+			}
+			c.blockSeg[blk] = s + 1
+			c.segArena[base+i] = blk
+		}
+		c.segLive[s] += int32(n)
+		c.segFill[s] += int32(n)
+		c.activeFree[hostHead] -= int32(n)
+		closed := c.activeFree[hostHead] == 0
+		if closed {
+			c.segState[s] = segClosed
+			c.active[hostHead] = noSegment
+		}
+		if invalidated || closed {
+			c.stateGen++
+		}
+		c.hostWrites += n
+		b += n
+	}
+	return stall
 }
 
 func (c *Card) blockRange(addr, size units.Bytes) (first, last int64) {
@@ -651,11 +708,16 @@ func (c *Card) invalidate(addr, size units.Bytes) {
 		return
 	}
 	first, last := c.blockRange(addr, size)
+	changed := false
 	for b := first; b <= last; b++ {
-		if s := c.blockSeg[b]; s != noSegment {
+		if s := c.blockSeg[b] - 1; s != noSegment {
 			c.segLive[s]--
-			c.blockSeg[b] = noSegment
+			c.blockSeg[b] = 0
+			changed = true
 		}
+	}
+	if changed {
+		c.stateGen++
 	}
 }
 
@@ -704,6 +766,9 @@ func (c *Card) runCleaner(start, budget units.Time) units.Time {
 // when no victim qualifies. at timestamps any fault events the job's erase
 // schedule draws.
 func (c *Card) startJob(at units.Time) {
+	if c.wearLevel == 0 && c.noVictimAtGen == c.stateGen {
+		return // same state as the last fruitless scan: still nothing cleanable
+	}
 	victim := c.policy.SelectVictim(c)
 	// A leveling move relocates a (often fully live) cold segment, which
 	// frees no net space, so it must alternate with ordinary cleans —
@@ -724,6 +789,9 @@ func (c *Card) startJob(at units.Time) {
 		}
 	}
 	if victim == noSegment {
+		if c.wearLevel == 0 {
+			c.noVictimAtGen = c.stateGen
+		}
 		return
 	}
 	c.startJobFor(victim, at)
@@ -819,17 +887,57 @@ func (c *Card) finishJob(at units.Time) {
 	pulses := c.job.erasePulses
 	c.job = nil
 	c.victimLiveSum += int64(c.segLive[v])
+	// Relocate the victim's live blocks to the cleaner's log head in chunks
+	// bounded by the head's free space. State-identical to the per-block
+	// appendBlock loop it replaced: a victim is always closed (never the
+	// cleaner's own active segment), so the per-block decrement/increment
+	// pairs batch into one subtraction from the victim and one addition per
+	// destination chunk.
 	var copied int64
-	base := int64(v) * int64(c.blocksPerSeg)
-	for _, b := range c.segArena[base : base+int64(c.segFill[v])] {
-		if c.blockSeg[b] == v {
-			c.segLive[v]--
-			c.blockSeg[b] = noSegment // avoid double-decrement in appendBlock
-			c.appendBlock(b, cleanHead)
-			c.copyWrites++
-			copied++
+	bps := int64(c.blocksPerSeg)
+	base := int64(v) * bps
+	src := c.segArena[base : base+int64(c.segFill[v])]
+	vp1 := v + 1
+	for si := 0; si < len(src); {
+		if c.blockSeg[src[si]] != vp1 {
+			si++ // stale arena entry: the block was overwritten or deleted
+			continue
 		}
+		if c.active[cleanHead] == noSegment || c.activeFree[cleanHead] == 0 {
+			if c.active[cleanHead] != noSegment {
+				c.segState[c.active[cleanHead]] = segClosed
+				c.active[cleanHead] = noSegment
+			}
+			if len(c.erased) == 0 {
+				panic(fmt.Sprintf("flashcard %s: appendBlock without erased space", c.p.Name))
+			}
+			c.openSegment(cleanHead)
+		}
+		s := c.active[cleanHead]
+		dst := int64(s)*bps + int64(c.segFill[s])
+		free := c.activeFree[cleanHead]
+		n := int32(0)
+		for si < len(src) && n < free {
+			b := src[si]
+			si++
+			if c.blockSeg[b] != vp1 {
+				continue
+			}
+			c.blockSeg[b] = s + 1
+			c.segArena[dst+int64(n)] = b
+			n++
+		}
+		c.segLive[s] += n
+		c.segFill[s] += n
+		c.activeFree[cleanHead] = free - n
+		if c.activeFree[cleanHead] == 0 {
+			c.segState[s] = segClosed
+			c.active[cleanHead] = noSegment
+		}
+		copied += int64(n)
 	}
+	c.segLive[v] -= int32(copied)
+	c.copyWrites += copied
 	c.segFill[v] = 0
 	if c.segLive[v] != 0 {
 		panic(fmt.Sprintf("flashcard %s: segment %d has %d live blocks after clean", c.p.Name, v, c.segLive[v]))
@@ -840,6 +948,7 @@ func (c *Card) finishJob(at units.Time) {
 	c.totalErases += pulses
 	c.cErases.Add(pulses)
 	c.retireIfWorn(v, at)
+	c.stateGen++
 	c.cCleans.Inc()
 	c.cCopied.Add(copied)
 	c.hCleanMs.Observe(total.Milliseconds())
@@ -906,6 +1015,47 @@ func (c *Card) BadSegments() int64 { return int64(c.badSegs) }
 // SpareSegmentsLeft returns the plan's spare segments not yet consumed.
 func (c *Card) SpareSegmentsLeft() int64 { return c.sparesLeft }
 
+// ReadExtent services a coalesced run of read requests back to back,
+// byte-identical to calling Idle(reqs[k].Time) followed by Access(reqs[k])
+// for each k in order. The per-record idle advance (standby accrual plus
+// background cleaning across the gap) is preserved; Access's own
+// advance(start) is omitted only because it is provably a no-op after it:
+// advance(req.Time) leaves lastUpdate ≥ req.Time, busyUntil ≤ lastUpdate
+// always holds, so start = max(req.Time, busyUntil) ≤ lastUpdate.
+// completions[k] receives request k's completion time.
+func (c *Card) ReadExtent(reqs []device.Request, completions []units.Time) {
+	for k := range reqs {
+		req := &reqs[k]
+		c.advance(req.Time)
+		start := units.Max(req.Time, c.busyUntil)
+		service := c.readService(req.Size, start)
+		c.hostTime += service
+		completion := start + service
+		if completion > c.lastUpdate {
+			c.lastUpdate = completion
+		}
+		c.busyUntil = completion
+		completions[k] = completion
+	}
+}
+
+// WriteExtent is ReadExtent's write-path counterpart, with the same
+// Idle-then-Access equivalence per request.
+func (c *Card) WriteExtent(reqs []device.Request, completions []units.Time) {
+	for k := range reqs {
+		req := &reqs[k]
+		c.advance(req.Time)
+		start := units.Max(req.Time, c.busyUntil)
+		service := c.write(req.Addr, req.Size, start)
+		completion := start + service
+		if completion > c.lastUpdate {
+			c.lastUpdate = completion
+		}
+		c.busyUntil = completion
+		completions[k] = completion
+	}
+}
+
 // Crash implements device.Crasher: power failure drops the in-flight
 // cleaning job. The job's copies and erase had not been applied — state
 // changes land atomically at finishJob — so the abandoned job loses only
@@ -913,6 +1063,7 @@ func (c *Card) SpareSegmentsLeft() int64 { return c.sparesLeft }
 func (c *Card) Crash(at units.Time) {
 	c.advance(at)
 	c.job = nil
+	c.stateGen++ // defensive: recovery re-derives state; never trust the memo across it
 	if c.busyUntil > at {
 		c.busyUntil = at
 	}
@@ -944,7 +1095,8 @@ func (c *Card) Recover(at units.Time) units.Time {
 // own bookkeeping is broken.
 func (c *Card) CheckConsistency() error {
 	live := make([]int32, c.nseg)
-	for b, s := range c.blockSeg {
+	for b, sp := range c.blockSeg {
+		s := sp - 1
 		if s == noSegment {
 			continue
 		}

@@ -139,9 +139,18 @@ func (c *Cache) Name() string {
 // disk and the flash cache.
 func (c *Cache) Meter() *energy.Meter {
 	m := energy.NewMeter()
-	m.Merge(c.dsk.Meter())
-	m.Merge(c.card.Meter())
+	c.MeterInto(m)
 	return m
+}
+
+// MeterInto rebuilds the combined disk+flash energy attribution in dst,
+// reusing its storage. The per-tick sampler path uses this with a scratch
+// meter so snapshotting allocates nothing; the merge order matches Meter
+// exactly, so totals are bit-identical.
+func (c *Cache) MeterInto(dst *energy.Meter) {
+	dst.Reset()
+	dst.Merge(c.dsk.Meter())
+	dst.Merge(c.card.Meter())
 }
 
 // Disk exposes the underlying disk (spin-up statistics).
@@ -186,6 +195,25 @@ func (c *Cache) Access(req device.Request) units.Time {
 		return c.write(req)
 	default:
 		panic(fmt.Sprintf("hybrid: unknown op %v", req.Op))
+	}
+}
+
+// ReadExtent services a coalesced run of read requests back to back,
+// equivalent by construction to Idle(reqs[k].Time) followed by
+// Access(reqs[k]) for each k in order. completions[k] receives request k's
+// completion time.
+func (c *Cache) ReadExtent(reqs []device.Request, completions []units.Time) {
+	for k := range reqs {
+		c.Idle(reqs[k].Time)
+		completions[k] = c.Access(reqs[k])
+	}
+}
+
+// WriteExtent is ReadExtent's write-path counterpart.
+func (c *Cache) WriteExtent(reqs []device.Request, completions []units.Time) {
+	for k := range reqs {
+		c.Idle(reqs[k].Time)
+		completions[k] = c.Access(reqs[k])
 	}
 }
 

@@ -18,7 +18,11 @@ import (
 // Summary accumulates streaming mean/max/σ over float64 samples.
 // The zero value is ready to use.
 type Summary struct {
-	n    int64
+	n int64
+	// fn mirrors n as a float64. The Welford update divides by the sample
+	// count every Add, and fn keeps the int→float conversion off that
+	// critical path; float64 holds counts exactly far past any trace size.
+	fn   float64
 	mean float64
 	m2   float64 // sum of squared deviations from the running mean
 	max  float64
@@ -29,6 +33,7 @@ type Summary struct {
 // Add records one sample.
 func (s *Summary) Add(x float64) {
 	s.n++
+	s.fn++
 	if s.n == 1 {
 		s.max = x
 		s.min = x
@@ -42,8 +47,38 @@ func (s *Summary) Add(x float64) {
 	}
 	s.sum += x
 	delta := x - s.mean
-	s.mean += delta / float64(s.n)
+	s.mean += delta / s.fn
 	s.m2 += delta * (x - s.mean)
+}
+
+// AddN records the same sample n times, exactly as n consecutive Add calls
+// would. The Welford update is inherently sequential (mean and m2 feed back
+// into each step), so the loop stays — the win over caller-side loops is the
+// single call and the hoisted min/max handling, not a closed form, which
+// would change the float rounding and break bit-identical replay.
+func (s *Summary) AddN(x float64, n int64) {
+	if n <= 0 {
+		return
+	}
+	if s.n == 0 {
+		s.max = x
+		s.min = x
+	} else {
+		if x > s.max {
+			s.max = x
+		}
+		if x < s.min {
+			s.min = x
+		}
+	}
+	for ; n > 0; n-- {
+		s.n++
+		s.fn++
+		s.sum += x
+		delta := x - s.mean
+		s.mean += delta / s.fn
+		s.m2 += delta * (x - s.mean)
+	}
 }
 
 // AddTime records a duration sample in milliseconds, the unit the paper's
@@ -104,6 +139,7 @@ func (s *Summary) Merge(other Summary) {
 	s.mean += delta * n2 / tot
 	s.m2 += other.m2 + delta*delta*n1*n2/tot
 	s.n += other.n
+	s.fn += other.fn
 	s.sum += other.sum
 	if other.max > s.max {
 		s.max = other.max
@@ -141,12 +177,17 @@ type Histogram struct {
 	Counts   []int64
 	Overflow int64
 
-	// One-entry memo for the previous in-bounds sample: simulated latencies
+	// Two-entry memo for recent in-bounds samples: simulated latencies
 	// repeat exact values (the same transfer size costs the same time), so
-	// re-searching for an identical float is pure waste.
-	memoX  float64
-	memoI  int32
-	memoOK bool
+	// re-searching for an identical float is pure waste. Two entries matter
+	// because streams often alternate between a pair of values (e.g. cache
+	// hits and one device service time), which defeats a single entry.
+	memoX   float64
+	memoI   int32
+	memoOK  bool
+	memoX2  float64
+	memoI2  int32
+	memoOK2 bool
 }
 
 // NewHistogram builds a histogram with the given ascending bucket bounds.
@@ -169,12 +210,44 @@ func (h *Histogram) Add(x float64) {
 		h.Counts[h.memoI]++
 		return
 	}
+	if h.memoOK2 && x == h.memoX2 {
+		h.Counts[h.memoI2]++
+		h.memoX, h.memoX2 = h.memoX2, h.memoX
+		h.memoI, h.memoI2 = h.memoI2, h.memoI
+		return
+	}
 	if i := sort.SearchFloat64s(h.Bounds, x); i < len(h.Bounds) {
 		h.Counts[i]++
+		h.memoX2, h.memoI2, h.memoOK2 = h.memoX, h.memoI, h.memoOK
 		h.memoX, h.memoI, h.memoOK = x, int32(i), true
 		return
 	}
 	h.Overflow++
+}
+
+// AddN records the same sample n times with a single bucket search: one
+// count-weighted increment lands in exactly the bucket n Add calls would.
+func (h *Histogram) AddN(x float64, n int64) {
+	if n <= 0 {
+		return
+	}
+	if h.memoOK && x == h.memoX {
+		h.Counts[h.memoI] += n
+		return
+	}
+	if h.memoOK2 && x == h.memoX2 {
+		h.Counts[h.memoI2] += n
+		h.memoX, h.memoX2 = h.memoX2, h.memoX
+		h.memoI, h.memoI2 = h.memoI2, h.memoI
+		return
+	}
+	if i := sort.SearchFloat64s(h.Bounds, x); i < len(h.Bounds) {
+		h.Counts[i] += n
+		h.memoX2, h.memoI2, h.memoOK2 = h.memoX, h.memoI, h.memoOK
+		h.memoX, h.memoI, h.memoOK = x, int32(i), true
+		return
+	}
+	h.Overflow += n
 }
 
 // Total returns the number of samples recorded.
