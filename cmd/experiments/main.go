@@ -4,12 +4,14 @@
 //	experiments -run table4a   # run one experiment
 //	experiments -all           # run the full suite in paper order
 //	experiments -csv out/      # write the figures as CSVs for plotting
+//	experiments -svg out/      # render SVG figures (index small multiples)
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"mobilestorage/internal/experiments"
 )
@@ -20,12 +22,22 @@ func main() {
 		run  = flag.String("run", "", "experiment ID to run")
 		all  = flag.Bool("all", false, "run every experiment")
 		csv  = flag.String("csv", "", "write figure CSVs into this directory")
+		svg  = flag.String("svg", "", "write SVG figures into this directory")
 		seed = flag.Int64("seed", experiments.DefaultSeed, "workload generation seed")
 	)
 	flag.Parse()
 
 	reg := experiments.Registry()
 	switch {
+	case *svg != "":
+		files, err := writeSVGs(*svg, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		for _, f := range files {
+			fmt.Println("wrote", f)
+		}
 	case *csv != "":
 		files, err := experiments.WriteCSVs(*csv, *seed)
 		if err != nil {
@@ -55,6 +67,22 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// writeSVGs renders the figure-shaped experiments as SVG documents.
+func writeSVGs(dir string, seed int64) ([]string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	points, err := experiments.IndexBench(seed)
+	if err != nil {
+		return nil, err
+	}
+	path := filepath.Join(dir, "indexbench.svg")
+	if err := os.WriteFile(path, []byte(experiments.IndexBenchGrid(points).SVG()), 0o644); err != nil {
+		return nil, err
+	}
+	return []string{path}, nil
 }
 
 func runOne(reg map[string]experiments.Experiment, id string, seed int64) error {

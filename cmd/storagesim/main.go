@@ -20,12 +20,14 @@ import (
 	"os/signal"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"syscall"
 
 	"mobilestorage/internal/core"
 	"mobilestorage/internal/fault"
 	"mobilestorage/internal/fleet"
+	"mobilestorage/internal/index"
 	"mobilestorage/internal/obs"
 	"mobilestorage/internal/obsreport"
 	"mobilestorage/internal/trace"
@@ -42,7 +44,7 @@ func main() {
 
 func run() (err error) {
 	var (
-		traceName = flag.String("trace", "mac", "built-in workload: mac, dos, hp, synth")
+		traceName = flag.String("trace", "mac", "built-in workload: mac, dos, hp, synth, index-btree, index-lsm")
 		traceFile = flag.String("tracefile", "", "trace file to replay (overrides -trace)")
 		seed      = flag.Int64("seed", 1, "workload generation seed")
 		devName   = flag.String("device", "cu140", "device: cu140, kh, sdp10, sdp5, intel, intel2+")
@@ -78,17 +80,9 @@ func run() (err error) {
 		return runService(*serve, *drainS)
 	}
 
-	var t *trace.Trace
-	if *traceFile != "" {
-		t, err = readTrace(*traceFile)
-		if err != nil {
-			return err
-		}
-	} else {
-		t, err = workload.GenerateByName(*traceName, *seed)
-		if err != nil {
-			return err
-		}
+	t, indexStats, err := buildTrace(*traceFile, *traceName, *seed)
+	if err != nil {
+		return err
 	}
 
 	cfg := core.Config{
@@ -235,6 +229,17 @@ func run() (err error) {
 		tr = obs.Tee(tr, live)
 	}
 	cfg.Scope = obs.NewScope(reg, tr)
+	if indexStats != nil {
+		// Summarize the engine-level write amplification into the event
+		// stream so obsreport's cleaning report can show the index.writeamp
+		// column next to the cleaner's own amplification.
+		cfg.Scope.Emit(obs.Event{
+			Kind: obs.EvIndexWriteAmp,
+			Dev:  indexStats.Engine,
+			Addr: int64(indexStats.LogicalBytes),
+			Size: int64(indexStats.WrittenBytes),
+		})
+	}
 
 	if *serve != "" {
 		shutdown, addr, err := startServer(*serve, reg, live, nil)
@@ -264,6 +269,28 @@ func run() (err error) {
 		fmt.Print(reg.String())
 	}
 	return nil
+}
+
+// buildTrace resolves the -tracefile/-trace flags to a replayable trace.
+// The index-btree and index-lsm names generate a database-index workload —
+// a B+tree or LSM engine run converted to a block trace through its pager —
+// and also return the engine's stats so the run can emit the index-level
+// write amplification into the event stream.
+func buildTrace(traceFile, traceName string, seed int64) (*trace.Trace, *index.Stats, error) {
+	if traceFile != "" {
+		t, err := readTrace(traceFile)
+		return t, nil, err
+	}
+	if strings.HasPrefix(traceName, "index-") {
+		kind := index.EngineKind(strings.TrimPrefix(traceName, "index-"))
+		t, st, err := index.GenerateTrace(index.BenchTraceConfig(kind, seed))
+		if err != nil {
+			return nil, nil, err
+		}
+		return t, &st, nil
+	}
+	t, err := workload.GenerateByName(traceName, seed)
+	return t, nil, err
 }
 
 // readTrace loads a trace file in either format, sniffing the binary magic.

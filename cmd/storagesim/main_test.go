@@ -95,3 +95,30 @@ func TestReadTraceBothFormats(t *testing.T) {
 		t.Error("missing file accepted")
 	}
 }
+
+// TestBuildTraceIndexWorkloads covers the index-btree/index-lsm trace
+// names: both engines generate a valid trace plus stats, unknown engines
+// fail, and the classic names still route to the workload generator.
+func TestBuildTraceIndexWorkloads(t *testing.T) {
+	for _, name := range []string{"index-btree", "index-lsm"} {
+		tr, st, err := buildTrace("", name, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("%s: invalid trace: %v", name, err)
+		}
+		if st == nil || st.WriteAmplification() <= 1 {
+			t.Fatalf("%s: stats %+v", name, st)
+		}
+		if tr.Name != name {
+			t.Errorf("%s: trace named %q", name, tr.Name)
+		}
+	}
+	if _, _, err := buildTrace("", "index-btrie", 1); err == nil {
+		t.Error("unknown index engine accepted")
+	}
+	if tr, st, err := buildTrace("", "synth", 1); err != nil || st != nil || tr == nil {
+		t.Errorf("synth: tr=%v st=%v err=%v", tr, st, err)
+	}
+}

@@ -184,5 +184,28 @@ func WriteCSVs(dir string, seed int64) ([]string, error) {
 			return nil, err
 		}
 	}
+
+	// Index workload family (B+tree vs. LSM × device × utilization).
+	idx, err := IndexBench(seed)
+	if err != nil {
+		return nil, err
+	}
+	{
+		var rows [][]string
+		for _, p := range idx {
+			rows = append(rows, []string{
+				p.Engine, p.Device, ff(p.Utilization), ff(p.EnergyJ),
+				ff(p.ReadMeanMs), ff(p.WriteMeanMs),
+				strconv.FormatInt(p.Erases, 10), strconv.FormatInt(p.MaxErase, 10),
+				ff(p.CleanerAmp), ff(p.IndexAmp),
+			})
+		}
+		if err := emit("indexbench.csv",
+			[]string{"engine", "device", "utilization", "energy_j", "read_mean_ms", "write_mean_ms",
+				"erases", "max_erase", "cleaner_amp", "index_amp"},
+			rows); err != nil {
+			return nil, err
+		}
+	}
 	return written, nil
 }

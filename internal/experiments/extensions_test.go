@@ -164,8 +164,8 @@ func TestCSVExport(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(files) != 6 {
-		t.Errorf("wrote %d CSVs, want 6", len(files))
+	if len(files) != 7 {
+		t.Errorf("wrote %d CSVs, want 7", len(files))
 	}
 }
 

@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestIndexBenchShape replays both engines over the full device ×
+// utilization grid and checks the structural claims the figure makes:
+// every cell present, the disk flat across utilization, and the flash
+// card's cleaner awake at the top of the sweep.
+func TestIndexBenchShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full grid replay")
+	}
+	points, err := IndexBench(DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 2 * len(IndexBenchDevices) * len(IndexBenchUtilizations)
+	if len(points) != want {
+		t.Fatalf("got %d points, want %d", len(points), want)
+	}
+
+	byEngDev := map[string][]IndexBenchPoint{}
+	for _, p := range points {
+		if p.EnergyJ <= 0 {
+			t.Fatalf("%s/%s util %.2f: energy %.3f ≤ 0", p.Engine, p.Device, p.Utilization, p.EnergyJ)
+		}
+		if p.IndexAmp <= 1 {
+			t.Fatalf("%s/%s: index write amplification %.2f ≤ 1", p.Engine, p.Device, p.IndexAmp)
+		}
+		byEngDev[p.Engine+"/"+p.Device] = append(byEngDev[p.Engine+"/"+p.Device], p)
+	}
+	for _, eng := range []string{"btree", "lsm"} {
+		disk := byEngDev[eng+"/cu140"]
+		for _, p := range disk[1:] {
+			if p.EnergyJ != disk[0].EnergyJ || p.Erases != 0 {
+				t.Errorf("%s/cu140: disk should be flat across utilization, got %+v vs %+v", eng, p, disk[0])
+			}
+		}
+		card := byEngDev[eng+"/intel"]
+		lo, hi := card[0], card[len(card)-1]
+		if hi.CleanerAmp <= lo.CleanerAmp || hi.Erases <= lo.Erases {
+			t.Errorf("%s/intel: cleaner should wake up at 95%% utilization: lo %+v hi %+v", eng, lo, hi)
+		}
+	}
+	// The LSM's sequential flush/compaction writes must be gentler on the
+	// card's cleaner than the B+tree's scattered page rewrites.
+	bt := byEngDev["btree/intel"]
+	ls := byEngDev["lsm/intel"]
+	if bt[len(bt)-1].Erases <= ls[len(ls)-1].Erases {
+		t.Errorf("at 95%% the B+tree should out-erase the LSM: btree %d, lsm %d",
+			bt[len(bt)-1].Erases, ls[len(ls)-1].Erases)
+	}
+}
+
+// TestIndexBenchGridDeterministic pins the figure's shape: one panel per
+// metric × device, two series per panel, byte-identical across renders.
+func TestIndexBenchGridDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full grid replay")
+	}
+	points, err := IndexBench(DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := IndexBenchGrid(points)
+	if got, want := len(g.Cells), 3*len(IndexBenchDevices); got != want {
+		t.Fatalf("grid has %d cells, want %d", got, want)
+	}
+	for _, c := range g.Cells {
+		if len(c.Series) != 2 {
+			t.Fatalf("panel %q has %d series, want 2", c.Title, len(c.Series))
+		}
+		for _, s := range c.Series {
+			if len(s.Points) != len(IndexBenchUtilizations) {
+				t.Fatalf("panel %q series %q has %d points, want %d",
+					c.Title, s.Name, len(s.Points), len(IndexBenchUtilizations))
+			}
+		}
+	}
+	first := g.SVG()
+	points2, err := IndexBench(DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again := IndexBenchGrid(points2).SVG(); again != first {
+		t.Fatal("indexbench figure not deterministic across runs")
+	}
+	if !strings.Contains(first, "index engines") {
+		t.Fatal("figure missing title")
+	}
+}

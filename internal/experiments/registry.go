@@ -183,6 +183,13 @@ func Registry() map[string]Experiment {
 			}
 			return RenderCleaningEfficiency(points), nil
 		}},
+		{"indexbench", "B+tree vs. LSM index workloads across devices and utilizations", func(seed int64) (string, error) {
+			points, err := IndexBench(seed)
+			if err != nil {
+				return "", err
+			}
+			return RenderIndexBench(points), nil
+		}},
 	}
 	m := make(map[string]Experiment, len(exps))
 	for _, e := range exps {
@@ -221,6 +228,7 @@ func orderKey(id string) string {
 		"ablate-cleaner": 15, "ablate-flash-sram": 16, "ablate-series2plus": 17, "ablate-writeback": 18,
 		"ablate-spindown": 19, "ablate-wearlevel": 20, "hybrid": 21, "envy": 22,
 		"ablate-mffs": 23, "seeds": 24, "energy-time": 25, "cleaning-efficiency": 26,
+		"indexbench": 27,
 	}
 	if n, ok := order[id]; ok {
 		return fmt.Sprintf("%02d", n)

@@ -1,0 +1,126 @@
+package index
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mobilestorage/internal/trace"
+)
+
+var update = flag.Bool("update", false, "rewrite golden trace hashes")
+
+// goldenConfigs are the workload shapes whose generated traces are pinned
+// by hash: the exact configs the indexbench experiment replays, plus a
+// read-heavy variant. Any change to the generator, pager, or either engine
+// that alters a single emitted byte fails TestTraceGolden.
+func goldenConfigs() []TraceConfig {
+	var cfgs []TraceConfig
+	for _, kind := range EngineKinds {
+		cfgs = append(cfgs,
+			BenchTraceConfig(kind, 1),
+			TraceConfig{Engine: kind, Ops: OpsConfig{Seed: 1, Ops: 4000, Mix: ReadHeavyMix}},
+		)
+	}
+	return cfgs
+}
+
+func goldenName(cfg TraceConfig) string {
+	mix := "default"
+	if cfg.Ops.Mix == ReadHeavyMix {
+		mix = "readheavy"
+	}
+	return fmt.Sprintf("%s-%s-seed%d-ops%d.sha256", cfg.Engine, mix, cfg.Ops.Seed, cfg.Ops.Ops)
+}
+
+func traceHash(t *testing.T, cfg TraceConfig) string {
+	t.Helper()
+	tr, _, err := GenerateTrace(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := trace.EncodeBinary(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	sum := sha256.Sum256(buf.Bytes())
+	return hex.EncodeToString(sum[:])
+}
+
+// TestTraceGolden pins the generated traces byte-for-byte via sha256 of
+// their binary encoding. Refresh with `go test ./internal/index -update`
+// after an intentional generator change.
+func TestTraceGolden(t *testing.T) {
+	for _, cfg := range goldenConfigs() {
+		cfg := cfg
+		t.Run(goldenName(cfg), func(t *testing.T) {
+			t.Parallel()
+			got := traceHash(t, cfg)
+			path := filepath.Join("testdata", "golden", goldenName(cfg))
+			if *update {
+				if err := os.WriteFile(path, []byte(got+"\n"), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update): %v", err)
+			}
+			want := strings.TrimSpace(string(raw))
+			if got != want {
+				t.Fatalf("trace hash drifted:\n got %s\nwant %s\nRun `go test ./internal/index -update` only if the change is intentional.", got, want)
+			}
+		})
+	}
+}
+
+// TestTraceDeterminism generates each golden config twice in-process and
+// requires byte-identical encodings and identical stats — the stronger
+// same-process half of the determinism story (the golden hash covers
+// cross-build drift).
+func TestTraceDeterminism(t *testing.T) {
+	for _, cfg := range goldenConfigs() {
+		cfg := cfg
+		t.Run(goldenName(cfg), func(t *testing.T) {
+			t.Parallel()
+			tr1, st1, err := GenerateTrace(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tr2, st2, err := GenerateTrace(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var b1, b2 bytes.Buffer
+			if err := trace.EncodeBinary(&b1, tr1); err != nil {
+				t.Fatal(err)
+			}
+			if err := trace.EncodeBinary(&b2, tr2); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+				t.Fatal("same config produced different traces")
+			}
+			if st1 != st2 {
+				t.Fatalf("same config produced different stats:\n%+v\n%+v", st1, st2)
+			}
+		})
+	}
+}
+
+// TestSeedsDiverge guards against the generator ignoring its seed: two
+// different seeds must produce different traces.
+func TestSeedsDiverge(t *testing.T) {
+	cfgA := TraceConfig{Engine: EngineBTree, Ops: OpsConfig{Seed: 1, Ops: 500}}
+	cfgB := TraceConfig{Engine: EngineBTree, Ops: OpsConfig{Seed: 2, Ops: 500}}
+	if traceHash(t, cfgA) == traceHash(t, cfgB) {
+		t.Fatal("seeds 1 and 2 produced identical traces")
+	}
+}

@@ -1,0 +1,122 @@
+package index
+
+import (
+	"testing"
+)
+
+// FuzzIndexOps is the native fuzz target over both index engines: the
+// inputs pick a seed, an op budget, a mix, tiny pager geometry, and an
+// engine, then the run is checked against an in-memory model map plus the
+// structural invariants (B+tree shape, LSM level disjointness) and trace
+// validity. Any divergence or panic is a finding. Corpus seeds live under
+// testdata/fuzz/FuzzIndexOps; run with
+//
+//	go test ./internal/index -run='^$' -fuzz=FuzzIndexOps -fuzztime=30s
+func FuzzIndexOps(f *testing.F) {
+	f.Add(int64(1), uint16(200), uint8(0), uint8(0))
+	f.Add(int64(2), uint16(800), uint8(1), uint8(1))
+	f.Add(int64(3), uint16(1500), uint8(2), uint8(0))
+	f.Add(int64(77), uint16(400), uint8(3), uint8(1))
+	f.Add(int64(-9), uint16(1000), uint8(255), uint8(255))
+	f.Fuzz(func(t *testing.T, seed int64, opBudget uint16, mixSel, engineSel uint8) {
+		ops := int(opBudget)%2000 + 50
+		mixes := []Mix{
+			DefaultMix,
+			ReadHeavyMix,
+			{Insert: 40, Lookup: 20, Scan: 10, Delete: 30}, // churn-heavy
+			{Insert: 90, Lookup: 5, Scan: 3, Delete: 2},    // load-heavy
+		}
+		kind := EngineKinds[int(engineSel)%len(EngineKinds)]
+
+		pg, err := NewPager(256, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := TraceConfig{Engine: kind, PageSize: 256, PoolPages: 16, MemtableBytes: 256}
+		eng, err := NewEngine(cfg, pg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := NewOpGen(OpsConfig{
+			Seed:     seed,
+			Ops:      ops,
+			KeySpace: 1 << 12, // tiny: maximizes overwrite/delete collisions
+			Mix:      mixes[int(mixSel)%len(mixes)],
+		})
+		model := make(map[uint64]uint64)
+		for i := 0; i < ops; i++ {
+			op := g.Next()
+			pg.Advance(g.gap())
+			switch op.Kind {
+			case OpInsert:
+				eng.Insert(op.Key, op.Val)
+				model[op.Key] = op.Val
+			case OpLookup:
+				v, ok := eng.Lookup(op.Key)
+				mv, min := model[op.Key]
+				if ok != min || (ok && v != mv) {
+					t.Fatalf("op %d: Lookup(%d) = %d,%v; model %d,%v", i, op.Key, v, ok, mv, min)
+				}
+			case OpScan:
+				var prev uint64
+				n := 0
+				eng.Scan(op.Key, func(k, v uint64) bool {
+					if k < op.Key {
+						t.Fatalf("op %d: scan from %d yielded smaller key %d", i, op.Key, k)
+					}
+					if n > 0 && k <= prev {
+						t.Fatalf("op %d: scan not ascending (%d then %d)", i, prev, k)
+					}
+					if mv, in := model[k]; !in || mv != v {
+						t.Fatalf("op %d: scan yielded %d=%d; model %d,%v", i, k, v, mv, in)
+					}
+					prev = k
+					n++
+					return n < op.N
+				})
+			case OpDelete:
+				_, want := model[op.Key]
+				if got := eng.Delete(op.Key); got != want {
+					t.Fatalf("op %d: Delete(%d) = %v, model presence %v", i, op.Key, got, want)
+				}
+				delete(model, op.Key)
+			}
+		}
+
+		// Post-run: full equivalence and structural health.
+		count := 0
+		eng.Scan(0, func(k, v uint64) bool {
+			if mv, in := model[k]; !in || mv != v {
+				t.Fatalf("final scan yields %d=%d; model %d,%v", k, v, model[k], in)
+			}
+			count++
+			return true
+		})
+		if count != len(model) {
+			t.Fatalf("final scan yields %d keys; model has %d", count, len(model))
+		}
+		switch e := eng.(type) {
+		case *BTree:
+			if err := e.checkInvariants(); err != nil {
+				t.Fatal(err)
+			}
+		case *LSM:
+			for lvl := 1; lvl < len(e.levels); lvl++ {
+				ssts := e.levels[lvl]
+				for j := 1; j < len(ssts); j++ {
+					if ssts[j-1].last >= ssts[j].first {
+						t.Fatalf("L%d runs %d,%d overlap", lvl, j-1, j)
+					}
+				}
+			}
+		}
+		eng.Flush()
+		if err := pg.Trace("fuzz").Validate(); err != nil {
+			t.Fatal(err)
+		}
+		st := eng.Stats()
+		if st.LogicalBytes < 0 || st.WrittenBytes < 0 || st.PageWrites < 0 {
+			t.Fatalf("negative stats %+v", st)
+		}
+	})
+}

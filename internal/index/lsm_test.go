@@ -1,0 +1,234 @@
+package index
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"mobilestorage/internal/units"
+)
+
+// checkLSMAgainstModel asserts full engine/model agreement including a
+// complete iterator pass — the differential oracle the LSM's flush and
+// compaction machinery must preserve.
+func checkLSMAgainstModel(t *testing.T, l *LSM, model map[uint64]uint64, rng *rand.Rand) {
+	t.Helper()
+	keys := make([]uint64, 0, len(model))
+	for k := range model {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+
+	for _, k := range keys {
+		v, ok := l.Lookup(k)
+		if !ok || v != model[k] {
+			t.Fatalf("Lookup(%d) = %d,%v; model has %d", k, v, ok, model[k])
+		}
+	}
+	for i := 0; i < 32; i++ {
+		k := uint64(rng.Int63())
+		if _, in := model[k]; in {
+			continue
+		}
+		if v, ok := l.Lookup(k); ok {
+			t.Fatalf("Lookup(%d) = %d,true; model has no such key", k, v)
+		}
+	}
+
+	var got []uint64
+	l.Scan(0, func(k, v uint64) bool {
+		if v != model[k] {
+			t.Fatalf("Scan yields %d=%d; model says %d (tombstone leak or stale shadow)", k, v, model[k])
+		}
+		got = append(got, k)
+		return true
+	})
+	if len(got) != len(keys) {
+		t.Fatalf("full scan yields %d keys; model has %d", len(got), len(keys))
+	}
+	for i := range got {
+		if got[i] != keys[i] {
+			t.Fatalf("scan key %d = %d, want %d", i, got[i], keys[i])
+		}
+	}
+
+	// Bounded scans from random points must agree with the model slice.
+	for i := 0; i < 8; i++ {
+		lo := uint64(rng.Int63()) % (1 << 14)
+		start := sort.Search(len(keys), func(i int) bool { return keys[i] >= lo })
+		var sub []uint64
+		l.Scan(lo, func(k, _ uint64) bool {
+			sub = append(sub, k)
+			return len(sub) < 20
+		})
+		for j, k := range sub {
+			if start+j >= len(keys) || keys[start+j] != k {
+				t.Fatalf("Scan(%d) key %d = %d, want model key %d", lo, j, k, keys[start+j])
+			}
+		}
+		wantLen := len(keys) - start
+		if wantLen > 20 {
+			wantLen = 20
+		}
+		if len(sub) != wantLen {
+			t.Fatalf("Scan(%d) yields %d keys, want %d", lo, len(sub), wantLen)
+		}
+	}
+}
+
+// TestLSMDifferential drives the LSM and a model map through seeded random
+// op sequences with a tiny memtable, so flushes and multi-level
+// compactions happen constantly; full equivalence is rechecked at
+// boundaries that straddle them. Run under -race in CI.
+func TestLSMDifferential(t *testing.T) {
+	for _, seed := range []int64{1, 5, 23, 99, 1234} {
+		seed := seed
+		t.Run("", func(t *testing.T) {
+			t.Parallel()
+			pg, err := NewPager(256, 16)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Memtable of one page's worth: a flush every ~15 inserts, L0
+			// compaction every ~60, deeper merges soon after.
+			l := NewLSM(pg, 256)
+			g := NewOpGen(OpsConfig{
+				Seed:     seed,
+				Ops:      5000,
+				KeySpace: 1 << 14,
+				Mix:      Mix{Insert: 45, Lookup: 20, Scan: 10, Delete: 25},
+			})
+			model := make(map[uint64]uint64)
+			rng := rand.New(rand.NewSource(seed ^ 0x15a))
+			for i := 0; i < g.cfg.Ops; i++ {
+				modelApply(l, model, g.Next())
+				if i%500 == 499 {
+					checkLSMAgainstModel(t, l, model, rng)
+				}
+			}
+			checkLSMAgainstModel(t, l, model, rng)
+
+			// The shutdown flush must not change visible contents.
+			l.Flush()
+			checkLSMAgainstModel(t, l, model, rng)
+			if l.Len() != len(model) {
+				t.Fatalf("Len = %d, model has %d", l.Len(), len(model))
+			}
+			if err := pg.Trace("lsm").Validate(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestLSMFlushCompactionBoundaries pins equivalence exactly at the
+// interesting structural moments: right before and after a memtable flush,
+// and across a compaction that merges into a fresh level.
+func TestLSMFlushCompactionBoundaries(t *testing.T) {
+	pg, err := NewPager(256, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := NewLSM(pg, 256)
+	model := make(map[uint64]uint64)
+	rng := rand.New(rand.NewSource(77))
+	limit := l.memLimit
+
+	insert := func(n int) {
+		for i := 0; i < n; i++ {
+			k := uint64(rng.Int63()) % (1 << 12)
+			v := uint64(rng.Int63())
+			l.Insert(k, v)
+			model[k] = v
+		}
+	}
+
+	// Fill to one below the flush threshold, check, then cross it.
+	insert(limit - len(l.mem) - 1)
+	checkLSMAgainstModel(t, l, model, rng)
+	flushesBefore := len(l.levels[0])
+	insert(2)
+	if len(l.levels[0]) == flushesBefore && len(l.mem) >= limit {
+		t.Fatal("crossing the memtable limit did not flush")
+	}
+	checkLSMAgainstModel(t, l, model, rng)
+
+	// Force enough flushes to trigger L0→L1 compaction and beyond.
+	for len(l.levels) < 3 {
+		insert(limit)
+	}
+	checkLSMAgainstModel(t, l, model, rng)
+
+	// Delete half the keys (tombstones must shadow across every level).
+	keys := make([]uint64, 0, len(model))
+	for k := range model {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for i, k := range keys {
+		if i%2 == 0 {
+			l.Delete(k)
+			delete(model, k)
+		}
+	}
+	checkLSMAgainstModel(t, l, model, rng)
+
+	// Flush + settle; tombstones at the bottom level must be gone from
+	// scans yet deleted keys stay invisible.
+	l.Flush()
+	checkLSMAgainstModel(t, l, model, rng)
+}
+
+// TestLSMDeleteReturn checks Delete reports prior presence.
+func TestLSMDeleteReturn(t *testing.T) {
+	pg, err := NewPager(256, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := NewLSM(pg, 1*units.KB)
+	if l.Delete(9) {
+		t.Fatal("delete of absent key returned true")
+	}
+	l.Insert(9, 1)
+	if !l.Delete(9) {
+		t.Fatal("delete of present key returned false")
+	}
+	if l.Delete(9) {
+		t.Fatal("second delete returned true")
+	}
+}
+
+// TestLSMLevelInvariants checks structural health after a heavy run: runs
+// in L1+ are key-disjoint and sorted, level budgets are respected after
+// Flush, and freed SSTable files are never referenced again.
+func TestLSMLevelInvariants(t *testing.T) {
+	pg, err := NewPager(256, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := NewLSM(pg, 256)
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 8000; i++ {
+		l.Insert(uint64(rng.Int63())%(1<<16), uint64(i))
+	}
+	l.Flush()
+	if len(l.levels[0]) >= l0Trigger {
+		t.Fatalf("L0 has %d runs after settle, trigger is %d", len(l.levels[0]), l0Trigger)
+	}
+	for lvl := 1; lvl < len(l.levels); lvl++ {
+		ssts := l.levels[lvl]
+		if len(ssts) > levelCap(lvl) {
+			// The last level may legitimately exceed its budget only if a
+			// deeper level was never opened; compact() opens one, so no.
+			t.Fatalf("L%d has %d runs over budget %d after settle", lvl, len(ssts), levelCap(lvl))
+		}
+		for i := range ssts {
+			if ssts[i].first > ssts[i].last {
+				t.Fatalf("L%d run %d: first %d > last %d", lvl, i, ssts[i].first, ssts[i].last)
+			}
+			if i > 0 && ssts[i-1].last >= ssts[i].first {
+				t.Fatalf("L%d runs %d,%d overlap: ..%d vs %d..", lvl, i-1, i, ssts[i-1].last, ssts[i].first)
+			}
+		}
+	}
+}

@@ -70,6 +70,13 @@ const (
 	// Emitted only when Config.SampleEvery enables the simulated-time
 	// sampler; the obsreport energy report is built from these.
 	EvEnergySample = "sample.energy"
+	// EvIndexWriteAmp: summary of an index-engine workload's write
+	// amplification, emitted once when a generated index trace (storagesim
+	// -trace index-btree / index-lsm) is replayed. Dev = engine name,
+	// Addr = bytes the workload logically changed, Size = bytes the engine
+	// physically wrote through its pager. Size/Addr is the index-level
+	// amplification the device-level cleaner multiplies on top of.
+	EvIndexWriteAmp = "index.writeamp"
 	// EvFaultInjected: the fault injector failed one physical attempt.
 	// Addr = operation class (0 read, 1 write, 2 erase), Size = the attempt
 	// number that failed.

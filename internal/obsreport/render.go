@@ -223,24 +223,32 @@ func WriteCleaning(w io.Writer, r *CleaningReport, f Format) error {
 		return CleaningChart(r).Render(w)
 	case CSV:
 		cw := csv.NewWriter(w)
-		if err := cw.Write([]string{"cleans", "copied_blocks", "stalls", "mean_live_per_clean", "total_clean_s"}); err != nil {
+		if err := cw.Write([]string{"cleans", "copied_blocks", "stalls", "mean_live_per_clean", "total_clean_s",
+			"index_engine", "index_amp"}); err != nil {
 			return err
 		}
 		cw.Write([]string{itoa(r.Cleans), itoa(r.CopiedBlocks), itoa(r.Stalls),
-			ftoa(r.MeanLivePerClean), ftoa(float64(r.TotalCleanUs) / 1e6)})
+			ftoa(r.MeanLivePerClean), ftoa(float64(r.TotalCleanUs) / 1e6),
+			r.IndexEngine, ftoa(r.IndexAmp)})
 		cw.Flush()
 		return cw.Error()
 	default:
-		if r.Cleans == 0 {
+		if r.Cleans == 0 && r.IndexEngine == "" {
 			fmt.Fprintln(w, "no flashcard.clean events in stream")
 			return nil
 		}
-		fmt.Fprintf(w, "%d cleans relocated %d live blocks (%.2f/clean), %d stalled writes, %.1f s cleaning\n",
-			r.Cleans, r.CopiedBlocks, r.MeanLivePerClean, r.Stalls, float64(r.TotalCleanUs)/1e6)
-		fmt.Fprintf(w, "live blocks per clean: p50=%.1f p90=%.1f p99=%.1f max=%.0f\n",
-			r.LivePerClean.Quantile(0.50), r.LivePerClean.Quantile(0.90),
-			r.LivePerClean.Quantile(0.99), r.LivePerClean.Max)
-		writeHistText(w, "", r.LivePerClean, "blocks")
+		if r.Cleans > 0 {
+			fmt.Fprintf(w, "%d cleans relocated %d live blocks (%.2f/clean), %d stalled writes, %.1f s cleaning\n",
+				r.Cleans, r.CopiedBlocks, r.MeanLivePerClean, r.Stalls, float64(r.TotalCleanUs)/1e6)
+			fmt.Fprintf(w, "live blocks per clean: p50=%.1f p90=%.1f p99=%.1f max=%.0f\n",
+				r.LivePerClean.Quantile(0.50), r.LivePerClean.Quantile(0.90),
+				r.LivePerClean.Quantile(0.99), r.LivePerClean.Max)
+			writeHistText(w, "", r.LivePerClean, "blocks")
+		}
+		if r.IndexEngine != "" {
+			fmt.Fprintf(w, "index %s: %.2f× write amplification (%d bytes written / %d logical)\n",
+				r.IndexEngine, r.IndexAmp, r.IndexWrittenBytes, r.IndexLogicalBytes)
+		}
 		return nil
 	}
 }

@@ -366,6 +366,16 @@ type CleaningReport struct {
 	MeanLivePerClean float64 `json:"mean_live_per_clean"`
 	// TotalCleanUs sums cleaning job durations.
 	TotalCleanUs int64 `json:"total_clean_us"`
+	// IndexEngine and IndexAmp carry the workload-level write amplification
+	// from an index.writeamp event (index-engine traces only): the bytes the
+	// engine physically wrote over the bytes the workload logically changed.
+	// The cleaner's own amplification multiplies on top of this, so total
+	// flash wear per logical byte is the product of the two. Empty/zero when
+	// the stream has no index.writeamp event.
+	IndexEngine       string  `json:"index_engine,omitempty"`
+	IndexLogicalBytes int64   `json:"index_logical_bytes,omitempty"`
+	IndexWrittenBytes int64   `json:"index_written_bytes,omitempty"`
+	IndexAmp          float64 `json:"index_amp,omitempty"`
 }
 
 // liveBounds covers live-blocks-per-clean from 1 to 100k.
@@ -391,13 +401,22 @@ func (b *CleaningBuilder) Observe(e obs.Event) {
 		b.r.LivePerClean.Add(float64(e.Size))
 	case obs.EvCardStall:
 		b.r.Stalls++
+	case obs.EvIndexWriteAmp:
+		// One summary event per run; on merged shards the last one wins,
+		// matching concatenated-stream replay order.
+		b.r.IndexEngine = e.Dev
+		b.r.IndexLogicalBytes = e.Addr
+		b.r.IndexWrittenBytes = e.Size
 	}
 }
 
-// Finish computes the derived mean and returns the report.
+// Finish computes the derived means and returns the report.
 func (b *CleaningBuilder) Finish() *CleaningReport {
 	if b.r.Cleans > 0 {
 		b.r.MeanLivePerClean = float64(b.r.CopiedBlocks) / float64(b.r.Cleans)
+	}
+	if b.r.IndexLogicalBytes > 0 {
+		b.r.IndexAmp = float64(b.r.IndexWrittenBytes) / float64(b.r.IndexLogicalBytes)
 	}
 	return b.r
 }

@@ -156,6 +156,66 @@ func TestCleaningReport(t *testing.T) {
 	if r.LivePerClean.N != 3 || r.LivePerClean.Max != 30 {
 		t.Errorf("live hist %+v", r.LivePerClean)
 	}
+	if r.IndexEngine != "" || r.IndexAmp != 0 {
+		t.Errorf("index fields set without an index.writeamp event: %+v", r)
+	}
+}
+
+// TestCleaningIndexWriteAmp covers the index.writeamp summary event: the
+// engine-level write amplification lands in the cleaning report and its
+// text/CSV renderings.
+func TestCleaningIndexWriteAmp(t *testing.T) {
+	events := append(syntheticStream(), obs.Event{
+		Kind: obs.EvIndexWriteAmp, Dev: "btree", Addr: 1000, Size: 25000,
+	})
+	r := Cleaning(events)
+	if r.IndexEngine != "btree" || r.IndexLogicalBytes != 1000 || r.IndexWrittenBytes != 25000 {
+		t.Fatalf("index fields %+v", r)
+	}
+	if r.IndexAmp != 25.0 {
+		t.Fatalf("index amp %g, want 25", r.IndexAmp)
+	}
+
+	var buf bytes.Buffer
+	if err := WriteCleaning(&buf, r, Text); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "index btree: 25.00× write amplification") {
+		t.Errorf("text rendering missing index line:\n%s", buf.String())
+	}
+
+	buf.Reset()
+	if err := WriteCleaning(&buf, r, CSV); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0][5] != "index_engine" || rows[0][6] != "index_amp" {
+		t.Errorf("csv header missing index columns: %v", rows[0])
+	}
+	if rows[1][5] != "btree" || rows[1][6] != "25" {
+		t.Errorf("csv row %v", rows[1])
+	}
+
+	// A run with index stats but a cleaner-free device (disk) still renders
+	// the index line instead of the "no events" placeholder.
+	only := Cleaning([]obs.Event{{Kind: obs.EvIndexWriteAmp, Dev: "lsm", Addr: 100, Size: 215}})
+	buf.Reset()
+	if err := WriteCleaning(&buf, only, Text); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "index lsm: 2.15× write amplification") {
+		t.Errorf("index-only text rendering:\n%s", buf.String())
+	}
+
+	// The -vs delta table gains an index_amp row when either run has one.
+	deltas := DiffCleaning(r, only)
+	last := deltas[len(deltas)-1]
+	if last.Name != "index_amp" || last.A != 25.0 || last.B != 2.15 {
+		t.Errorf("diff row %+v", last)
+	}
 }
 
 // Renderers: every format produces parseable output and text output is

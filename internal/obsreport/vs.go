@@ -123,13 +123,17 @@ func DiffEnergy(a, b []EnergySeries) []DeltaRow {
 
 // DiffCleaning compares cleaner workloads.
 func DiffCleaning(a, b *CleaningReport) []DeltaRow {
-	return []DeltaRow{
+	rows := []DeltaRow{
 		row("cleans", float64(a.Cleans), float64(b.Cleans)),
 		row("copied_blocks", float64(a.CopiedBlocks), float64(b.CopiedBlocks)),
 		row("stalls", float64(a.Stalls), float64(b.Stalls)),
 		row("mean_live_per_clean", a.MeanLivePerClean, b.MeanLivePerClean),
 		row("total_clean_s", float64(a.TotalCleanUs)/1e6, float64(b.TotalCleanUs)/1e6),
 	}
+	if a.IndexEngine != "" || b.IndexEngine != "" {
+		rows = append(rows, row("index_amp", a.IndexAmp, b.IndexAmp))
+	}
+	return rows
 }
 
 // unionKeys returns the sorted union of two maps' keys.

@@ -1,0 +1,123 @@
+package plot
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// goldenGrid is the small-multiples figure pinned byte-for-byte: a 2×2
+// metric-by-device family with per-panel scales (one log panel), an empty
+// panel, and a shared title.
+func goldenGrid() *Grid {
+	return &Grid{
+		Title: "latency / energy × device",
+		Cols:  2,
+		Cells: []Chart{
+			{
+				Title: "disk", XLabel: "utilization", YLabel: "ms",
+				Series: []Series{
+					{Name: "btree", Points: []Point{{0.4, 12.1}, {0.6, 12.3}, {0.8, 12.2}}},
+					{Name: "lsm", Points: []Point{{0.4, 8.9}, {0.6, 9.1}, {0.8, 9.0}}},
+				},
+			},
+			{
+				Title: "flash card", XLabel: "utilization", YLabel: "ms", LogY: true,
+				Series: []Series{
+					{Name: "btree", Points: []Point{{0.4, 1.1}, {0.6, 2.7}, {0.8, 19.4}}},
+					{Name: "lsm", Points: []Point{{0.4, 0.9}, {0.6, 1.3}, {0.8, 4.2}}},
+				},
+			},
+			{
+				Title: "flash disk", XLabel: "utilization", YLabel: "J",
+				Series: []Series{
+					{Name: "btree", Points: []Point{{0.4, 31}, {0.6, 33}, {0.8, 36}}},
+				},
+			},
+			{Title: "hybrid", XLabel: "utilization", YLabel: "J"},
+		},
+	}
+}
+
+func TestGridGoldenSVG(t *testing.T) {
+	got := goldenGrid().SVG()
+	path := filepath.Join("testdata", "grid-small-multiples.svg")
+	if *update {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if got != string(want) {
+		t.Errorf("grid golden mismatch (regenerate with -update and review the diff)\n--- got\n%.600s", got)
+	}
+}
+
+func TestGridWellFormedAndDeterministic(t *testing.T) {
+	g := goldenGrid()
+	first := g.SVG()
+	wellFormed(t, first)
+	for i := 0; i < 3; i++ {
+		if g.SVG() != first {
+			t.Fatal("grid render not byte-identical across calls")
+		}
+	}
+	// Hostile title must be escaped in the outer document too.
+	hostile := &Grid{Title: `<svg>&"x"</svg>`, Cells: []Chart{{Title: "a&b"}}}
+	wellFormed(t, hostile.SVG())
+}
+
+// TestGridGeometry checks the outer dimensions and per-cell viewports
+// follow the column/row layout.
+func TestGridGeometry(t *testing.T) {
+	g := goldenGrid()
+	svg := g.SVG()
+	if !strings.Contains(svg, `width="720" height="508"`) {
+		t.Fatalf("outer dims wrong (want 2×360 wide, 28+2×240 tall):\n%.200s", svg)
+	}
+	for _, viewport := range []string{
+		`<svg x="0" y="28" width="360" height="240"`,
+		`<svg x="360" y="28" width="360" height="240"`,
+		`<svg x="0" y="268" width="360" height="240"`,
+		`<svg x="360" y="268" width="360" height="240"`,
+	} {
+		if !strings.Contains(svg, viewport) {
+			t.Fatalf("missing cell viewport %q", viewport)
+		}
+	}
+	// Cell Width/Height are overridden by grid geometry.
+	forced := &Grid{Cols: 1, Cells: []Chart{{Width: 9999, Height: 9999}}}
+	if out := forced.SVG(); !strings.Contains(out, `<svg x="0" y="0" width="360" height="240"`) {
+		t.Fatalf("cell dims not forced to grid geometry:\n%.200s", out)
+	}
+	// Empty and zero-column grids still render a valid frame.
+	empty := &Grid{}
+	wellFormed(t, empty.SVG())
+	if !strings.Contains(empty.SVG(), `width="360" height="240"`) {
+		t.Fatalf("empty grid frame wrong:\n%.200s", empty.SVG())
+	}
+}
+
+// TestGridEmbedsChartBytes checks a nested panel's content matches the
+// standalone render of the same chart (minus the outer element) — the
+// refactor contract that keeps single-chart goldens and grid panels in
+// lockstep.
+func TestGridEmbedsChartBytes(t *testing.T) {
+	cell := goldenGrid().Cells[1]
+	g := &Grid{Cols: 1, Cells: []Chart{cell}}
+
+	standalone := cell
+	standalone.Width, standalone.Height = defaultCellWidth, defaultCellHeight
+	solo := standalone.SVG()
+	// Strip the outer <svg ...> line and trailing </svg>.
+	body := solo[strings.Index(solo, "\n")+1 : strings.LastIndex(solo, "</svg>")]
+
+	if !strings.Contains(g.SVG(), body) {
+		t.Fatal("grid panel bytes diverge from the standalone chart render")
+	}
+}

@@ -111,6 +111,14 @@ func (c *Chart) render(b *strings.Builder) {
 
 	fmt.Fprintf(b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d" font-family="sans-serif">`+"\n",
 		f.w, f.h, f.w, f.h)
+	c.renderFrame(b, f)
+	b.WriteString("</svg>\n")
+}
+
+// renderFrame draws everything inside the chart's own coordinate space —
+// background, title, axes, series, legend — without the enclosing <svg>
+// element, so Grid can embed the same bytes in a nested viewport.
+func (c *Chart) renderFrame(b *strings.Builder, f frame) {
 	fmt.Fprintf(b, `<rect x="0" y="0" width="%d" height="%d" fill="#ffffff"/>`+"\n", f.w, f.h)
 	if c.Title != "" {
 		fmt.Fprintf(b, `<text x="%s" y="20" font-size="14" font-weight="bold" text-anchor="middle">%s</text>`+"\n",
@@ -125,7 +133,6 @@ func (c *Chart) render(b *strings.Builder) {
 			px((f.x0+f.x1)/2), px((f.y0+f.y1)/2))
 	}
 	c.renderLegend(b, f)
-	b.WriteString("</svg>\n")
 }
 
 // layout computes the frame: pixel geometry plus the data range over every
