@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet fmt-check test test-diff race bench bench-smoke bench-gate bench-gate-faults bench-gate-update profile-fig2 profile-fig4 fuzz-smoke golden-update serve-smoke check
+.PHONY: build vet fmt-check test test-diff race bench bench-smoke bench-gate bench-gate-faults bench-gate-array bench-gate-update profile-fig2 profile-fig4 fuzz-smoke golden-update serve-smoke check
 
 build:
 	$(GO) build ./...
@@ -23,7 +23,7 @@ test:
 # requiring byte-identical results, event streams, and observer logs, plus
 # the physics property tests. See docs/PERFORMANCE.md.
 test-diff:
-	$(GO) test ./internal/core/difftest/ -v -run 'TestRunEquivalence|TestPrepEquivalence|TestEquivalenceWithWrongPrep|TestHybridExtentTrimEquivalence|TestResponseProperties|TestEnergyProperties|TestWarmSnapshotConservation|TestWearProperties|FuzzRunEquivalence'
+	$(GO) test ./internal/core/difftest/ -v -run 'TestRunEquivalence|TestPrepEquivalence|TestEquivalenceWithWrongPrep|TestHybridExtentTrimEquivalence|TestArrayEquivalence|TestArrayMirrorMatchesSingle|TestResponseProperties|TestEnergyProperties|TestWarmSnapshotConservation|TestWearProperties|FuzzRunEquivalence'
 
 # Race-detector pass over the whole module; the parallel experiment sweeps
 # and shared observability scopes are what this guards.
@@ -56,6 +56,7 @@ bench-gate:
 	$(GO) test -run='^$$' -bench='$(FIGURE_BENCH)' -benchmem -benchtime=1x -count=5 . \
 		| $(GO) run ./cmd/benchdiff -baseline BENCH_figures.json -threshold 0.3
 	$(MAKE) bench-gate-faults
+	$(MAKE) bench-gate-array
 
 # Fault-layer overhead budget: the armed-but-quiet fault run must stay
 # within 2% of the plan-free hot path. Both benchmarks run in the same
@@ -64,6 +65,19 @@ bench-gate:
 bench-gate-faults:
 	$(GO) test -run='^$$' -bench='^Benchmark(RunNilScope|FaultOff)$$' -benchtime=2s -count=3 . \
 		| $(GO) run ./cmd/benchdiff -ratio BenchmarkFaultOff/BenchmarkRunNilScope -threshold 0.02
+
+# Array-layer overhead budget: the same simulation through a one-member
+# mirror must stay within 5% of the bare flash card — the composite-device
+# wrapper (fan-out, acked ledger, death checks) on its healthy path.
+# The pairs are interleaved (separate count=1 runs, best-of over the
+# concatenated output) instead of grouped with -count: go test runs all
+# samples of one benchmark before the other, so on a busy runner slow
+# minutes land entirely on one side of the ratio; interleaving keeps
+# each pair seconds apart.
+bench-gate-array:
+	{ for i in 1 2 3 4 5; do \
+		$(GO) test -run='^$$' -bench='^Benchmark(RunNilScope|ArrayMirror)$$' -benchtime=2s -count=1 . || exit 1; \
+	done; } | $(GO) run ./cmd/benchdiff -ratio BenchmarkArrayMirror/BenchmarkRunNilScope -threshold 0.05
 
 # Refresh the committed baselines after an intentional perf change; review
 # the diff before committing.

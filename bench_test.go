@@ -14,6 +14,7 @@ package mobilestorage
 import (
 	"testing"
 
+	"mobilestorage/internal/array"
 	"mobilestorage/internal/core"
 	"mobilestorage/internal/device"
 	"mobilestorage/internal/experiments"
@@ -390,6 +391,37 @@ func BenchmarkRunNilScope(b *testing.B) { benchRunScope(b, nil) }
 // observability layer lives under (docs/OBSERVABILITY.md).
 func BenchmarkFaultOff(b *testing.B) {
 	benchRunFaults(b, nil, &fault.Plan{WearOutAfter: 1 << 60})
+}
+
+// BenchmarkArrayMirror pins the array layer's healthy-path overhead
+// budget. It runs the BenchmarkRunNilScope simulation through a one-member
+// mirror — the composite device machinery (fan-out loop, acked-write
+// ledger, death checks) wrapped around the same single flash card — so the
+// simulated result matches the bare-card run and only the wrapper cost
+// differs. `make bench-gate` compares the two from the same process
+// (benchdiff -ratio) and fails past +5%.
+func BenchmarkArrayMirror(b *testing.B) {
+	spec, err := array.ParseSpec("mirror:1xflashcard")
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := workload.Synth(workload.SynthConfig{Seed: 7, Ops: 4000})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := core.Config{
+		Trace:           tr,
+		Array:           spec,
+		FlashCardParams: device.IntelSeries2Datasheet(),
+		DRAMBytes:       512 * units.KB,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 func BenchmarkRunActiveScope(b *testing.B) {

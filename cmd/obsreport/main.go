@@ -13,6 +13,7 @@
 //	energy     cumulative energy over time per component (needs -sample)
 //	cleaning   flash-card cleaner work and live-blocks-per-clean
 //	faults     injected faults, retries/backoff, remaps, and power failures
+//	array      member deaths, mirror degradations/rebuilds, latent faults, backlog
 //
 // Ingestion is streaming: events flow from the input straight into the
 // report builder, so multi-gigabyte captures — including ones piped on
@@ -138,6 +139,17 @@ var reports = map[string]func() *handle{
 			chart:    func() *plot.Chart { return obsreport.FaultsChart(b.Finish()) },
 			diff: func(o *handle) []obsreport.DeltaRow {
 				return obsreport.DiffFaults(b.Finish(), o.reporter.(*obsreport.FaultsBuilder).Finish())
+			},
+		}
+	},
+	"array": func() *handle {
+		b := obsreport.NewArrayBuilder()
+		return &handle{
+			reporter: b,
+			render:   func(w io.Writer, f obsreport.Format) error { return obsreport.WriteArray(w, b.Finish(), f) },
+			chart:    func() *plot.Chart { return obsreport.ArrayChart(b.Finish()) },
+			diff: func(o *handle) []obsreport.DeltaRow {
+				return obsreport.DiffArray(b.Finish(), o.reporter.(*obsreport.ArrayBuilder).Finish())
 			},
 		}
 	},
@@ -290,6 +302,6 @@ func runLabels(inPath, vsPath string) (string, string) {
 }
 
 func usageError(w io.Writer) error {
-	fmt.Fprintln(w, "usage: obsreport <timeline|latency|wear|energy|cleaning|faults> [-in events.ndjson ...] [-vs run2.ndjson] [-format text|csv|json|svg] [-out file] [-lenient] [-strict] [-workers n]")
+	fmt.Fprintln(w, "usage: obsreport <timeline|latency|wear|energy|cleaning|faults|array> [-in events.ndjson ...] [-vs run2.ndjson] [-format text|csv|json|svg] [-out file] [-lenient] [-strict] [-workers n]")
 	return fmt.Errorf("missing or unknown report")
 }

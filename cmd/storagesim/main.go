@@ -8,6 +8,8 @@
 //	storagesim -trace dos -device intel -utilization 0.95
 //	storagesim -trace hp -device sdp5 -async -dram 0
 //	storagesim -tracefile mytrace.txt -device kh -sram 32768
+//	storagesim -trace synth -array mirror:2xflashcard -member-faults members.json
+//	storagesim -trace index-btree -mix read-heavy -device intel
 package main
 
 import (
@@ -24,7 +26,9 @@ import (
 	"sync"
 	"syscall"
 
+	"mobilestorage/internal/array"
 	"mobilestorage/internal/core"
+	"mobilestorage/internal/device"
 	"mobilestorage/internal/fault"
 	"mobilestorage/internal/fleet"
 	"mobilestorage/internal/index"
@@ -66,6 +70,9 @@ func run() (err error) {
 		sample    = flag.Float64("sample", 0, "snapshot metrics every N simulated seconds (0 = off)")
 		faults    = flag.String("faults", "", "fault-injection plan (JSON file, see docs/FAULTS.md)")
 		faultSeed = flag.Int64("fault-seed", 1, "fault-injection RNG seed")
+		arraySpec = flag.String("array", "", "replace the device with an array, e.g. mirror:2xflashcard or stripe:3xflashcard (see docs/ARRAYS.md; -device is ignored)")
+		memFaults = flag.String("member-faults", "", "per-member fault plans for -array (JSON file keyed m0, m1, ... or *)")
+		mixName   = flag.String("mix", "", "op mix for index-* traces: default or read-heavy")
 		timeline  = flag.String("timeline", "", "write the sampled metric timeline as CSV to this file (requires -sample)")
 		serve     = flag.String("serve", "", "serve /metrics, /healthz, /plot/<report>, and /debug/pprof on this address during the run")
 		service   = flag.Bool("service", false, "run as a long-lived fleet simulation service on the -serve address (POST /jobs, SSE /events/<id>; SIGINT/SIGTERM drains and exits 130)")
@@ -80,7 +87,7 @@ func run() (err error) {
 		return runService(*serve, *drainS)
 	}
 
-	t, indexStats, err := buildTrace(*traceFile, *traceName, *seed)
+	t, indexStats, err := buildTrace(*traceFile, *traceName, *seed, *mixName)
 	if err != nil {
 		return err
 	}
@@ -96,8 +103,33 @@ func run() (err error) {
 		FlashCapacity:    units.Bytes(*capMB) * units.MB,
 		StoredData:       units.Bytes(*storedMB) * units.MB,
 	}
-	if err := fleet.SelectDevice(&cfg, *devName, *source); err != nil {
+	if *arraySpec != "" {
+		spec, err := array.ParseSpec(*arraySpec)
+		if err != nil {
+			return err
+		}
+		cfg.Array = spec
+		// Array members use fixed measured parameters: the Intel Series 2
+		// card for "flashcard" members and the CU140 for "disk" members.
+		cfg.FlashCardParams = device.IntelSeries2Measured()
+		cfg.Disk = device.CU140Measured()
+	} else if err := fleet.SelectDevice(&cfg, *devName, *source); err != nil {
 		return err
+	}
+	if *memFaults != "" {
+		if *arraySpec == "" {
+			return errors.New("-member-faults requires -array")
+		}
+		data, err := os.ReadFile(*memFaults)
+		if err != nil {
+			return err
+		}
+		set, err := fault.ParsePlanSet(data)
+		if err != nil {
+			return fmt.Errorf("%s: %w", *memFaults, err)
+		}
+		cfg.MemberFaults = set
+		cfg.FaultSeed = *faultSeed
 	}
 	if *faults != "" {
 		data, err := os.ReadFile(*faults)
@@ -123,11 +155,12 @@ func run() (err error) {
 		cfg.DRAMBytes = 2 * units.MB
 	}
 	// SRAM default: 32 KB in front of disks (the paper's deferred spin-up
-	// configuration), none in front of flash.
+	// configuration), none in front of flash or arrays (Kind is ignored for
+	// arrays and would otherwise zero-value to MagneticDisk).
 	switch {
 	case *sramKB >= 0:
 		cfg.SRAMBytes = units.Bytes(*sramKB) * units.KB
-	case cfg.Kind == core.MagneticDisk:
+	case cfg.Array == nil && cfg.Kind == core.MagneticDisk:
 		cfg.SRAMBytes = 32 * units.KB
 	}
 
@@ -276,18 +309,25 @@ func run() (err error) {
 // a B+tree or LSM engine run converted to a block trace through its pager —
 // and also return the engine's stats so the run can emit the index-level
 // write amplification into the event stream.
-func buildTrace(traceFile, traceName string, seed int64) (*trace.Trace, *index.Stats, error) {
+func buildTrace(traceFile, traceName string, seed int64, mixName string) (*trace.Trace, *index.Stats, error) {
 	if traceFile != "" {
 		t, err := readTrace(traceFile)
 		return t, nil, err
 	}
 	if strings.HasPrefix(traceName, "index-") {
 		kind := index.EngineKind(strings.TrimPrefix(traceName, "index-"))
-		t, st, err := index.GenerateTrace(index.BenchTraceConfig(kind, seed))
+		cfg, err := index.BenchTraceConfigMix(kind, seed, mixName)
+		if err != nil {
+			return nil, nil, err
+		}
+		t, st, err := index.GenerateTrace(cfg)
 		if err != nil {
 			return nil, nil, err
 		}
 		return t, &st, nil
+	}
+	if mixName != "" && mixName != "default" {
+		return nil, nil, fmt.Errorf("-mix %s only applies to index-* traces", mixName)
 	}
 	t, err := workload.GenerateByName(traceName, seed)
 	return t, nil, err
@@ -326,6 +366,18 @@ func printResult(res *core.Result, verbose bool) {
 		if f.PowerFailures > 0 {
 			fmt.Printf("powerfail %d failures, %d buffered blocks replayed, %d acknowledged writes lost\n",
 				f.PowerFailures, f.ReplayedBlocks, f.LostWrites)
+		}
+		if f.DeviceDeaths > 0 {
+			fmt.Printf("death    %d device deaths, %d mirror rebuilds (%.1f ms rebuilding)\n",
+				f.DeviceDeaths, f.Rebuilds, float64(f.RebuildTime)/1000)
+		}
+		if f.LatentSeeded+f.LatentFaults > 0 {
+			fmt.Printf("latent   %d blocks poisoned at write, %d surfaced and scrubbed on read\n",
+				f.LatentSeeded, f.LatentFaults)
+		}
+		if f.BacklogCarried > 0 {
+			fmt.Printf("backlog  %d cleaning jobs carried across power failures, %.1f ms drained at recovery\n",
+				f.BacklogCarried, float64(f.BacklogTime)/1000)
 		}
 		for _, v := range f.Violations {
 			fmt.Printf("VIOLATION %s\n", v)

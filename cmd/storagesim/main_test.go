@@ -101,7 +101,7 @@ func TestReadTraceBothFormats(t *testing.T) {
 // fail, and the classic names still route to the workload generator.
 func TestBuildTraceIndexWorkloads(t *testing.T) {
 	for _, name := range []string{"index-btree", "index-lsm"} {
-		tr, st, err := buildTrace("", name, 1)
+		tr, st, err := buildTrace("", name, 1, "")
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -115,10 +115,23 @@ func TestBuildTraceIndexWorkloads(t *testing.T) {
 			t.Errorf("%s: trace named %q", name, tr.Name)
 		}
 	}
-	if _, _, err := buildTrace("", "index-btrie", 1); err == nil {
+	if _, _, err := buildTrace("", "index-btrie", 1, ""); err == nil {
 		t.Error("unknown index engine accepted")
 	}
-	if tr, st, err := buildTrace("", "synth", 1); err != nil || st != nil || tr == nil {
+	if tr, st, err := buildTrace("", "synth", 1, ""); err != nil || st != nil || tr == nil {
 		t.Errorf("synth: tr=%v st=%v err=%v", tr, st, err)
+	}
+
+	// The -mix flag routes through MixByName: read-heavy reshapes the index
+	// trace, unknown mixes fail, and non-index traces reject a mix.
+	tr, _, err := buildTrace("", "index-btree", 1, "read-heavy")
+	if err != nil || tr == nil {
+		t.Fatalf("read-heavy mix: tr=%v err=%v", tr, err)
+	}
+	if _, _, err := buildTrace("", "index-btree", 1, "write-mostly"); err == nil {
+		t.Error("unknown mix accepted")
+	}
+	if _, _, err := buildTrace("", "synth", 1, "read-heavy"); err == nil {
+		t.Error("mix on a non-index trace accepted")
 	}
 }

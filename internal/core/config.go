@@ -9,6 +9,7 @@ package core
 import (
 	"fmt"
 
+	"mobilestorage/internal/array"
 	"mobilestorage/internal/device"
 	"mobilestorage/internal/fault"
 	"mobilestorage/internal/obs"
@@ -119,6 +120,20 @@ type Config struct {
 	// Disk, SpinDown, and FlashCardParams.
 	FlashCacheBytes units.Bytes
 
+	// Array, when non-nil, replaces the single storage device with a
+	// striped or mirrored composite (internal/array): members are built
+	// from the same parameter structs as single-device runs ("flashcard"
+	// members share FlashCardParams and the cleaning knobs, "disk" members
+	// share Disk/SpinDown). Kind is ignored when Array is set. Parse a
+	// topology string ("mirror:2xflashcard") with array.ParseSpec.
+	Array *array.Spec
+	// MemberFaults assigns each array member its own fault plan, keyed
+	// "m0", "m1", … with "*" as the default (fault.ParsePlanSet). Member
+	// plans may use die_at_us / die_after_erases / latent_error_rate /
+	// carry_cleaning_backlog in addition to the transient-fault knobs;
+	// power failures stay system-wide in Faults. Requires Array.
+	MemberFaults fault.PlanSet
+
 	// Faults, when non-nil and non-empty, enables deterministic fault
 	// injection: transient read/write/erase errors with retry and backoff,
 	// wear-out bad-block retirement with spare provisioning, and scheduled
@@ -227,6 +242,23 @@ func (c Config) validateNonTrace() error {
 		if err := c.Faults.Validate(); err != nil {
 			return err
 		}
+		if c.Faults.DieAtUs > 0 || c.Faults.DieAfterErases > 0 {
+			return fmt.Errorf("core: die_at_us/die_after_erases are per-member fault-domain fields; put them in MemberFaults (an array member plan), not the system plan")
+		}
+	}
+	if len(c.MemberFaults) > 0 {
+		if c.Array == nil {
+			return fmt.Errorf("core: MemberFaults requires an Array configuration")
+		}
+		if err := c.MemberFaults.Validate(); err != nil {
+			return err
+		}
+	}
+	if c.Array != nil {
+		if len(c.Array.Members) == 0 {
+			return fmt.Errorf("core: array spec has no members")
+		}
+		return nil // member kinds pick their own params; Kind is ignored
 	}
 	switch c.Kind {
 	case MagneticDisk, FlashDisk, FlashCard, FlashCache:

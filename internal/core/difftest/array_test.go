@@ -1,0 +1,118 @@
+package difftest
+
+import (
+	"testing"
+
+	"mobilestorage/internal/array"
+	"mobilestorage/internal/core"
+	"mobilestorage/internal/device"
+	"mobilestorage/internal/fault"
+	"mobilestorage/internal/trace"
+	"mobilestorage/internal/units"
+)
+
+// arraySpec parses a topology string or fails the test.
+func arraySpec(tb testing.TB, s string) *array.Spec {
+	tb.Helper()
+	spec, err := array.ParseSpec(s)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return spec
+}
+
+// TestArrayEquivalence extends the differential contract to composite
+// devices: mirrored and striped arrays, healthy and under per-member fault
+// domains (a scheduled member death plus latent faults and backlog
+// carryover across a system power failure), must replay byte-identically
+// through the reference and fast loops.
+func TestArrayEquivalence(t *testing.T) {
+	tr := matrixTraces()[0].build(t)
+	prep := core.PrepareTrace(tr)
+	degraded := fault.PlanSet{
+		"m0": {DieAtUs: int64(tr.Duration()) / 2, MaxRetries: 2, BackoffUs: 200, MaxBackoffUs: 5_000},
+		"*":  {LatentErrorRate: 0.002, CarryCleaningBacklog: true},
+	}
+	sysFail := &fault.Plan{PowerFailAtUs: []int64{int64(tr.Duration()) / 3}}
+	cases := []struct {
+		name    string
+		topo    string
+		members fault.PlanSet
+		sys     *fault.Plan
+	}{
+		{"mirror-healthy", "mirror:2xflashcard", nil, nil},
+		{"mirror-degraded", "mirror:2xflashcard", degraded, sysFail},
+		{"stripe-healthy", "stripe:2xflashcard", nil, nil},
+		{"stripe-degraded", "stripe:2xflashcard", degraded, sysFail},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := core.Config{
+				Trace:            tr,
+				Prep:             prep,
+				DRAMBytes:        512 * units.KB,
+				Array:            arraySpec(t, tc.topo),
+				FlashCardParams:  device.IntelSeries2Measured(),
+				FlashUtilization: 0.80,
+				MemberFaults:     tc.members,
+				Faults:           tc.sys,
+				FaultSeed:        11,
+			}
+			ref, fast := runBoth(t, cfg)
+			requireIdentical(t, ref, fast)
+		})
+	}
+}
+
+// TestArrayMirrorMatchesSingle pins the mirror's read semantics: a healthy
+// two-way mirror serves every read with exactly the response time of a
+// single flash card, because reads go to the primary member and that member
+// sees the identical request sequence the single-device stack would. Writes
+// are only bounded below — the array completes at the slowest member, and
+// the secondary's cleaning schedule differs since it never serves reads.
+// Any read divergence means the mirror's geometry or primary-member state
+// drifted from the single-device stack it replicates.
+func TestArrayMirrorMatchesSingle(t *testing.T) {
+	tr := matrixTraces()[0].build(t)
+	prep := core.PrepareTrace(tr)
+	base := core.Config{
+		Trace:            tr,
+		Prep:             prep,
+		DRAMBytes:        512 * units.KB,
+		FlashCardParams:  device.IntelSeries2Measured(),
+		FlashUtilization: 0.80,
+	}
+	single := base
+	single.Kind = core.FlashCard
+	mirror := base
+	mirror.Array = arraySpec(t, "mirror:2xflashcard")
+
+	sRun := runInstrumented(t, single)
+	mRun := runInstrumented(t, mirror)
+	if len(sRun.obs) != len(mRun.obs) {
+		t.Fatalf("op counts differ: single %d, mirror %d", len(sRun.obs), len(mRun.obs))
+	}
+	for i := range sRun.obs {
+		s, m := sRun.obs[i], mRun.obs[i]
+		if s.Op == trace.Read && s != m {
+			t.Fatalf("read op %d diverged:\nsingle %+v\nmirror %+v", i, s, m)
+		}
+		if s.CacheHit != m.CacheHit {
+			t.Fatalf("op %d cache behavior diverged:\nsingle %+v\nmirror %+v", i, s, m)
+		}
+	}
+	if sRun.res.Read.Mean() != mRun.res.Read.Mean() {
+		t.Errorf("read summaries diverged: single %.4f ms, mirror %.4f ms",
+			sRun.res.Read.Mean(), mRun.res.Read.Mean())
+	}
+	if mRun.res.Write.Mean() < sRun.res.Write.Mean() {
+		t.Errorf("mirror writes faster than the single card: %.4f ms vs %.4f ms",
+			mRun.res.Write.Mean(), sRun.res.Write.Mean())
+	}
+	// The mirror holds two full copies, so it pays roughly double the
+	// erases of the single card — replication is not free, just invisible
+	// to read latency while healthy.
+	if mRun.res.Erases < 2*sRun.res.Erases*95/100 {
+		t.Errorf("mirror erases %d, want about double the single card's %d", mRun.res.Erases, sRun.res.Erases)
+	}
+}

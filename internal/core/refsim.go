@@ -191,6 +191,15 @@ func runReference(cfg Config) (*Result, error) {
 	fillEnergy(res, st, dc, warmSnapshot)
 	fillDeviceStats(res, st, dc)
 	res.Faults = inj.Report()
+	if st.arr != nil {
+		if ar := st.arr.FaultReport(); ar != nil {
+			if res.Faults == nil {
+				res.Faults = ar
+			} else {
+				res.Faults.Merge(ar)
+			}
+		}
+	}
 	if reg := sc.Registry(); reg != nil {
 		res.Metrics = reg.Counters()
 	}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"mobilestorage/internal/array"
 	"mobilestorage/internal/cache"
 	"mobilestorage/internal/device"
 	"mobilestorage/internal/disk"
@@ -26,6 +27,7 @@ type stack struct {
 	fdisk  *flashdisk.FlashDisk
 	fcard  *flashcard.Card
 	hyb    *hybrid.Cache
+	arr    *array.Array
 	buffer *sram.Buffer
 }
 
@@ -46,6 +48,9 @@ func (s *stack) meters() []*energy.Meter {
 	}
 	if s.hyb != nil {
 		ms = append(ms, s.hyb.Meter())
+	}
+	if s.arr != nil {
+		ms = append(ms, s.arr.Meters()...)
 	}
 	if s.buffer != nil {
 		ms = append(ms, s.buffer.Meter())
@@ -70,6 +75,8 @@ func (s *stack) access(req device.Request) units.Time {
 		return s.fdisk.Access(req)
 	case s.hyb != nil:
 		return s.hyb.Access(req)
+	case s.arr != nil:
+		return s.arr.Access(req)
 	default:
 		return s.top.Access(req)
 	}
@@ -89,6 +96,8 @@ func (s *stack) idle(now units.Time) {
 		s.fdisk.Idle(now)
 	case s.hyb != nil:
 		s.hyb.Idle(now)
+	case s.arr != nil:
+		s.arr.Idle(now)
 	default:
 		s.top.Idle(now)
 	}
@@ -111,6 +120,8 @@ func (s *stack) readExtent(reqs []device.Request, completions []units.Time) {
 		s.fdisk.ReadExtent(reqs, completions)
 	case s.hyb != nil:
 		s.hyb.ReadExtent(reqs, completions)
+	case s.arr != nil:
+		s.arr.ReadExtent(reqs, completions)
 	default:
 		for k := range reqs {
 			s.top.Idle(reqs[k].Time)
@@ -132,6 +143,8 @@ func (s *stack) writeExtent(reqs []device.Request, completions []units.Time) {
 		s.fdisk.WriteExtent(reqs, completions)
 	case s.hyb != nil:
 		s.hyb.WriteExtent(reqs, completions)
+	case s.arr != nil:
+		s.arr.WriteExtent(reqs, completions)
 	default:
 		for k := range reqs {
 			s.top.Idle(reqs[k].Time)
@@ -613,6 +626,15 @@ func Run(cfg Config) (*Result, error) {
 	fillEnergy(res, st, dc, warmSnapshot)
 	fillDeviceStats(res, st, dc)
 	res.Faults = inj.Report()
+	if st.arr != nil {
+		if ar := st.arr.FaultReport(); ar != nil {
+			if res.Faults == nil {
+				res.Faults = ar
+			} else {
+				res.Faults.Merge(ar)
+			}
+		}
+	}
 	if reg := sc.Registry(); reg != nil {
 		res.Metrics = reg.Counters()
 	}
@@ -722,6 +744,10 @@ func fillEnergy(res *Result, st *stack, dram dramCache, warmSnapshot float64) {
 		storageJ = st.fcard.Meter().TotalJ()
 	case st.hyb != nil:
 		storageJ = st.hyb.Meter().TotalJ()
+	case st.arr != nil:
+		for _, m := range st.arr.Meters() {
+			storageJ += m.TotalJ()
+		}
 	}
 	res.EnergyByComponent["storage"] = storageJ
 	if st.buffer != nil {
@@ -772,6 +798,15 @@ func fillDeviceStats(res *Result, st *stack, dram dramCache) {
 		res.CleaningTime = st.fcard.CleaningTime()
 		res.HostTime = st.fcard.HostTime()
 	}
+	if st.arr != nil {
+		wear = st.arr
+		res.Erases = st.arr.TotalErases()
+		res.CopiedBlocks = st.arr.CopiedBlocks()
+		res.HostBlocks = st.arr.HostBlocks()
+		res.WriteStalls = st.arr.Stalls()
+		res.CleaningTime = st.arr.CleaningTime()
+		res.HostTime = st.arr.HostTime()
+	}
 	if wear != nil {
 		counts := wear.EraseCounts()
 		var sum, max int64
@@ -816,6 +851,9 @@ func traceFootprint(t *trace.Trace, blockSize units.Bytes, hints *trace.FileSize
 // buildStack constructs the configured storage hierarchy, threading the
 // fault injector (nil = fault injection off) into every device layer.
 func buildStack(cfg Config, blockSize, footprint units.Bytes, inj *fault.Injector) (*stack, error) {
+	if cfg.Array != nil {
+		return buildArrayStack(cfg, blockSize, footprint, inj)
+	}
 	st := &stack{}
 	var base device.Device
 
@@ -932,6 +970,134 @@ func buildStack(cfg Config, blockSize, footprint units.Bytes, inj *fault.Injecto
 	}
 	st.top = base
 	return st, nil
+}
+
+// buildArrayStack constructs a composite-array stack from cfg.Array: every
+// member is built from the same parameter structs a single-device run uses,
+// but carries its own fault injector — its fault domain — seeded
+// independently per slot. The system injector keeps power failures and the
+// shared violation ledger; it never injects member-level faults.
+func buildArrayStack(cfg Config, blockSize, footprint units.Bytes, inj *fault.Injector) (*stack, error) {
+	spec := cfg.Array
+	n := len(spec.Members)
+
+	// Mirror members each hold the full data set; stripe members hold a 1/N
+	// round-robin share of the block address space (one extra block covers
+	// the uneven remainder slot).
+	stored := cfg.StoredData
+	if stored < footprint {
+		stored = footprint
+	}
+	memberStored := stored
+	if spec.Mode == array.Stripe {
+		memberStored = units.CeilDiv(stored, units.Bytes(n)) + blockSize
+	}
+
+	members := make([]array.Member, n)
+	for i, kind := range spec.Members {
+		minj := fault.NewInjector(cfg.MemberFaults.Member(i), fault.MemberSeed(cfg.FaultSeed, i), cfg.Scope)
+		switch kind {
+		case "flashcard":
+			dev, err := buildMemberCard(cfg, blockSize, memberStored, minj)
+			if err != nil {
+				return nil, fmt.Errorf("core: array member %d: %w", i, err)
+			}
+			members[i] = array.Member{
+				Dev: dev,
+				Inj: minj,
+				// Replacements are fresh fault-free cards: the dead slot's
+				// plan already fired, and a rebuilt card starts unworn.
+				Replace: func() (device.Device, error) {
+					return buildMemberCard(cfg, blockSize, memberStored, nil)
+				},
+			}
+		case "disk":
+			d, err := buildMemberDisk(cfg, minj)
+			if err != nil {
+				return nil, fmt.Errorf("core: array member %d: %w", i, err)
+			}
+			members[i] = array.Member{
+				Dev: d,
+				Inj: minj,
+				Replace: func() (device.Device, error) {
+					return buildMemberDisk(cfg, nil)
+				},
+			}
+		default:
+			return nil, fmt.Errorf("core: array member %d: unknown kind %q", i, kind)
+		}
+	}
+
+	arr, err := array.New(array.Config{
+		Mode:      spec.Mode,
+		BlockSize: blockSize,
+		Scope:     cfg.Scope,
+		SysInj:    inj,
+	}, members)
+	if err != nil {
+		return nil, err
+	}
+	st := &stack{arr: arr}
+	var base device.Device = arr
+	if cfg.SRAMBytes > 0 {
+		b, err := sram.New(*cfg.SRAM, cfg.SRAMBytes, blockSize, base, sram.WithScope(cfg.Scope), sram.WithFaults(inj))
+		if err != nil {
+			return nil, err
+		}
+		st.buffer = b
+		base = b
+	}
+	st.top = base
+	return st, nil
+}
+
+// buildMemberCard constructs one flash-card array member sized for its
+// share of the stored data. A nil injector builds the fault-free
+// replacement card used by mirror rebuilds.
+func buildMemberCard(cfg Config, blockSize, stored units.Bytes, minj *fault.Injector) (device.Device, error) {
+	if err := cfg.FlashCardParams.Validate(); err != nil {
+		return nil, err
+	}
+	seg := cfg.FlashCardParams.SegmentSize
+	capacity := cfg.FlashCapacity
+	if capacity == 0 {
+		capacity = units.CeilDiv(units.Bytes(float64(stored)/cfg.FlashUtilization), seg) * seg
+		if capacity < stored+3*seg {
+			capacity = units.CeilDiv(stored, seg)*seg + 3*seg
+		}
+		capacity += units.Bytes(minj.SpareUnits()) * seg
+	}
+	opts := []flashcard.Option{flashcard.WithScope(cfg.Scope), flashcard.WithFaults(minj)}
+	if cfg.OnDemandCleaning {
+		opts = append(opts, flashcard.WithOnDemandCleaning())
+	}
+	if cfg.WearLeveling > 0 {
+		opts = append(opts, flashcard.WithWearLeveling(cfg.WearLeveling))
+	}
+	if cfg.CleaningPolicy != "" {
+		p, ok := flashcard.Policies()[cfg.CleaningPolicy]
+		if !ok {
+			return nil, fmt.Errorf("core: unknown cleaning policy %q", cfg.CleaningPolicy)
+		}
+		opts = append(opts, flashcard.WithPolicy(p))
+	}
+	c, err := flashcard.New(cfg.FlashCardParams, capacity, blockSize, opts...)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.Prefill(stored); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// buildMemberDisk constructs one magnetic-disk array member.
+func buildMemberDisk(cfg Config, minj *fault.Injector) (device.Device, error) {
+	policy, err := spinPolicy(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return disk.New(cfg.Disk, disk.WithPolicy(policy), disk.WithScope(cfg.Scope), disk.WithFaults(minj))
 }
 
 // spinPolicy resolves the configured spin-down policy.

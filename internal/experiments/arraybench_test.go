@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mobilestorage/internal/core"
+	"mobilestorage/internal/index"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files under testdata/golden")
+
+// TestArrayBenchShape sweeps the full grid and checks the robustness
+// claims the table makes: every cell completes, zero invariant violations
+// anywhere, every degraded mirror rebuilds exactly once, and every
+// degraded stripe pays dead-share retries.
+func TestArrayBenchShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full grid replay")
+	}
+	rows, err := ArrayBench(DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := len(ArrayBenchTopologies) * len(ArrayBenchUtilizations) * 2
+	if len(rows) != want {
+		t.Fatalf("got %d rows, want %d", len(rows), want)
+	}
+	for _, r := range rows {
+		if r.Violations != 0 {
+			t.Errorf("%s util %.2f degraded=%v: %d invariant violations", r.Topology, r.Utilization, r.Degraded, r.Violations)
+		}
+		if r.EnergyJ <= 0 || r.Erases == 0 {
+			t.Errorf("%s util %.2f degraded=%v: no work done (energy %.1f, erases %d)",
+				r.Topology, r.Utilization, r.Degraded, r.EnergyJ, r.Erases)
+		}
+		switch {
+		case !r.Degraded:
+			if r.Rebuilds != 0 || r.Exhausted != 0 {
+				t.Errorf("healthy %s util %.2f: rebuilds=%d exhausted=%d, want zero", r.Topology, r.Utilization, r.Rebuilds, r.Exhausted)
+			}
+		case strings.HasPrefix(r.Topology, "mirror"):
+			if r.Rebuilds != 1 || r.RebuildMs <= 0 {
+				t.Errorf("degraded mirror util %.2f: rebuilds=%d (%.1f ms), want exactly one timed rebuild", r.Utilization, r.Rebuilds, r.RebuildMs)
+			}
+		default: // stripe
+			if r.Rebuilds != 0 {
+				t.Errorf("degraded stripe util %.2f rebuilt %d members", r.Utilization, r.Rebuilds)
+			}
+			if r.Exhausted == 0 {
+				t.Errorf("degraded stripe util %.2f: no dead-share IO counted", r.Utilization)
+			}
+		}
+	}
+	if out := RenderArrayBench(rows); !strings.Contains(out, "m0 dies") || !strings.Contains(out, "mirror:2xflashcard") {
+		t.Error("rendered table missing expected rows")
+	}
+}
+
+// TestIndexBenchReadHeavyGoldenRow pins one cell of the read-heavy
+// indexbench variant — btree on the flash card at 80% utilization — to a
+// golden file. The read-heavy mix must also actually bite: lookups have
+// to reach the device (the variant runs BenchOpsReadHeavy ops so its
+// settled index outgrows the pager pool — at BenchOps everything would
+// be pool hits and the sweep would measure nothing), and per-op cleaner
+// pressure must drop below the default write-heavy mix's in the same
+// cell.
+func TestIndexBenchReadHeavyGoldenRow(t *testing.T) {
+	row := func(mixName string) IndexBenchPoint {
+		t.Helper()
+		tr, st, err := IndexWorkloadMix(index.EngineBTree, DefaultSeed, mixName)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prep := prepare(tr)
+		cfg, err := indexBenchConfig("intel", 0.80, tr, prep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := core.Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return IndexBenchPoint{
+			Engine: "btree", Device: "intel", Utilization: 0.80,
+			EnergyJ: res.EnergyJ, ReadMeanMs: res.Read.Mean(), WriteMeanMs: res.Write.Mean(),
+			Erases: res.Erases, MaxErase: res.MaxEraseCount,
+			CleanerAmp: res.WriteAmplification(), IndexAmp: st.WriteAmplification(),
+		}
+	}
+	got := row("read-heavy")
+
+	path := filepath.Join("testdata", "golden", "indexbench-readheavy-row.json")
+	if *update {
+		data, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	var want IndexBenchPoint
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("read-heavy golden row drifted:\n got %+v\nwant %+v", got, want)
+	}
+
+	if got.ReadMeanMs <= 0 {
+		t.Error("read-heavy mix produced no device reads; the settled index fits the pager pool")
+	}
+	def := row("default")
+	gotPerOp := float64(got.Erases) / float64(index.BenchOpsReadHeavy)
+	defPerOp := float64(def.Erases) / float64(index.BenchOps)
+	if gotPerOp >= defPerOp {
+		t.Errorf("read-heavy mix should erase less per op than the default write-heavy mix: %.6f vs %.6f",
+			gotPerOp, defPerOp)
+	}
+}

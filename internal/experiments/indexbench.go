@@ -54,12 +54,22 @@ type indexTraceEntry struct {
 // memoized like Workload; the returned stats carry the engine-level write
 // amplification.
 func IndexWorkload(engine index.EngineKind, seed int64) (*trace.Trace, index.Stats, error) {
-	key := fmt.Sprintf("%s/%d", engine, seed)
+	return IndexWorkloadMix(engine, seed, "default")
+}
+
+// IndexWorkloadMix is IndexWorkload with a named op mix ("default" or
+// "read-heavy", per index.MixByName).
+func IndexWorkloadMix(engine index.EngineKind, seed int64, mixName string) (*trace.Trace, index.Stats, error) {
+	cfg, err := index.BenchTraceConfigMix(engine, seed, mixName)
+	if err != nil {
+		return nil, index.Stats{}, err
+	}
+	key := fmt.Sprintf("%s/%d/%s", engine, seed, mixName)
 	if v, ok := indexTraceCache.Load(key); ok {
 		e := v.(indexTraceEntry)
 		return e.trace, e.stats, nil
 	}
-	t, st, err := index.GenerateTrace(index.BenchTraceConfig(engine, seed))
+	t, st, err := index.GenerateTrace(cfg)
 	if err != nil {
 		return nil, index.Stats{}, err
 	}
@@ -125,7 +135,12 @@ func indexBenchConfig(dev string, util float64, t *trace.Trace, prep *core.Trace
 // alternative at 40–95% utilization. The trace is generated once (memoized)
 // and the device × utilization grid is swept in parallel.
 func IndexBenchEngine(engine index.EngineKind, seed int64) ([]IndexBenchPoint, error) {
-	t, st, err := IndexWorkload(engine, seed)
+	return IndexBenchEngineMix(engine, seed, "default")
+}
+
+// IndexBenchEngineMix is IndexBenchEngine under a named op mix.
+func IndexBenchEngineMix(engine index.EngineKind, seed int64, mixName string) ([]IndexBenchPoint, error) {
+	t, st, err := IndexWorkloadMix(engine, seed, mixName)
 	if err != nil {
 		return nil, fmt.Errorf("indexbench %s: %w", engine, err)
 	}
@@ -178,9 +193,16 @@ func IndexBenchEngine(engine index.EngineKind, seed int64) ([]IndexBenchPoint, e
 // The headline interaction is the LSM's sequential compaction writes
 // against the flash card's segment cleaner.
 func IndexBench(seed int64) ([]IndexBenchPoint, error) {
+	return IndexBenchMix(seed, "default")
+}
+
+// IndexBenchMix is IndexBench under a named op mix — "read-heavy" replays
+// index.ReadHeavyMix (a settled database serving mostly queries), where the
+// cleaner pressure drops and read latency dominates the comparison.
+func IndexBenchMix(seed int64, mixName string) ([]IndexBenchPoint, error) {
 	var points []IndexBenchPoint
 	for _, eng := range index.EngineKinds {
-		ps, err := IndexBenchEngine(eng, seed)
+		ps, err := IndexBenchEngineMix(eng, seed, mixName)
 		if err != nil {
 			return nil, err
 		}

@@ -190,6 +190,20 @@ func Registry() map[string]Experiment {
 			}
 			return RenderIndexBench(points), nil
 		}},
+		{"indexbench-readheavy", "index workloads under the read-heavy op mix (settled database)", func(seed int64) (string, error) {
+			points, err := IndexBenchMix(seed, "read-heavy")
+			if err != nil {
+				return "", err
+			}
+			return "Op mix: read-heavy (15/65/15/5 insert/lookup/scan/delete)\n" + RenderIndexBench(points), nil
+		}},
+		{"arraybench", "degraded-mode device arrays: mirror/stripe × utilization, healthy vs. one member dead", func(seed int64) (string, error) {
+			rows, err := ArrayBench(seed)
+			if err != nil {
+				return "", err
+			}
+			return RenderArrayBench(rows), nil
+		}},
 	}
 	m := make(map[string]Experiment, len(exps))
 	for _, e := range exps {
@@ -228,7 +242,7 @@ func orderKey(id string) string {
 		"ablate-cleaner": 15, "ablate-flash-sram": 16, "ablate-series2plus": 17, "ablate-writeback": 18,
 		"ablate-spindown": 19, "ablate-wearlevel": 20, "hybrid": 21, "envy": 22,
 		"ablate-mffs": 23, "seeds": 24, "energy-time": 25, "cleaning-efficiency": 26,
-		"indexbench": 27,
+		"indexbench": 27, "indexbench-readheavy": 28, "arraybench": 29,
 	}
 	if n, ok := order[id]; ok {
 		return fmt.Sprintf("%02d", n)

@@ -77,9 +77,57 @@ type Report struct {
 	// Non-zero only in configurations that volunteer for data loss (the
 	// write-back DRAM ablation); anything else is an invariant violation.
 	LostWrites int64
+	// DeviceDeaths counts whole-device deaths (die_at_us / die_after_erases
+	// in per-member plans).
+	DeviceDeaths int64
+	// LatentSeeded counts blocks silently poisoned at write time by
+	// latent_error_rate; LatentFaults counts the subset that later surfaced
+	// on a read and was scrubbed. Seeded ≥ surfaced — blocks overwritten or
+	// never re-read keep their poison latent, exactly the silent-rot hazard
+	// the model exists to expose.
+	LatentSeeded int64
+	LatentFaults int64
+	// BacklogCarried counts interrupted cleaning jobs carried across power
+	// failures (carry_cleaning_backlog); BacklogTime is the total recovery
+	// time spent draining them.
+	BacklogCarried int64
+	BacklogTime    units.Time
+	// Rebuilds counts mirror-member rebuilds after a device death;
+	// RebuildTime is the total simulated time the rebuilds occupied.
+	Rebuilds    int64
+	RebuildTime units.Time
 	// Violations lists recovery-invariant violations. Always empty unless
 	// the simulator is broken: tests fail on non-empty, they do not log.
 	Violations []string
+}
+
+// Merge folds another report into r: counters add, violations append.
+// Core uses it to aggregate per-member injector reports under an array
+// into the run's single Result.Faults.
+func (r *Report) Merge(o *Report) {
+	if o == nil {
+		return
+	}
+	r.ReadFaults += o.ReadFaults
+	r.WriteFaults += o.WriteFaults
+	r.EraseFaults += o.EraseFaults
+	r.Retries += o.Retries
+	r.Exhausted += o.Exhausted
+	r.BackoffTime += o.BackoffTime
+	r.Remaps += o.Remaps
+	r.SparesExhausted += o.SparesExhausted
+	r.Reclaims += o.Reclaims
+	r.PowerFailures += o.PowerFailures
+	r.ReplayedBlocks += o.ReplayedBlocks
+	r.LostWrites += o.LostWrites
+	r.DeviceDeaths += o.DeviceDeaths
+	r.LatentSeeded += o.LatentSeeded
+	r.LatentFaults += o.LatentFaults
+	r.BacklogCarried += o.BacklogCarried
+	r.BacklogTime += o.BacklogTime
+	r.Rebuilds += o.Rebuilds
+	r.RebuildTime += o.RebuildTime
+	r.Violations = append(r.Violations, o.Violations...)
 }
 
 // Injector makes every fault decision for one run: deterministic draws from
@@ -92,6 +140,13 @@ type Injector struct {
 
 	rep Report
 
+	// latent holds the block indices silently poisoned at write time by
+	// LatentErrorRate, awaiting a read to surface them. One injector serves
+	// one seeding device (core builds one injector per array member), so a
+	// bare block index is an unambiguous key. Allocated lazily on the first
+	// seeded block.
+	latent map[int64]struct{}
+
 	// Observability (nil-safe no-ops without a scope).
 	sc          *obs.Scope
 	cInjected   *obs.Counter
@@ -102,6 +157,10 @@ type Injector struct {
 	cPowerFails *obs.Counter
 	cReplayed   *obs.Counter
 	cLost       *obs.Counter
+	cDeaths     *obs.Counter
+	cLatent     *obs.Counter
+	cBacklog    *obs.Counter
+	cRebuilds   *obs.Counter
 }
 
 // NewInjector builds an injector for the plan. A nil or do-nothing plan
@@ -124,6 +183,10 @@ func NewInjector(p *Plan, seed int64, sc *obs.Scope) *Injector {
 		cPowerFails: sc.Counter("fault.power_failures"),
 		cReplayed:   sc.Counter("fault.replayed_blocks"),
 		cLost:       sc.Counter("fault.lost_writes"),
+		cDeaths:     sc.Counter("fault.device_deaths"),
+		cLatent:     sc.Counter("fault.latent_surfaced"),
+		cBacklog:    sc.Counter("fault.backlog_carried"),
+		cRebuilds:   sc.Counter("fault.rebuilds"),
 	}
 	return in
 }
@@ -187,6 +250,41 @@ func (in *Injector) Attempts(op Op, dev string, at units.Time) (attempts int64, 
 			// Out of retries: the op is taken as completed so the replay can
 			// continue, but the exhaustion is counted — a real stack would
 			// have returned EIO here.
+			in.rep.Exhausted++
+			in.cExhausted.Inc()
+			break
+		}
+		d := in.plan.backoff(a)
+		backoff += d
+		in.rep.Retries++
+		in.rep.BackoffTime += d
+		in.cRetries.Inc()
+		if tracing {
+			in.sc.Emit(obs.Event{T: int64(at), Kind: obs.EvRetryAttempt, Dev: dev,
+				Addr: int64(op), Size: int64(a + 1), Dur: int64(d)})
+		}
+	}
+	return int64(limit), backoff
+}
+
+// DeadAttempts charges the full failed retry schedule against a dead
+// device: every attempt fails (no random draw — the device is gone), the
+// op is counted exhausted, and the caller pays the whole exponential
+// backoff. The striped array uses it for a dead member's share of an
+// access. Nil-safe.
+func (in *Injector) DeadAttempts(op Op, dev string, at units.Time) (attempts int64, backoff units.Time) {
+	if in == nil {
+		return 1, 0
+	}
+	limit := in.plan.maxRetries() + 1
+	tracing := in.sc.Tracing()
+	for a := 1; a <= limit; a++ {
+		in.countFault(op)
+		if tracing {
+			in.sc.Emit(obs.Event{T: int64(at), Kind: obs.EvFaultInjected, Dev: dev,
+				Addr: int64(op), Size: int64(a)})
+		}
+		if a == limit {
 			in.rep.Exhausted++
 			in.cExhausted.Inc()
 			break
@@ -342,4 +440,152 @@ func (in *Injector) Report() *Report {
 	rep := in.rep
 	rep.Violations = append([]string(nil), in.rep.Violations...)
 	return &rep
+}
+
+// DieAt returns the plan's scheduled device-death instant (0 = none).
+// Nil-safe.
+func (in *Injector) DieAt() units.Time {
+	if in == nil {
+		return 0
+	}
+	return units.Time(in.plan.DieAtUs)
+}
+
+// DieAfterErases returns the erase count at which the device dies
+// (0 = no endurance death). Nil-safe.
+func (in *Injector) DieAfterErases() int64 {
+	if in == nil {
+		return 0
+	}
+	return in.plan.DieAfterErases
+}
+
+// RecordDeath records a whole-device death. eraseDeath distinguishes an
+// endurance death (die_after_erases) from a scheduled one (die_at_us).
+func (in *Injector) RecordDeath(dev string, member int64, eraseDeath bool, at units.Time) {
+	if in == nil {
+		return
+	}
+	in.rep.DeviceDeaths++
+	in.cDeaths.Inc()
+	if in.sc.Tracing() {
+		size := int64(0)
+		if eraseDeath {
+			size = 1
+		}
+		in.sc.Emit(obs.Event{T: int64(at), Kind: obs.EvDeviceDie, Dev: dev,
+			Addr: member, Size: size})
+	}
+}
+
+// SeedLatent draws a latent-fault decision for each block in [first, last]
+// just written: with probability LatentErrorRate the block is silently
+// poisoned, to surface on a later read. The write itself completes
+// normally — that is the point. Nil-safe; free when the rate is zero.
+func (in *Injector) SeedLatent(first, last int64) {
+	if in == nil || in.plan.LatentErrorRate <= 0 {
+		return
+	}
+	for b := first; b <= last; b++ {
+		if in.float64() < in.plan.LatentErrorRate {
+			if in.latent == nil {
+				in.latent = make(map[int64]struct{})
+			}
+			in.latent[b] = struct{}{}
+			in.rep.LatentSeeded++
+		} else {
+			// An overwrite of a previously poisoned block refreshes the
+			// charge: the new program operation stores clean data.
+			delete(in.latent, b)
+		}
+	}
+}
+
+// SurfaceLatent checks a read of blocks [first, last] against the latent
+// set and scrubs any poisoned blocks it finds: each one is cleared,
+// counted, and reported so the device can charge the scrub penalty
+// (re-read + in-place rewrite) on this read's latency. Returns the number
+// of blocks surfaced. Nil-safe; free when nothing was ever seeded.
+func (in *Injector) SurfaceLatent(dev string, first, last int64, at, penalty units.Time) int64 {
+	if in == nil || len(in.latent) == 0 {
+		return 0
+	}
+	var n, firstHit int64
+	firstHit = -1
+	for b := first; b <= last; b++ {
+		if _, ok := in.latent[b]; ok {
+			delete(in.latent, b)
+			if firstHit < 0 {
+				firstHit = b
+			}
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	in.rep.LatentFaults += n
+	in.cLatent.Add(n)
+	if in.sc.Tracing() {
+		in.sc.Emit(obs.Event{T: int64(at), Kind: obs.EvFaultLatent, Dev: dev,
+			Addr: firstHit, Size: n, Dur: int64(penalty * units.Time(n))})
+	}
+	return n
+}
+
+// LatentPending returns how many poisoned blocks are still waiting to
+// surface — silent rot the workload has not yet re-read. Nil-safe.
+func (in *Injector) LatentPending() int64 {
+	if in == nil {
+		return 0
+	}
+	return int64(len(in.latent))
+}
+
+// CarryBacklog reports whether the plan preserves in-flight cleaning
+// state across power failures. Nil-safe.
+func (in *Injector) CarryBacklog() bool {
+	return in != nil && in.plan.CarryCleaningBacklog
+}
+
+// RecordBacklog records an interrupted cleaning job carried across a
+// power failure and drained during recovery. victim is the cleaning
+// victim segment, live the blocks still to relocate at the crash, drain
+// the recovery time the drain added.
+func (in *Injector) RecordBacklog(dev string, victim, live int64, at, drain units.Time) {
+	if in == nil {
+		return
+	}
+	in.rep.BacklogCarried++
+	in.rep.BacklogTime += drain
+	in.cBacklog.Inc()
+	if in.sc.Tracing() {
+		in.sc.Emit(obs.Event{T: int64(at), Kind: obs.EvCleaningBacklog, Dev: dev,
+			Addr: victim, Size: live, Dur: int64(drain)})
+	}
+}
+
+// RecordDegraded records a mirrored array degrading after a member death.
+func (in *Injector) RecordDegraded(dev string, member, survivors int64, at units.Time) {
+	if in == nil {
+		return
+	}
+	if in.sc.Tracing() {
+		in.sc.Emit(obs.Event{T: int64(at), Kind: obs.EvArrayDegraded, Dev: dev,
+			Addr: member, Size: survivors})
+	}
+}
+
+// RecordRebuild records a mirror rebuild onto a replacement member.
+func (in *Injector) RecordRebuild(dev string, member, blocks int64, at, dur units.Time) {
+	if in == nil {
+		return
+	}
+	in.rep.Rebuilds++
+	in.rep.RebuildTime += dur
+	in.cRebuilds.Inc()
+	if in.sc.Tracing() {
+		in.sc.Emit(obs.Event{T: int64(at), Kind: obs.EvArrayRebuild, Dev: dev,
+			Addr: member, Size: blocks, Dur: int64(dur)})
+	}
 }

@@ -45,6 +45,12 @@ func TestParsePlanRejects(t *testing.T) {
 		json string
 	}{
 		{"unknown field", `{"raed_error_rate": 0.5}`},
+		{"wrong unit suffix", `{"power_fail_at_ms": [1000]}`},
+		{"unknown die field", `{"die_at_ms": 5}`},
+		{"negative die at", `{"die_at_us": -1}`},
+		{"negative die erases", `{"die_after_erases": -1}`},
+		{"latent rate above 1", `{"latent_error_rate": 1.5}`},
+		{"negative latent rate", `{"latent_error_rate": -0.5}`},
 		{"rate above 1", `{"read_error_rate": 1.5}`},
 		{"negative rate", `{"write_error_rate": -0.1}`},
 		{"nan rate", `{"erase_error_rate": "x"}`},

@@ -61,6 +61,32 @@ type Plan struct {
 	// SRAM survives, and a recovery pass replays/repairs before the trace
 	// resumes.
 	PowerFailAtUs []int64 `json:"power_fail_at_us,omitempty"`
+
+	// DieAtUs, when positive, kills the device outright at that instant of
+	// simulated time: a whole-device fault domain, distinct from the
+	// system-wide power failures above. Inside an array the surviving
+	// members keep serving (mirror: degraded reads; stripe: bounded
+	// retry + exhaustion on the dead member's share). Only meaningful for
+	// per-member plans in a PlanSet.
+	DieAtUs int64 `json:"die_at_us,omitempty"`
+	// DieAfterErases, when positive, kills the device once its cumulative
+	// erase count reaches the threshold — endurance death rather than
+	// scheduled death.
+	DieAfterErases int64 `json:"die_after_erases,omitempty"`
+
+	// LatentErrorRate is the probability that one written block is seeded
+	// with a latent read-disturb/retention fault: the write completes
+	// normally, but a later read of that block surfaces the fault and pays
+	// a scrub (re-read + in-place rewrite) before returning. Models the
+	// silent, workload-dependent retention degradation of Choi & Jung.
+	LatentErrorRate float64 `json:"latent_error_rate,omitempty"`
+
+	// CarryCleaningBacklog, when true, preserves in-flight flash-card
+	// cleaning work across a power failure: recovery re-scans, then drains
+	// the interrupted cleaning job before serving, so post-recovery latency
+	// reflects the backlog. False (the default) keeps the historical
+	// semantics — the crash discards in-flight cleaning state atomically.
+	CarryCleaningBacklog bool `json:"carry_cleaning_backlog,omitempty"`
 }
 
 // Defaults used when the corresponding Plan field is zero.
@@ -130,6 +156,15 @@ func (p *Plan) Validate() error {
 			return fmt.Errorf("fault: power_fail_at_us %d negative", t)
 		}
 	}
+	if p.DieAtUs < 0 {
+		return fmt.Errorf("fault: die_at_us %d negative", p.DieAtUs)
+	}
+	if p.DieAfterErases < 0 {
+		return fmt.Errorf("fault: die_after_erases %d negative", p.DieAfterErases)
+	}
+	if err := check("latent_error_rate", p.LatentErrorRate); err != nil {
+		return err
+	}
 	return nil
 }
 
@@ -139,7 +174,9 @@ func (p *Plan) Enabled() bool {
 		return false
 	}
 	return p.ReadErrorRate > 0 || p.WriteErrorRate > 0 || p.EraseErrorRate > 0 ||
-		p.WearOutAfter > 0 || len(p.PowerFailAtUs) > 0
+		p.WearOutAfter > 0 || len(p.PowerFailAtUs) > 0 ||
+		p.DieAtUs > 0 || p.DieAfterErases > 0 || p.LatentErrorRate > 0 ||
+		p.CarryCleaningBacklog
 }
 
 // maxRetries resolves the effective retry budget.

@@ -1,0 +1,94 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParsePlanSet(t *testing.T) {
+	ps, err := ParsePlanSet([]byte(`{
+		"m0": {"die_at_us": 5000000, "latent_error_rate": 0.01},
+		"*":  {"read_error_rate": 0.02, "carry_cleaning_backlog": true}
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ps.Member(0); got == nil || got.DieAtUs != 5_000_000 || got.LatentErrorRate != 0.01 {
+		t.Errorf("Member(0) = %+v, want the explicit m0 plan", got)
+	}
+	if got := ps.Member(3); got == nil || got.ReadErrorRate != 0.02 || !got.CarryCleaningBacklog {
+		t.Errorf("Member(3) = %+v, want the \"*\" default", got)
+	}
+	if err := ps.Validate(); err != nil {
+		t.Errorf("valid set rejected: %v", err)
+	}
+}
+
+func TestParsePlanSetRejects(t *testing.T) {
+	cases := []struct {
+		name    string
+		json    string
+		wantErr string
+	}{
+		{"bad member key", `{"disk0": {}}`, "not a member name"},
+		{"negative index", `{"m-1": {}}`, "not a member name"},
+		{"padded index", `{"m01": {}}`, "not a member name"},
+		{"bare index", `{"0": {}}`, "not a member name"},
+		{"member power failure", `{"m0": {"power_fail_at_us": [1]}}`, "system-wide"},
+		{"unknown member field", `{"m0": {"die_at_ms": 5}}`, "unknown field"},
+		{"bad member plan", `{"m0": {"latent_error_rate": 2.0}}`, "latent_error_rate"},
+		{"not an object", `["m0"]`, "parsing plan set"},
+	}
+	for _, c := range cases {
+		_, err := ParsePlanSet([]byte(c.json))
+		if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+			t.Errorf("%s: ParsePlanSet(%s) err = %v, want %q", c.name, c.json, err, c.wantErr)
+		}
+	}
+}
+
+func TestPlanSetMemberNil(t *testing.T) {
+	var ps PlanSet
+	if ps.Member(0) != nil {
+		t.Error("nil set resolved a plan")
+	}
+	if err := ps.Validate(); err != nil {
+		t.Errorf("nil set failed validation: %v", err)
+	}
+	only := PlanSet{"m1": {DieAtUs: 1}}
+	if only.Member(0) != nil {
+		t.Error("member without entry or default resolved a plan")
+	}
+}
+
+func TestPlanSetValidateRejectsInjectedBadEntries(t *testing.T) {
+	// Hand-built sets (not parsed) must still be caught by Validate.
+	if err := (PlanSet{"weird": {}}).Validate(); err == nil {
+		t.Error("bad key passed Validate")
+	}
+	if err := (PlanSet{"m0": {PowerFailAtUs: []int64{1}}}).Validate(); err == nil {
+		t.Error("member power failure passed Validate")
+	}
+	if err := (PlanSet{"m0": {DieAtUs: -1}}).Validate(); err == nil {
+		t.Error("negative die_at_us passed Validate")
+	}
+}
+
+// TestMemberSeedIndependence: distinct members must draw from distinct
+// seeds, and the derivation must be a pure function of (seed, index).
+func TestMemberSeedIndependence(t *testing.T) {
+	seen := map[int64]int{}
+	for i := 0; i < 16; i++ {
+		s := MemberSeed(99, i)
+		if prev, dup := seen[s]; dup {
+			t.Errorf("members %d and %d share seed %d", prev, i, s)
+		}
+		seen[s] = i
+		if s != MemberSeed(99, i) {
+			t.Errorf("MemberSeed(99, %d) not deterministic", i)
+		}
+	}
+	if MemberSeed(1, 0) == MemberSeed(2, 0) {
+		t.Error("different run seeds gave member 0 the same seed")
+	}
+}

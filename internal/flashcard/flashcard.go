@@ -169,6 +169,11 @@ type Card struct {
 	inj        *fault.Injector
 	sparesLeft int64
 	badSegs    int32
+
+	// carried holds a cleaning job preserved across a power failure when
+	// the plan sets carry_cleaning_backlog; Recover drains it before the
+	// card serves again, so post-recovery latency reflects the backlog.
+	carried *cleanJob
 }
 
 // cleanJob is an in-progress cleaning of one victim segment.
@@ -435,7 +440,7 @@ func (c *Card) Access(req device.Request) units.Time {
 	var service units.Time
 	switch req.Op {
 	case trace.Read:
-		service = c.readService(req.Size, start)
+		service = c.readService(req.Size, start) + c.scrubLatent(req.Addr, req.Size, start)
 		c.hostTime += service
 	case trace.Write:
 		service = c.write(req.Addr, req.Size, start)
@@ -464,7 +469,7 @@ func (c *Card) Background(req device.Request) units.Time {
 	var service units.Time
 	switch req.Op {
 	case trace.Read:
-		service = c.readService(req.Size, start)
+		service = c.readService(req.Size, start) + c.scrubLatent(req.Addr, req.Size, start)
 	case trace.Write:
 		service = c.write(req.Addr, req.Size, start)
 	}
@@ -496,6 +501,9 @@ func (c *Card) write(addr, size units.Bytes, start units.Time) units.Time {
 			c.hostTime += extra
 			transfer += extra + backoff
 		}
+		// The program may silently seed retention/read-disturb rot that only
+		// a later read will surface (free when the plan has no latent rate).
+		c.inj.SeedLatent(first, last)
 	}
 	if stall > 0 {
 		c.stallTime += stall
@@ -523,6 +531,25 @@ func (c *Card) readService(size units.Bytes, start units.Time) units.Time {
 		}
 	}
 	return service
+}
+
+// scrubLatent surfaces any latent retention/read-disturb faults seeded on
+// the blocks just read: each poisoned block pays a re-read plus an
+// in-place block rewrite before the data returns (the scrub-or-retry
+// path), charged as active energy. Free when nothing was ever seeded.
+func (c *Card) scrubLatent(addr, size units.Bytes, start units.Time) units.Time {
+	if c.inj == nil || c.inj.LatentPending() == 0 {
+		return 0
+	}
+	first, last := c.blockRange(addr, size)
+	perBlock := c.readMemo.Time(c.blockSize) + c.writeMemo.Time(c.blockSize)
+	n := c.inj.SurfaceLatent(c.evName, first, last, start, perBlock)
+	if n == 0 {
+		return 0
+	}
+	penalty := perBlock * units.Time(n)
+	c.meter.AccrueSlot(energy.SlotActive, c.p.ActiveW, penalty)
+	return penalty
 }
 
 // ensureSpace guarantees the head's active segment can take one more block,
@@ -1028,7 +1055,7 @@ func (c *Card) ReadExtent(reqs []device.Request, completions []units.Time) {
 		req := &reqs[k]
 		c.advance(req.Time)
 		start := units.Max(req.Time, c.busyUntil)
-		service := c.readService(req.Size, start)
+		service := c.readService(req.Size, start) + c.scrubLatent(req.Addr, req.Size, start)
 		c.hostTime += service
 		completion := start + service
 		if completion > c.lastUpdate {
@@ -1060,8 +1087,13 @@ func (c *Card) WriteExtent(reqs []device.Request, completions []units.Time) {
 // cleaning job. The job's copies and erase had not been applied — state
 // changes land atomically at finishJob — so the abandoned job loses only
 // the work already spent on it, never live data. Flash contents survive.
+// With carry_cleaning_backlog the job is preserved instead of dropped:
+// Recover drains it before the card serves again.
 func (c *Card) Crash(at units.Time) {
 	c.advance(at)
+	if c.job != nil && c.inj.CarryBacklog() {
+		c.carried = c.job
+	}
 	c.job = nil
 	c.stateGen++ // defensive: recovery re-derives state; never trust the memo across it
 	if c.busyUntil > at {
@@ -1074,11 +1106,27 @@ func (c *Card) Crash(at units.Time) {
 
 // Recover implements device.Crasher: the controller rebuilds its block map
 // by scanning one segment summary per segment (a block-sized read each),
-// then verifies the rebuilt state. Returns when the scan completes.
+// then verifies the rebuilt state. Returns when the scan completes. A
+// cleaning job carried across the crash (carry_cleaning_backlog) is
+// drained synchronously before the card serves: the segment-summary scan
+// found the half-cleaned victim, and a controller that preserves its
+// progress journal must finish the relocation before trusting the map —
+// so the backlog lands on post-recovery latency, where it belongs.
 func (c *Card) Recover(at units.Time) units.Time {
 	scan := units.Time(c.nseg) * units.TransferTime(c.blockSize, c.p.ReadKBs)
 	c.meter.AccrueSlot(energy.SlotActive, c.p.ActiveW, scan)
 	done := at + scan
+	if job := c.carried; job != nil {
+		c.carried = nil
+		c.job = job
+		drain := job.remaining
+		live := int64(c.segLive[job.victim])
+		c.accrueJob(drain)
+		job.remaining = 0
+		done += drain
+		c.finishJob(done)
+		c.inj.RecordBacklog(c.evName, int64(job.victim), live, done, drain)
+	}
 	if done > c.lastUpdate {
 		c.lastUpdate = done
 	}
@@ -1087,6 +1135,19 @@ func (c *Card) Recover(at units.Time) units.Time {
 		c.inj.Violatef("flashcard %s: recovery: %v", c.p.Name, err)
 	}
 	return done
+}
+
+// HasData reports whether every logical block of [addr, addr+size) holds
+// live data on the card — the witness for the array recovery invariant
+// that no acknowledged write is lost while a mirror member survives.
+func (c *Card) HasData(addr, size units.Bytes) bool {
+	first, last := c.blockRange(addr, size)
+	for b := first; b <= last; b++ {
+		if b < 0 || b >= int64(len(c.blockSeg)) || c.blockSeg[b] == 0 {
+			return false
+		}
+	}
+	return true
 }
 
 // CheckConsistency recomputes live-block counts from the block map and

@@ -75,6 +75,20 @@ var ReadHeavyMix = Mix{Insert: 15, Lookup: 65, Scan: 15, Delete: 5}
 
 func (m Mix) total() int { return m.Insert + m.Lookup + m.Scan + m.Delete }
 
+// MixByName resolves a named op mix: "default" (or "") is DefaultMix,
+// "read-heavy" is ReadHeavyMix. The names are the -mix flag values of
+// storagesim and the indexbench variants.
+func MixByName(name string) (Mix, error) {
+	switch name {
+	case "", "default":
+		return DefaultMix, nil
+	case "read-heavy":
+		return ReadHeavyMix, nil
+	default:
+		return Mix{}, fmt.Errorf("index: unknown mix %q (want default or read-heavy)", name)
+	}
+}
+
 // OpsConfig parameterizes one deterministic workload.
 type OpsConfig struct {
 	Seed int64
@@ -305,6 +319,29 @@ const BenchOps = 12000
 // pager geometry, BenchOps operations.
 func BenchTraceConfig(engine EngineKind, seed int64) TraceConfig {
 	return TraceConfig{Engine: engine, Ops: OpsConfig{Seed: seed, Ops: BenchOps}}
+}
+
+// BenchOpsReadHeavy is the op count of the read-heavy bench variant,
+// scaled so its 15% insert share builds the same ~6000-key settled index
+// the default mix's 50% share does. With equal index sizes the two
+// sweeps differ only in the op stream served against them; at BenchOps
+// the read-heavy tree would fit the pager pool and every lookup would
+// hit cache, leaving nothing for the devices to serve.
+const BenchOpsReadHeavy = 40000
+
+// BenchTraceConfigMix is BenchTraceConfig under a named op mix
+// (MixByName); the read-heavy mix swaps in BenchOpsReadHeavy.
+func BenchTraceConfigMix(engine EngineKind, seed int64, mixName string) (TraceConfig, error) {
+	mix, err := MixByName(mixName)
+	if err != nil {
+		return TraceConfig{}, err
+	}
+	cfg := BenchTraceConfig(engine, seed)
+	cfg.Ops.Mix = mix
+	if mix == ReadHeavyMix {
+		cfg.Ops.Ops = BenchOpsReadHeavy
+	}
+	return cfg, nil
 }
 
 // GenerateTrace runs the configured engine over the generated op sequence

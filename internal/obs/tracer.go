@@ -101,6 +101,29 @@ const (
 	// battery-backed SRAM contents to the device. Size = blocks replayed,
 	// Dur = replay duration (µs).
 	EvRecoveryReplayed = "recovery.replayed"
+	// EvDeviceDie: a device's per-member fault plan killed it outright
+	// (scheduled instant or erase-count endurance death). Addr = member
+	// index within its array, Size = 1 for an erase-count death, 0 for a
+	// scheduled one.
+	EvDeviceDie = "device.die"
+	// EvArrayDegraded: a mirrored array lost a member and degraded to
+	// serving from the survivors. Addr = the dead member index, Size =
+	// surviving member count.
+	EvArrayDegraded = "array.degraded"
+	// EvArrayRebuild: a mirrored array finished rebuilding a replacement
+	// member from the survivors. Addr = the rebuilt member index, Size =
+	// blocks copied, Dur = rebuild duration (µs).
+	EvArrayRebuild = "array.rebuild"
+	// EvFaultLatent: a latent read-disturb/retention fault (seeded silently
+	// at write time) surfaced on a read and was scrubbed in place.
+	// Addr = first poisoned block in the read range, Size = poisoned blocks
+	// surfaced, Dur = the scrub penalty (µs).
+	EvFaultLatent = "fault.latent"
+	// EvCleaningBacklog: recovery carried an interrupted cleaning job across
+	// a power failure and drained it before serving. Addr = the victim
+	// segment, Size = live blocks still to relocate at the crash, Dur = the
+	// drain time added to recovery (µs).
+	EvCleaningBacklog = "cleaning.backlog"
 )
 
 // Tracer receives simulator events. Implementations must tolerate

@@ -12,7 +12,7 @@ import (
 // presentation order. These are the <report> arguments of cmd/obsreport and
 // the /plot/<report> endpoint paths of storagesim's serve mode.
 func FigureKinds() []string {
-	return []string{"timeline", "latency", "wear", "energy", "cleaning", "faults"}
+	return []string{"timeline", "latency", "wear", "energy", "cleaning", "faults", "array"}
 }
 
 // UnknownKindError formats the 404/usage message for an unrecognized report
@@ -35,6 +35,7 @@ type FigureSet struct {
 	Energy   *EnergyBuilder
 	Cleaning *CleaningBuilder
 	Faults   *FaultsBuilder
+	Array    *ArrayBuilder
 }
 
 // NewFigureSet returns an empty builder per report kind.
@@ -46,6 +47,7 @@ func NewFigureSet() *FigureSet {
 		Energy:   NewEnergyBuilder(),
 		Cleaning: NewCleaningBuilder(),
 		Faults:   NewFaultsBuilder(),
+		Array:    NewArrayBuilder(),
 	}
 }
 
@@ -58,6 +60,7 @@ func (s *FigureSet) Observe(e obs.Event) {
 	s.Energy.Observe(e)
 	s.Cleaning.Observe(e)
 	s.Faults.Observe(e)
+	s.Array.Observe(e)
 }
 
 // Merge folds another set's accumulated state into s, builder by builder.
@@ -74,6 +77,7 @@ func (s *FigureSet) Merge(o *FigureSet) {
 	s.Wear.Merge(o.Wear)
 	s.Cleaning.Merge(o.Cleaning)
 	s.Faults.Merge(o.Faults)
+	s.Array.Merge(o.Array)
 }
 
 // Chart renders the named report kind from the current state. Unknown
@@ -93,6 +97,8 @@ func (s *FigureSet) Chart(kind string) (*plot.Chart, error) {
 		return CleaningChart(s.Cleaning.Finish()), nil
 	case "faults":
 		return FaultsChart(s.Faults.Finish()), nil
+	case "array":
+		return ArrayChart(s.Array.Finish()), nil
 	default:
 		return nil, UnknownKindError(kind)
 	}

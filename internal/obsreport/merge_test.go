@@ -312,8 +312,8 @@ func TestTimelineMergeSplitMidSleep(t *testing.T) {
 
 func TestFigureKindsAndUnknownKindError(t *testing.T) {
 	kinds := FigureKinds()
-	if len(kinds) != 6 {
-		t.Fatalf("FigureKinds() = %v, want 6 kinds", kinds)
+	if len(kinds) != 7 {
+		t.Fatalf("FigureKinds() = %v, want 7 kinds", kinds)
 	}
 	err := UnknownKindError("bogus")
 	for _, k := range kinds {
